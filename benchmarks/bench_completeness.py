@@ -1,0 +1,81 @@
+"""E13 / E14 — absolute completeness (Prop. 5.1, Theorems 5.2, 5.6).
+
+Builds the defining sentence φ_I of every figure's H-equivalence class
+and evaluates the full matrix: φ_I holds on J iff I and J are
+homeomorphic.  Benchmarks the normal-form map f(I) = φ_{T_I} and the
+membership test of Theorem 5.6.
+"""
+
+import pytest
+
+from repro.datasets import all_figures
+from repro.invariant import topologically_equivalent
+from repro.logic import (
+    RecursiveTopologicalProperty,
+    normal_form,
+    phi_holds,
+)
+
+FIGS = ["fig_1a", "fig_1b", "fig_1c", "fig_1d", "fig_7b_adjacent"]
+
+
+def test_defining_sentence_matrix(bench):
+    figures = {name: all_figures()[name] for name in FIGS}
+
+    def run():
+        out = {}
+        for name_i, inst_i in figures.items():
+            phi = normal_form(inst_i)
+            for name_j, inst_j in figures.items():
+                out[(name_i, name_j)] = phi_holds(phi, inst_j)
+        return out
+
+    matrix = bench(run)
+    for (i, j), value in matrix.items():
+        expected = i == j or topologically_equivalent(
+            all_figures()[i], all_figures()[j]
+        )
+        assert value == expected, (i, j)
+
+
+@pytest.mark.parametrize("name", FIGS)
+def test_normal_form_construction(bench, name):
+    inst = all_figures()[name]
+    phi = bench(normal_form, inst)
+    assert phi.is_sentence()
+    assert phi_holds(phi, inst)
+
+
+def test_theorem_5_6_membership(bench):
+    def connected_intersection(t):
+        shared = t.region_faces("A") & t.region_faces("B")
+        if not shared:
+            return False
+        dual = {f: set() for f in shared}
+        for e in t.edges:
+            fs = [f for f in t.faces_of_edge(e) if f in shared]
+            for i in range(len(fs)):
+                for j in range(i + 1, len(fs)):
+                    dual[fs[i]].add(fs[j])
+                    dual[fs[j]].add(fs[i])
+        start = next(iter(shared))
+        seen, stack = {start}, [start]
+        while stack:
+            f = stack.pop()
+            for g in dual[f]:
+                if g not in seen:
+                    seen.add(g)
+                    stack.append(g)
+        return len(seen) == len(shared)
+
+    tau = RecursiveTopologicalProperty("connected-A∩B", connected_intersection)
+    figs = all_figures()
+
+    def run():
+        return (
+            tau.contains(normal_form(figs["fig_1c"])),
+            tau.contains(normal_form(figs["fig_1d"])),
+        )
+
+    on_c, on_d = bench(run)
+    assert on_c is True and on_d is False

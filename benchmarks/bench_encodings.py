@@ -1,0 +1,43 @@
+"""E17 — Theorem 6.1: the arithmetic encodings behave arithmetically.
+
+Benchmarks number encoding/decoding at growing magnitudes and the
+multiplication grid; each run asserts the arithmetic identities.
+"""
+
+import pytest
+
+from repro.encodings import (
+    decode_number,
+    encode_number,
+    intersection_components,
+    number_instance,
+    product_grid_components,
+)
+
+
+@pytest.mark.parametrize("n", [2, 8, 16])
+def test_encode_decode(bench, n):
+    result = bench(decode_number, number_instance(n))
+    assert result == n
+
+
+@pytest.mark.parametrize("m,n", [(2, 3), (4, 4)])
+def test_addition_identity(bench, m, n):
+    def run():
+        rm, qm = encode_number(m)
+        rn, qn = encode_number(n)
+        rs, qs = encode_number(m + n)
+        return (
+            intersection_components(rm, qm)
+            + intersection_components(rn, qn),
+            intersection_components(rs, qs),
+        )
+
+    lhs, rhs = bench(run)
+    assert lhs == rhs == m + n
+
+
+@pytest.mark.parametrize("m,n", [(2, 2), (3, 4)])
+def test_multiplication_grid(bench, m, n):
+    result = bench(product_grid_components, m, n)
+    assert result == m * n

@@ -1,0 +1,107 @@
+"""E10 — Figure 10: which languages are generic with respect to which
+groups.
+
+Fig. 10 assigns each quantifier class its genericity group (derived
+from Fig. 4's invariance): FO(Rect, ·) and FO(Rect*, ·) are S-generic,
+FO(Poly, ·) and FO(Alg, ·) are L-generic, FO(Disc, ·) is H-generic.
+The checks apply group elements to witness instances and verify query
+answers do not change; H-genericity of the cell semantics (Prop. 4.3's
+conclusion) is verified against arbitrary homeomorphism samples.
+"""
+
+import pytest
+
+from repro.logic import evaluate_cells, evaluate_rect, parse
+from repro.regions import Rect, SpatialInstance
+from repro.transforms import (
+    AffineMap,
+    PiecewiseMonotone,
+    Symmetry,
+    TwoPieceLinear,
+)
+
+QUERY = "exists r . subset(r, A) and subset(r, B)"
+
+INSTANCES = [
+    SpatialInstance({"A": Rect(0, 0, 4, 4), "B": Rect(2, 2, 6, 6)}),
+    SpatialInstance({"A": Rect(0, 0, 2, 2), "B": Rect(5, 0, 7, 2)}),
+]
+
+
+def _symmetry():
+    rho = PiecewiseMonotone([(0, 0), (2, 5), (7, 11)])
+    return Symmetry(rho, rho)
+
+
+def test_rect_language_is_s_generic(bench):
+    """FO(Rect, ·): answers stable under symmetries."""
+    q = parse(QUERY)
+    sym = _symmetry()
+
+    def run():
+        results = []
+        for inst in INSTANCES:
+            moved = SpatialInstance(
+                {
+                    name: Rect(
+                        sym.rho1(r.x1), sym.rho2(r.y1),
+                        sym.rho1(r.x2), sym.rho2(r.y2),
+                    )
+                    for name, r in inst.items()
+                }
+            )
+            results.append(
+                (evaluate_rect(q, inst), evaluate_rect(q, moved))
+            )
+        return results
+
+    for before, after in bench(run):
+        assert before == after
+
+
+@pytest.mark.parametrize(
+    "transform",
+    [
+        AffineMap.shear("1/2"),
+        TwoPieceLinear.bend(3, 1),
+        Symmetry(PiecewiseMonotone([(0, 0), (3, 7), (8, 9)]), None),
+    ],
+    ids=["shear(L)", "bend(L)", "symmetry(S)"],
+)
+def test_cell_semantics_is_h_generic(bench, transform):
+    """The cell-semantics language answers only depend on the topology:
+    any homeomorphism (elements of S and L are all in H) preserves
+    answers."""
+    q = parse(QUERY)
+
+    def run():
+        results = []
+        for inst in INSTANCES:
+            moved = transform.apply_to_instance(inst)
+            results.append(
+                (evaluate_cells(q, inst), evaluate_cells(q, moved))
+            )
+        return results
+
+    for before, after in bench(run):
+        assert before == after
+
+
+def test_rect_language_not_h_generic(bench):
+    """FO(Rect, ·) expresses non-topological queries: 'A is a
+    rectangle' changes under a shear-image instance presented as Poly.
+
+    (We evaluate the rectilinear query on the original; the sheared
+    instance leaves the language's input class, which is the point —
+    the language's genericity group is S, not H.)
+    """
+    q = parse("exists r . equal(r, A)")
+    inst = SpatialInstance({"A": Rect(0, 0, 4, 4)})
+    result = bench(evaluate_rect, q, inst)
+    assert result is True
+    # The sheared image is a parallelogram, not a rectangle: the same
+    # query is false of it geometrically, so the query is not H-generic.
+    from repro.transforms import is_rect_polygon
+
+    sheared = AffineMap.shear(1).apply_to_region(inst.ext("A"))
+    assert not is_rect_polygon(sheared)

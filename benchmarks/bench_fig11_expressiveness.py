@@ -1,0 +1,93 @@
+"""E11 — Figure 11 / Theorem 4.4: relative expressiveness separations.
+
+Each separation in the expressiveness grid is witnessed by an
+executable query evaluated on witness instances:
+
+* ``QRect`` ("is A a rectangle?") is expressible with rectangle
+  quantifiers but is not topological — it distinguishes homeomorphic
+  instances;
+* Example 4.1's triple-intersection query exceeds the Boolean closure
+  of the 4-intersection relations (Fig. 1a vs. 1b have identical
+  relation tables);
+* Example 4.2's connectivity query likewise (Fig. 1c vs. 1d);
+* ``isRect`` is expressible in FO(Rect*, Rect*) (Theorem 4.4's (-)):
+  our executable form uses the equality atom under rectangle
+  quantification.
+"""
+
+from repro.datasets import fig_1a, fig_1b, fig_1c, fig_1d
+from repro.fourint import relation_table
+from repro.logic import (
+    connected_intersection_query,
+    evaluate_cells,
+    evaluate_rect,
+    parse,
+    triple_intersection_query,
+)
+from repro.regions import Rect, RectUnion, SpatialInstance
+
+
+def test_qrect_separates_homeomorphic_instances(bench):
+    """'A is a rectangle' is S-expressible but not topological."""
+    q = parse("exists r . equal(r, A)")
+    rect_inst = SpatialInstance({"A": Rect(0, 0, 4, 4)})
+    l_inst = SpatialInstance(
+        {"A": RectUnion([Rect(0, 0, 4, 2), Rect(0, 0, 2, 4)])}
+    )
+
+    def run():
+        return evaluate_rect(q, rect_inst), evaluate_rect(q, l_inst)
+
+    on_rect, on_l = bench(run)
+    assert on_rect and not on_l
+    # ...even though the two instances are homeomorphic:
+    from repro.invariant import topologically_equivalent
+
+    assert topologically_equivalent(rect_inst, l_inst)
+
+
+def test_triple_intersection_beyond_boolean_closure(bench):
+    """Example 4.1: quantifiers strictly extend the Boolean closure of
+    the 4-intersection relations."""
+    a, b = fig_1a(), fig_1b()
+    assert relation_table(a) == relation_table(b)
+    q = triple_intersection_query()
+
+    def run():
+        return evaluate_cells(q, a), evaluate_cells(q, b)
+
+    on_a, on_b = bench(run)
+    assert on_a and not on_b
+
+
+def test_connectivity_beyond_boolean_closure(bench):
+    """Example 4.2: connectedness of A ∩ B."""
+    c, d = fig_1c(), fig_1d()
+    assert relation_table(c) == relation_table(d)
+    q = connected_intersection_query()
+
+    def run():
+        return evaluate_cells(q, c), evaluate_cells(q, d)
+
+    on_c, on_d = bench(run)
+    assert on_c and not on_d
+
+
+def test_rectstar_strictly_extends_rect(bench):
+    """Theorem 4.4's strict inclusion FO(Rect, ·) ⊂ FO(Rect*, ·): an
+    L-shaped region is a Rect* value but equals no rectangle."""
+    from repro.logic.rectstar import evaluate_rectstar
+
+    l_inst = SpatialInstance(
+        {"A": RectUnion([Rect(0, 0, 4, 2), Rect(0, 0, 2, 4)])}
+    )
+    q = parse("exists r . equal(r, A)")
+
+    def run():
+        return (
+            evaluate_rect(q, l_inst),
+            evaluate_rectstar(q, l_inst, max_rects=2),
+        )
+
+    rect_answer, rectstar_answer = bench(run)
+    assert rect_answer is False and rectstar_answer is True

@@ -1,0 +1,42 @@
+"""E1 — Figure 1: 4-intersection equivalence vs. homeomorphism.
+
+Regenerates the paper's motivating example: (1a, 1b) and (1c, 1d) are
+4-intersection equivalent but not H-equivalent.  Benchmarks both
+deciders on the figure pairs.
+"""
+
+import pytest
+
+from repro.datasets import fig_1a, fig_1b, fig_1c, fig_1d
+from repro.fourint import four_intersection_equivalent
+from repro.invariant import topologically_equivalent
+
+PAIRS = {
+    "1a-1b": (fig_1a, fig_1b),
+    "1c-1d": (fig_1c, fig_1d),
+}
+
+
+@pytest.mark.parametrize("pair", sorted(PAIRS))
+def test_four_intersection_equivalence(bench, pair):
+    fa, fb = PAIRS[pair]
+    a, b = fa(), fb()
+    result = bench(four_intersection_equivalent, a, b)
+    assert result is True  # the coarse model cannot tell them apart
+
+
+@pytest.mark.parametrize("pair", sorted(PAIRS))
+def test_invariant_separates(bench, pair):
+    fa, fb = PAIRS[pair]
+    a, b = fa(), fb()
+    result = bench(topologically_equivalent, a, b)
+    assert result is False  # the invariant does
+
+
+def test_invariant_accepts_homeomorphic_copy(bench):
+    from repro.transforms import AffineMap
+
+    inst = fig_1c().polygonalized()
+    moved = AffineMap.shear("1/3").apply_to_instance(inst)
+    result = bench(topologically_equivalent, inst, moved)
+    assert result is True

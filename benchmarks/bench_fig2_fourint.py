@@ -1,0 +1,39 @@
+"""E2 — Figure 2: the eight 4-intersection relationships.
+
+Classifies a geometric witness of every relation (regenerating the
+figure as executable facts) and benchmarks the classifier on both
+rectilinear and curved inputs.
+"""
+
+import pytest
+
+from repro.fourint import Egenhofer, classify
+from repro.regions import AlgRegion, Rect
+
+WITNESSES = {
+    Egenhofer.DISJOINT: (Rect(0, 0, 2, 2), Rect(5, 0, 7, 2)),
+    Egenhofer.MEET: (Rect(0, 0, 2, 2), Rect(2, 0, 4, 2)),
+    Egenhofer.OVERLAP: (Rect(0, 0, 4, 4), Rect(2, 2, 6, 6)),
+    Egenhofer.EQUAL: (Rect(0, 0, 2, 2), Rect(0, 0, 2, 2)),
+    Egenhofer.INSIDE: (Rect(2, 2, 4, 4), Rect(0, 0, 9, 9)),
+    Egenhofer.CONTAINS: (Rect(0, 0, 9, 9), Rect(2, 2, 4, 4)),
+    Egenhofer.COVERED_BY: (Rect(0, 0, 2, 2), Rect(0, 0, 4, 4)),
+    Egenhofer.COVERS: (Rect(0, 0, 4, 4), Rect(0, 0, 2, 2)),
+}
+
+
+@pytest.mark.parametrize(
+    "relation", list(Egenhofer), ids=lambda r: r.value
+)
+def test_classify_rect_witness(bench, relation):
+    a, b = WITNESSES[relation]
+    result = bench(classify, a, b)
+    assert result is relation
+
+
+@pytest.mark.parametrize("n_vertices", [8, 16, 32])
+def test_classify_curved_regions(bench, n_vertices):
+    a = AlgRegion.circle(0, 0, 2, n=n_vertices)
+    b = AlgRegion.circle(3, 0, 2, n=n_vertices)
+    result = bench(classify, a, b)
+    assert result is Egenhofer.OVERLAP

@@ -1,0 +1,43 @@
+"""E4 + E8-scaling — Figure 5 / Example 3.1 and polynomial invariant
+computation (Theorem 3.5).
+
+Checks the lens invariant against the paper's exact numbers, then
+measures invariant computation over growing workloads — the measured
+growth should be polynomial (the paper's bound), which the benchmark
+records as timings across sizes.
+"""
+
+import pytest
+
+from repro.datasets import circle_chain, fig_1c, overlap_chain
+from repro.invariant import invariant
+
+
+def test_example_3_1(bench):
+    t = bench(invariant, fig_1c())
+    assert t.counts() == (2, 4, 4)
+    assert len(t.orientation) == 16
+    assert set(t.labels[t.exterior_face]) == {"e"}
+
+
+@pytest.mark.parametrize("n", [4, 8, 16, 32])
+def test_invariant_scaling_chain(bench, n):
+    inst = overlap_chain(n)
+    t = bench(invariant, inst)
+    # Linear structure: 2 crossing vertices and 2 new faces per lens.
+    assert t.counts()[0] == 2 * (n - 1)
+
+
+@pytest.mark.parametrize("n", [2, 4, 8])
+def test_invariant_scaling_circles(bench, n):
+    inst = circle_chain(n)
+    t = bench(invariant, inst)
+    assert t.counts()[0] == 2 * (n - 1)
+
+
+@pytest.mark.parametrize("n", [3, 6, 12])
+def test_invariant_nested(bench, n):
+    from repro.datasets import nested_rings
+
+    t = bench(invariant, nested_rings(n))
+    assert t.counts() == (0, n, n + 1)

@@ -1,0 +1,73 @@
+"""E6 — Figure 7: the orientation relation O and the exterior face.
+
+Regenerates both Fig. 7 phenomena: the graphs G_I are isomorphic while
+the invariants differ, and the separating disjoint-path queries flip
+with chirality.  Benchmarks isomorphism testing and the path decision
+procedure.
+"""
+
+from repro.datasets import (
+    fig_7a,
+    fig_7a_mirrored,
+    fig_7b_adjacent,
+    fig_7b_interleaved,
+)
+from repro.invariant import find_isomorphism, invariant
+from repro.logic import FIG_7A_SEPARATING_PAIRS, disjoint_connections
+
+
+def test_7a_graph_isomorphic_invariant_not(bench):
+    t1, t2 = invariant(fig_7a()), invariant(fig_7a_mirrored())
+
+    def both():
+        g_only = find_isomorphism(t1, t2, use_orientation=False)
+        full = find_isomorphism(t1, t2)
+        return g_only, full
+
+    g_only, full = bench(both)
+    assert g_only is not None  # Lemma 3.2 scope ends here
+    assert full is None  # Theorem 3.4's O relation separates
+
+
+def test_7b_graph_isomorphic_invariant_not(bench):
+    t1 = invariant(fig_7b_adjacent())
+    t2 = invariant(fig_7b_interleaved())
+
+    def both():
+        return (
+            find_isomorphism(t1, t2, use_orientation=False),
+            find_isomorphism(t1, t2),
+        )
+
+    g_only, full = bench(both)
+    assert g_only is not None
+    assert full is None
+
+
+def test_7b_disjoint_paths_query(bench):
+    pairs = [("A", "B"), ("C", "D")]
+    adjacent = fig_7b_adjacent()
+    interleaved = fig_7b_interleaved()
+
+    def decide():
+        return (
+            disjoint_connections(adjacent, pairs),
+            disjoint_connections(interleaved, pairs),
+        )
+
+    yes, no = bench(decide)
+    assert yes is True and no is False
+
+
+def test_7a_three_paths_flip_with_chirality(bench):
+    same = fig_7a()
+    mirrored = fig_7a_mirrored()
+
+    def decide():
+        return (
+            disjoint_connections(same, FIG_7A_SEPARATING_PAIRS),
+            disjoint_connections(mirrored, FIG_7A_SEPARATING_PAIRS),
+        )
+
+    on_same, on_mirrored = bench(decide)
+    assert on_same is True and on_mirrored is False

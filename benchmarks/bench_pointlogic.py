@@ -1,0 +1,87 @@
+"""E15 / E16 — relative completeness (Prop. 5.7, Theorem 5.8).
+
+Benchmarks the two translations — FO(R, <) to FO(P, <x, <y) and
+FO(Rect, ·) to FO(P, <x, <y, ·) — asserting answer agreement on every
+workload.
+"""
+
+import pytest
+
+from repro.logic import (
+    AndF,
+    RealExists,
+    RealVar,
+    RLess,
+    RRegion,
+    evaluate_point,
+    evaluate_real,
+    evaluate_real_via_points,
+    evaluate_rect,
+    parse,
+    rect_to_point,
+)
+from repro.regions import Rect, SpatialInstance
+
+
+def _r(name):
+    return RealVar(name)
+
+
+QUADRANT_SINGLE = SpatialInstance({"A": Rect(1, -3, 3, -1)})
+
+PROP57_QUERIES = {
+    "nonempty": RealExists(
+        "x", RealExists("y", RRegion("A", _r("x"), _r("y")))
+    ),
+    "ordered": RealExists(
+        "x",
+        RealExists(
+            "y",
+            AndF(
+                RLess(_r("x"), _r("y")),
+                RRegion("A", _r("y"), _r("x")),
+            ),
+        ),
+    ),
+}
+
+
+@pytest.mark.parametrize("query_name", sorted(PROP57_QUERIES))
+def test_prop_5_7_translation(bench, query_name):
+    inst = QUADRANT_SINGLE
+    q = PROP57_QUERIES[query_name]
+
+    def run():
+        return evaluate_real(q, inst), evaluate_real_via_points(q, inst)
+
+    direct, translated = bench(run)
+    assert direct == translated
+
+
+WORKLOADS = {
+    "overlap": SpatialInstance(
+        {"A": Rect(0, 0, 4, 4), "B": Rect(2, 2, 6, 6)}
+    ),
+    "disjoint": SpatialInstance(
+        {"A": Rect(0, 0, 2, 2), "B": Rect(5, 0, 7, 2)}
+    ),
+}
+
+RECT_QUERIES = {
+    "overlap-witness": "exists r . subset(r, A) and subset(r, B)",
+    "private-part": "exists r . subset(r, A) and not connect(r, B)",
+}
+
+
+@pytest.mark.parametrize("query_name", sorted(RECT_QUERIES))
+@pytest.mark.parametrize("inst_name", sorted(WORKLOADS))
+def test_theorem_5_8_translation(bench, query_name, inst_name):
+    q = parse(RECT_QUERIES[query_name])
+    translated = rect_to_point(q)
+    inst = WORKLOADS[inst_name]
+
+    def run():
+        return evaluate_rect(q, inst), evaluate_point(translated, inst)
+
+    rect_answer, point_answer = bench(run)
+    assert rect_answer == point_answer

@@ -1,0 +1,41 @@
+"""E19 — Theorems 6.4 / 6.5: data vs. query complexity of FO(Rect, ·).
+
+Fixed query over growing instances: polynomial growth (data complexity,
+Theorem 6.4).  Growing quantifier depth over a fixed instance:
+exponential growth (query complexity, Theorem 6.5's PSPACE bound).
+The timings across the parameter grid are the reproduced 'curves'.
+"""
+
+import pytest
+
+from repro.datasets import overlap_chain
+from repro.logic import evaluate_rect, parse
+from repro.regions import Rect, SpatialInstance
+
+FIXED_QUERY = "exists r . subset(r, R000) and subset(r, R001)"
+
+
+@pytest.mark.parametrize("n", [2, 4, 8])
+def test_data_complexity(bench, n):
+    """Same depth-1 query, growing instance: polynomial scaling."""
+    inst = overlap_chain(n)
+    q = parse(FIXED_QUERY)
+    result = bench(evaluate_rect, q, inst)
+    assert result is True
+
+
+DEPTH_QUERIES = {
+    1: "exists r . subset(r, A)",
+    2: "exists r . subset(r, A) and "
+       "(exists s . subset(s, r) and not equal(s, r))",
+}
+
+
+@pytest.mark.parametrize("depth", sorted(DEPTH_QUERIES))
+def test_query_complexity(bench, depth):
+    """Fixed small instance, growing quantifier depth: exponential
+    scaling in the depth."""
+    inst = SpatialInstance({"A": Rect(0, 0, 4, 4)})
+    q = parse(DEPTH_QUERIES[depth])
+    result = bench(evaluate_rect, q, inst)
+    assert result is True

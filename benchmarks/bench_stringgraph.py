@@ -1,0 +1,65 @@
+"""E18 — Prop. 6.2 / Cor. 6.3: Σ1(Rect*, ∅) and string graphs.
+
+Benchmarks certified realization across graph families and sizes, the
+subdivided-K5 rejection, and the Σ1 reduction round trip.  Corollary
+6.3's lower bounds mean no polynomial algorithm is known for the
+general problem; the measured growth of the partial-specification
+search is the empirical face of that.
+"""
+
+import pytest
+
+from repro.stringgraph import (
+    Graph,
+    conjunctive_sigma1_satisfiable,
+    full_subdivision,
+    graph_to_sigma1,
+    is_string_graph,
+    realize_string_graph,
+    sigma1_satisfiable,
+    verify_realization,
+)
+
+
+@pytest.mark.parametrize("n", [5, 10, 20])
+def test_realize_cycles(bench, n):
+    g = Graph.cycle(n)
+    realization = bench(realize_string_graph, g)
+    assert verify_realization(g, realization)
+
+
+@pytest.mark.parametrize("n", [4, 6, 8])
+def test_realize_cliques(bench, n):
+    g = Graph.complete(n)
+    realization = bench(realize_string_graph, g)
+    assert verify_realization(g, realization)
+
+
+def test_subdivided_k5_rejected(bench):
+    g = full_subdivision(Graph.complete(5))
+    result = bench(is_string_graph, g)
+    assert result is False
+
+
+def test_sigma1_reduction(bench):
+    g = Graph.cycle(5)
+
+    def run():
+        return conjunctive_sigma1_satisfiable(graph_to_sigma1(g))
+
+    assert bench(run) is True
+
+
+@pytest.mark.parametrize("free_pairs", [2, 4])
+def test_partial_sigma1_search_growth(bench, free_pairs):
+    """The exponential completion search of the general fragment."""
+    n = 4
+    positive = {(0, 1)}
+    # Leave `free_pairs` pairs unspecified, pin the rest negative.
+    all_pairs = [
+        (u, v) for u in range(n) for v in range(u + 1, n)
+    ]
+    rest = [p for p in all_pairs if p != (0, 1)]
+    negative = set(rest[free_pairs:])
+    result = bench(sigma1_satisfiable, n, positive, negative)
+    assert result is True

@@ -1,0 +1,51 @@
+"""E7 — Fig. 9 / Corollary 3.7: the thematic bridge.
+
+Benchmarks the thematic mapping and relational query answering against
+it, across growing instances — topological questions answered with a
+classical database only.
+"""
+
+import pytest
+
+from repro.datasets import fig_1c, overlap_chain
+from repro.invariant import thematic
+from repro.relational import And, Atom, Const, Exists, Var
+
+
+def overlap_query(a: str, b: str):
+    return Exists(
+        "f",
+        And(
+            Atom("Region_Faces", Const(a), Var("f")),
+            Atom("Region_Faces", Const(b), Var("f")),
+        ),
+    )
+
+
+def test_thematic_mapping_fig9(bench):
+    db = bench(thematic, fig_1c())
+    assert len(db["Vertices"]) == 2
+    assert len(db["Edges"]) == 4
+    assert len(db["Faces"]) == 4
+    assert len(db["Orientation"]) == 16
+
+
+@pytest.mark.parametrize("n", [4, 8, 16])
+def test_thematic_scaling(bench, n):
+    inst = overlap_chain(n)
+    db = bench(thematic, inst)
+    assert len(db["Regions"]) == n
+
+
+def test_relational_query_on_thematic(bench):
+    db = thematic(overlap_chain(8))
+    q = overlap_query("R000", "R001")
+    result = bench(q.evaluate, db)
+    assert result is True
+
+
+def test_relational_query_negative(bench):
+    db = thematic(overlap_chain(8))
+    q = overlap_query("R000", "R007")
+    result = bench(q.evaluate, db)
+    assert result is False

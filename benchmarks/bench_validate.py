@@ -1,0 +1,43 @@
+"""E9 — Theorem 3.8: validating candidate invariants.
+
+Benchmarks validation (the labeled-planar-graph conditions (1)-(7)) on
+growing valid invariants, plus the rejection path on a mutated one.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.datasets import grid_of_squares, overlap_chain
+from repro.errors import ValidationError
+from repro.invariant import invariant, validate_invariant
+
+
+@pytest.mark.parametrize("n", [4, 8, 16])
+def test_validate_scaling(bench, n):
+    t = invariant(overlap_chain(n))
+    witness = bench(validate_invariant, t)
+    assert len(witness.components) == 1
+
+
+@pytest.mark.parametrize("side", [2, 4])
+def test_validate_many_components(bench, side):
+    t = invariant(grid_of_squares(side, side))
+    witness = bench(validate_invariant, t)
+    assert len(witness.components) == side * side
+
+
+def test_validation_rejects_mutation(bench):
+    t = invariant(overlap_chain(4))
+    bad = next(x for x in t.orientation if x[0] == "ccw")
+    mutated = dataclasses.replace(t, orientation=t.orientation - {bad})
+
+    def attempt():
+        try:
+            validate_invariant(mutated)
+            return None
+        except ValidationError as err:
+            return err.condition
+
+    condition = bench(attempt)
+    assert condition == 4

@@ -1,0 +1,24 @@
+"""Shared benchmark configuration.
+
+Every benchmark asserts the *qualitative* result it reproduces (who
+wins, what separates, how things scale) in addition to timing the
+computation, so a benchmark run doubles as an experiment log.
+"""
+
+import pytest
+
+
+def quick(benchmark, fn, *args, **kwargs):
+    """Run a benchmark with few rounds — these are experiment
+    regenerations, not micro-benchmarks."""
+    return benchmark.pedantic(
+        fn, args=args, kwargs=kwargs, rounds=3, iterations=1
+    )
+
+
+@pytest.fixture
+def bench(benchmark):
+    def run(fn, *args, **kwargs):
+        return quick(benchmark, fn, *args, **kwargs)
+
+    return run

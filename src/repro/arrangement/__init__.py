@@ -1,0 +1,25 @@
+"""Planar arrangement engine: planarization, DCEL, labeling, and the
+reduced cell complex — the library's stand-in for the Kozen–Yap cell
+decomposition of the paper."""
+
+from .builder import planarize
+from .complex import CCW, CW, Cell, CellComplex, build_complex
+from .dcel import Face, Subdivision, locate_in_closed_walk
+from .labeling import BOUNDARY, EXTERIOR, INTERIOR, LabelMap, compute_labels
+
+__all__ = [
+    "BOUNDARY",
+    "CCW",
+    "CW",
+    "Cell",
+    "CellComplex",
+    "EXTERIOR",
+    "Face",
+    "INTERIOR",
+    "LabelMap",
+    "Subdivision",
+    "build_complex",
+    "compute_labels",
+    "locate_in_closed_walk",
+    "planarize",
+]

@@ -1,0 +1,54 @@
+"""Planarization of a set of segments.
+
+Given the boundary segments of all regions in an instance, this module
+splits them at every mutual intersection so that the resulting *pieces*
+meet only at shared endpoints.  The pieces are the edges of the fine
+arrangement from which the cell complex (and ultimately the topological
+invariant) is built.
+
+The algorithm is the quadratic all-pairs method: exact, simple, and
+entirely sufficient for the instance sizes the paper's constructions
+need.  Collinear overlaps are handled by cutting both segments at the
+overlap endpoints, after which identical pieces deduplicate.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from ..geometry import Point, Segment
+
+__all__ = ["planarize"]
+
+
+def planarize(segments: Iterable[Segment]) -> list[Segment]:
+    """Split *segments* into interior-disjoint pieces.
+
+    Returns the pieces sorted lexicographically (a deterministic order
+    helps reproducibility downstream).  The output satisfies:
+
+    * every input point covered by some segment is covered by some piece;
+    * two distinct pieces share at most endpoints.
+    """
+    segs: list[Segment] = list(dict.fromkeys(segments))
+    cuts: list[set[Point]] = [set() for _ in segs]
+    for i in range(len(segs)):
+        for j in range(i + 1, len(segs)):
+            kind, payload = segs[i].intersect(segs[j])
+            if kind == "point":
+                cuts[i].add(payload)
+                cuts[j].add(payload)
+            elif kind == "overlap":
+                lo, hi = payload
+                cuts[i].update((lo, hi))
+                cuts[j].update((lo, hi))
+    pieces: set[Segment] = set()
+    for seg, cut in zip(segs, cuts):
+        pieces.update(seg.split_at(sorted(cut, key=Point.lex_key)))
+    return sorted(pieces, key=lambda s: (s.a.lex_key(), s.b.lex_key()))
+
+
+def endpoints_of(pieces: Sequence[Segment]) -> list[Point]:
+    """All distinct endpoints of the pieces, lexicographically sorted."""
+    pts = {p for seg in pieces for p in seg.endpoints()}
+    return sorted(pts, key=Point.lex_key)

@@ -1,0 +1,329 @@
+"""Doubly connected edge list over planarized segments.
+
+A :class:`Subdivision` takes interior-disjoint *pieces* (from
+:func:`repro.arrangement.builder.planarize`) and derives the full planar
+subdivision: darts (directed half-edges), the rotation system (CCW order
+of darts around each vertex), the face cycles, the bounded faces, the
+unbounded face, and the containment of connected components in faces.
+
+It also produces an exact *sample point* strictly inside every face by
+shooting a rational ray from the midpoint of a boundary piece to the
+first obstacle — no epsilons, no floating point.
+"""
+
+from __future__ import annotations
+
+import functools
+from dataclasses import dataclass, field
+from fractions import Fraction
+from typing import Sequence
+
+from ..errors import ArrangementError
+from ..geometry import Point, Segment, direction_compare
+
+__all__ = ["Subdivision", "Face", "locate_in_closed_walk"]
+
+_HALF = Fraction(1, 2)
+
+
+def locate_in_closed_walk(p: Point, walk: Sequence[Point]) -> str:
+    """Locate *p* relative to a closed polygonal walk (repeats allowed).
+
+    Returns ``"on"`` if *p* lies on the walk, otherwise ``"in"``/``"out"``
+    by crossing-number parity.  Edges traversed twice contribute twice and
+    cancel, which is the correct behaviour for walks with slits.
+    """
+    n = len(walk)
+    for i in range(n):
+        a, b = walk[i], walk[(i + 1) % n]
+        if a == b:
+            continue
+        from ..geometry import on_segment
+
+        if on_segment(p, a, b):
+            return "on"
+    crossings = 0
+    for i in range(n):
+        a, b = walk[i], walk[(i + 1) % n]
+        if a.y == b.y:
+            continue
+        if min(a.y, b.y) <= p.y < max(a.y, b.y):
+            t = (p.y - a.y) / (b.y - a.y)
+            x_at = a.x + (b.x - a.x) * t
+            if x_at < p.x:
+                crossings += 1
+    return "in" if crossings % 2 == 1 else "out"
+
+
+@dataclass
+class Face:
+    """A face of the subdivision.
+
+    ``outer_cycle`` is the index of the CCW cycle bounding the face, or
+    ``None`` for the unbounded face.  ``hole_cycles`` are the indices of
+    the contour cycles of components nested directly inside this face.
+    """
+
+    index: int
+    outer_cycle: int | None
+    hole_cycles: list[int] = field(default_factory=list)
+
+    @property
+    def is_unbounded(self) -> bool:
+        return self.outer_cycle is None
+
+
+class Subdivision:
+    """The planar subdivision induced by interior-disjoint pieces.
+
+    Darts are integers; dart ``2k`` runs along piece ``k`` from ``a`` to
+    ``b`` (lexicographic endpoint order) and dart ``2k + 1`` is its twin.
+    """
+
+    def __init__(self, pieces: Sequence[Segment]):
+        if not pieces:
+            raise ArrangementError("subdivision of an empty piece set")
+        self.pieces: list[Segment] = list(pieces)
+        self.vertices: list[Point] = sorted(
+            {p for s in self.pieces for p in s.endpoints()}, key=Point.lex_key
+        )
+        self._vid: dict[Point, int] = {
+            p: i for i, p in enumerate(self.vertices)
+        }
+
+        n_darts = 2 * len(self.pieces)
+        self.dart_tail: list[int] = [0] * n_darts
+        self.dart_head: list[int] = [0] * n_darts
+        for k, seg in enumerate(self.pieces):
+            a, b = self._vid[seg.a], self._vid[seg.b]
+            self.dart_tail[2 * k], self.dart_head[2 * k] = a, b
+            self.dart_tail[2 * k + 1], self.dart_head[2 * k + 1] = b, a
+
+        self.out_darts: list[list[int]] = [[] for _ in self.vertices]
+        for d in range(n_darts):
+            self.out_darts[self.dart_tail[d]].append(d)
+        for v, darts in enumerate(self.out_darts):
+            origin = self.vertices[v]
+            darts.sort(
+                key=functools.cmp_to_key(
+                    lambda d1, d2: direction_compare(
+                        self._dart_dir(d1), self._dart_dir(d2)
+                    )
+                )
+            )
+        # Position of each dart in its tail's rotation.
+        self._rot_pos: dict[int, int] = {}
+        for darts in self.out_darts:
+            for i, d in enumerate(darts):
+                self._rot_pos[d] = i
+
+        self._trace_cycles()
+        self._build_faces()
+
+    # -- dart helpers ----------------------------------------------------------
+
+    def twin(self, d: int) -> int:
+        return d ^ 1
+
+    def _dart_dir(self, d: int) -> Point:
+        return (
+            self.vertices[self.dart_head[d]] - self.vertices[self.dart_tail[d]]
+        )
+
+    def dart_points(self, d: int) -> tuple[Point, Point]:
+        return (
+            self.vertices[self.dart_tail[d]],
+            self.vertices[self.dart_head[d]],
+        )
+
+    def next_dart(self, d: int) -> int:
+        """Next dart along the face left of *d*: the clockwise-next dart
+        after ``twin(d)`` in the rotation at ``head(d)``."""
+        t = self.twin(d)
+        ring = self.out_darts[self.dart_tail[t]]
+        pos = self._rot_pos[t]
+        return ring[(pos - 1) % len(ring)]
+
+    def degree(self, v: int) -> int:
+        return len(self.out_darts[v])
+
+    # -- cycles ------------------------------------------------------------------
+
+    def _trace_cycles(self) -> None:
+        n_darts = 2 * len(self.pieces)
+        self.cycle_of_dart: list[int] = [-1] * n_darts
+        self.cycles: list[list[int]] = []
+        for start in range(n_darts):
+            if self.cycle_of_dart[start] != -1:
+                continue
+            cycle_index = len(self.cycles)
+            cycle: list[int] = []
+            d = start
+            while self.cycle_of_dart[d] == -1:
+                self.cycle_of_dart[d] = cycle_index
+                cycle.append(d)
+                d = self.next_dart(d)
+            if d != start:
+                raise ArrangementError("face tracing did not close a cycle")
+            self.cycles.append(cycle)
+        self.cycle_area2: list[Fraction] = [
+            sum(
+                (self.dart_points(d)[0].cross(self.dart_points(d)[1])
+                 for d in cycle),
+                Fraction(0),
+            )
+            for cycle in self.cycles
+        ]
+
+    def cycle_walk(self, cycle_index: int) -> list[Point]:
+        """The vertex walk of a cycle (tails of its darts, in order)."""
+        return [
+            self.vertices[self.dart_tail[d]]
+            for d in self.cycles[cycle_index]
+        ]
+
+    # -- connected components ----------------------------------------------------
+
+    def _components(self) -> list[int]:
+        parent = list(range(len(self.vertices)))
+
+        def find(x: int) -> int:
+            while parent[x] != x:
+                parent[x] = parent[parent[x]]
+                x = parent[x]
+            return x
+
+        for k in range(len(self.pieces)):
+            a, b = self.dart_tail[2 * k], self.dart_head[2 * k]
+            ra, rb = find(a), find(b)
+            if ra != rb:
+                parent[ra] = rb
+        return [find(v) for v in range(len(self.vertices))]
+
+    # -- faces ------------------------------------------------------------------
+
+    def _build_faces(self) -> None:
+        comp = self._components()
+        self.component_of_vertex = comp
+
+        ccw_cycles = [
+            i for i, a in enumerate(self.cycle_area2) if a > 0
+        ]
+        contour_cycles = [
+            i for i, a in enumerate(self.cycle_area2) if a <= 0
+        ]
+
+        def cycle_component(i: int) -> int:
+            return comp[self.dart_tail[self.cycles[i][0]]]
+
+        # One bounded face per CCW cycle, plus the unbounded face (last).
+        self.faces: list[Face] = [
+            Face(index=k, outer_cycle=c) for k, c in enumerate(ccw_cycles)
+        ]
+        unbounded = Face(index=len(self.faces), outer_cycle=None)
+        self.faces.append(unbounded)
+        self.unbounded_face_index = unbounded.index
+        face_of_ccw = {c: k for k, c in enumerate(ccw_cycles)}
+
+        walks = {c: self.cycle_walk(c) for c in ccw_cycles}
+
+        # Assign each contour (the outside traversal of a component) to the
+        # face containing that component.
+        for contour in contour_cycles:
+            my_comp = cycle_component(contour)
+            rep = self.pieces[self.cycles[contour][0] // 2].midpoint()
+            best: int | None = None
+            best_area: Fraction | None = None
+            for c in ccw_cycles:
+                if cycle_component(c) == my_comp:
+                    continue
+                if locate_in_closed_walk(rep, walks[c]) == "in":
+                    area = self.cycle_area2[c]
+                    if best_area is None or area < best_area:
+                        best, best_area = c, area
+            target = self.faces[face_of_ccw[best]] if best is not None else unbounded
+            target.hole_cycles.append(contour)
+
+        self.face_of_cycle: dict[int, int] = {}
+        for face in self.faces:
+            if face.outer_cycle is not None:
+                self.face_of_cycle[face.outer_cycle] = face.index
+            for hole in face.hole_cycles:
+                self.face_of_cycle[hole] = face.index
+
+        self._samples: dict[int, Point] = {}
+
+    def face_of_dart(self, d: int) -> int:
+        return self.face_of_cycle[self.cycle_of_dart[d]]
+
+    def faces_of_piece(self, k: int) -> tuple[int, int]:
+        """The faces left of dart 2k and of its twin (may coincide)."""
+        return (self.face_of_dart(2 * k), self.face_of_dart(2 * k + 1))
+
+    # -- sampling ----------------------------------------------------------------
+
+    def face_sample(self, face_index: int) -> Point:
+        """An exact point strictly inside the face."""
+        if face_index in self._samples:
+            return self._samples[face_index]
+        face = self.faces[face_index]
+        if face.is_unbounded:
+            xmax = max(p.x for p in self.vertices)
+            ymax = max(p.y for p in self.vertices)
+            sample = Point(xmax + 1, ymax + 1)
+        else:
+            d = self.cycles[face.outer_cycle][0]
+            sample = self._sample_left_of_dart(d)
+        self._samples[face_index] = sample
+        return sample
+
+    def _sample_left_of_dart(self, d: int) -> Point:
+        """A point in the open face immediately left of dart *d*.
+
+        Shoots a ray from the dart's midpoint along its left normal and
+        stops halfway to the first obstacle.
+        """
+        tail, head = self.dart_points(d)
+        m = Point((tail.x + head.x) * _HALF, (tail.y + head.y) * _HALF)
+        direction = head - tail
+        normal = Point(-direction.y, direction.x)  # left of the dart
+        t_min: Fraction | None = None
+        for seg in self.pieces:
+            t = _ray_segment_param(m, normal, seg)
+            if t is not None and t > 0 and (t_min is None or t < t_min):
+                t_min = t
+        if t_min is None:
+            raise ArrangementError(
+                "sample ray escaped a bounded face; inconsistent subdivision"
+            )
+        return Point(m.x + normal.x * t_min * _HALF, m.y + normal.y * t_min * _HALF)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Subdivision({len(self.vertices)} vertices, "
+            f"{len(self.pieces)} pieces, {len(self.faces)} faces)"
+        )
+
+
+def _ray_segment_param(m: Point, n: Point, seg: Segment) -> Fraction | None:
+    """Smallest positive ray parameter ``t`` with ``m + t n`` on *seg*.
+
+    Returns ``None`` when the ray misses the segment.
+    """
+    p, q = seg.a, seg.b
+    d = q - p
+    denom = n.cross(d)
+    if denom != 0:
+        t = (p - m).cross(d) / denom
+        u = (p - m).cross(n) / denom
+        if u < 0 or u > 1:
+            return None
+        return t
+    # Parallel: the segment lies on the ray line only if collinear.
+    if (p - m).cross(n) != 0:
+        return None
+    nn = n.dot(n)
+    tp = (p - m).dot(n) / nn
+    tq = (q - m).dot(n) / nn
+    candidates = [t for t in (tp, tq) if t > 0]
+    return min(candidates) if candidates else None

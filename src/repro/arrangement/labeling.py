@@ -1,0 +1,75 @@
+"""Labeling of arrangement cells against a spatial instance.
+
+Every cell of the subdivision lies inside a single *sign class* of the
+instance: for each region name, the whole cell is interior ('o'),
+boundary ('b'), or exterior ('e').  One exact sample point per cell
+therefore decides the label of the cell:
+
+* vertices — the vertex itself,
+* pieces — the piece midpoint,
+* faces — the exact face sample from the subdivision.
+
+Labels are tuples aligned to the *sorted* region names, which is the
+canonical name order used throughout the invariant pipeline.
+"""
+
+from __future__ import annotations
+
+from ..geometry import Location, Point
+from ..regions import SpatialInstance
+from .dcel import Subdivision
+
+__all__ = ["LabelMap", "compute_labels", "INTERIOR", "BOUNDARY", "EXTERIOR"]
+
+INTERIOR = "o"
+BOUNDARY = "b"
+EXTERIOR = "e"
+
+_CODES = {
+    Location.INTERIOR: INTERIOR,
+    Location.BOUNDARY: BOUNDARY,
+    Location.EXTERIOR: EXTERIOR,
+}
+
+Label = tuple[str, ...]
+
+
+class LabelMap:
+    """Labels of every cell of a subdivision, over sorted region names."""
+
+    def __init__(
+        self,
+        names: tuple[str, ...],
+        vertex_labels: list[Label],
+        piece_labels: list[Label],
+        face_labels: list[Label],
+    ):
+        self.names = names
+        self.vertex_labels = vertex_labels
+        self.piece_labels = piece_labels
+        self.face_labels = face_labels
+
+
+def _label_at(
+    instance: SpatialInstance, names: tuple[str, ...], p: Point
+) -> Label:
+    return tuple(_CODES[instance.ext(n).classify(p)] for n in names)
+
+
+def compute_labels(
+    instance: SpatialInstance, subdivision: Subdivision
+) -> LabelMap:
+    """Label all cells of *subdivision* against *instance*."""
+    names = tuple(sorted(instance.names()))
+    vertex_labels = [
+        _label_at(instance, names, p) for p in subdivision.vertices
+    ]
+    piece_labels = [
+        _label_at(instance, names, seg.midpoint())
+        for seg in subdivision.pieces
+    ]
+    face_labels = [
+        _label_at(instance, names, subdivision.face_sample(f.index))
+        for f in subdivision.faces
+    ]
+    return LabelMap(names, vertex_labels, piece_labels, face_labels)

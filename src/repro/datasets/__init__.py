@@ -1,0 +1,45 @@
+"""Executable figure instances and scalable benchmark workloads."""
+
+from .figures import (
+    all_figures,
+    fig_1a,
+    fig_1b,
+    fig_1c,
+    fig_1d,
+    fig_6_courtyard,
+    fig_7a,
+    fig_7a_mirrored,
+    fig_7b_adjacent,
+    fig_7b_interleaved,
+    fig_14_aligned,
+    fig_14_diagonal,
+)
+from .generators import (
+    circle_chain,
+    grid_of_squares,
+    nested_rings,
+    overlap_chain,
+    petal_count_flower,
+    random_rectangles,
+)
+
+__all__ = [
+    "all_figures",
+    "circle_chain",
+    "fig_14_aligned",
+    "fig_14_diagonal",
+    "fig_1a",
+    "fig_1b",
+    "fig_1c",
+    "fig_1d",
+    "fig_6_courtyard",
+    "fig_7a",
+    "fig_7a_mirrored",
+    "fig_7b_adjacent",
+    "fig_7b_interleaved",
+    "grid_of_squares",
+    "nested_rings",
+    "overlap_chain",
+    "petal_count_flower",
+    "random_rectangles",
+]

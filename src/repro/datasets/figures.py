@@ -1,0 +1,276 @@
+"""Executable constructions of the paper's figure instances.
+
+Each function returns a :class:`~repro.regions.SpatialInstance` realizing
+the *topological situation* of the corresponding figure (the paper's
+drawings are freehand; only their topology matters):
+
+* Figure 1 — four instances: (a) and (b) are 4-intersection equivalent
+  but not H-equivalent (triple intersection nonempty vs. empty); (c) and
+  (d) likewise (A ∩ B connected vs. two components).
+* Figure 5 / Example 3.1 — the invariant of Fig. 1(c).
+* Figure 6 — two instances distinguished only by the exterior cell.
+* Figure 7(a) — nonconnected instances: graphs isomorphic, orientation
+  (chirality) differs between components.
+* Figure 7(b) — connected non-simple instances: four regions meeting at
+  a point with different cyclic orders (up to reflection).
+* Figure 14 — H-equivalent but not S-equivalent Rect* instances
+  (horizontal alignment is a symmetry invariant).
+"""
+
+from __future__ import annotations
+
+from ..geometry import Point
+from ..regions import Poly, Rect, RectUnion, SpatialInstance
+
+__all__ = [
+    "fig_1a",
+    "fig_1b",
+    "fig_1c",
+    "fig_1d",
+    "fig_6_courtyard",
+    "fig_7a",
+    "fig_7a_mirrored",
+    "fig_7b_adjacent",
+    "fig_7b_interleaved",
+    "fig_14_aligned",
+    "fig_14_diagonal",
+    "all_figures",
+]
+
+
+def fig_1a() -> SpatialInstance:
+    """Three regions with a common (triple) intersection."""
+    return SpatialInstance(
+        {
+            "A": Rect(0, 0, 4, 4),
+            "B": Rect(2, 0, 6, 4),
+            "C": Rect(1, 2, 5, 6),
+        }
+    )
+
+
+def fig_1b() -> SpatialInstance:
+    """Three regions pairwise overlapping with empty triple intersection.
+
+    4-intersection equivalent to :func:`fig_1a` (all three pairs
+    *overlap*) but not homeomorphic: the paper's Example 4.1 separates
+    them with ``exists r . r inside A and B and C``.
+
+    A and B overlap in a bottom strip; C is an arch overlapping A on the
+    left and B on the right while clearing the A-B strip.
+    """
+    arch = Poly(
+        (
+            Point(0, "3/2"),
+            Point(2, "3/2"),
+            Point(2, 3),
+            Point(5, 3),
+            Point(5, "3/2"),
+            Point(7, "3/2"),
+            Point(7, 5),
+            Point(0, 5),
+        )
+    )
+    return SpatialInstance(
+        {
+            "A": Rect(0, 0, 4, 2),
+            "B": Rect(3, 0, 7, 2),
+            "C": arch,
+        }
+    )
+
+
+def fig_1c() -> SpatialInstance:
+    """Two regions whose intersection is a single component (a lens).
+
+    This is the instance of Example 3.1 / Figure 5: its invariant has two
+    vertices, four edges, and four faces.
+    """
+    return SpatialInstance(
+        {"A": Rect(0, 0, 4, 4), "B": Rect(2, 2, 6, 6)}
+    )
+
+
+def fig_1d() -> SpatialInstance:
+    """Two regions whose intersection has two components.
+
+    4-intersection equivalent to :func:`fig_1c` (the pair *overlaps*) but
+    not homeomorphic: A ∩ B is disconnected.  A is a U shape, B a bar
+    across its two prongs.
+    """
+    u_shape = Poly(
+        (
+            Point(0, 0),
+            Point(6, 0),
+            Point(6, 4),
+            Point(4, 4),
+            Point(4, 2),
+            Point(2, 2),
+            Point(2, 4),
+            Point(0, 4),
+        )
+    )
+    return SpatialInstance(
+        {"A": u_shape, "B": Rect(1, 3, 5, 6)}
+    )
+
+
+def fig_6_courtyard() -> SpatialInstance:
+    """An instance with a *bounded* all-exterior face (a courtyard).
+
+    A is a C shape and B caps its opening, so the enclosed courtyard is
+    exterior to both regions yet bounded.  Swapping the exterior-face
+    designation of its invariant (Fig. 6 of the paper) yields a structure
+    that is *not* isomorphic to the original, which is what the tests
+    exercise.
+    """
+    c_shape = Poly(
+        (
+            Point(0, 0),
+            Point(6, 0),
+            Point(6, 1),
+            Point(1, 1),
+            Point(1, 5),
+            Point(6, 5),
+            Point(6, 6),
+            Point(0, 6),
+        )
+    )
+    return SpatialInstance(
+        {"A": c_shape, "B": Rect(4, 0, 7, 6)}
+    )
+
+
+# Narrow triangular petals with apex at a shared point, one per
+# quadrant: the petal in quadrant k spans the cone between directions
+# (3, 1)-ish and (1, 3)-ish rotated into that quadrant, so distinct
+# petals intersect only at the apex.
+_PETAL_CONES = {
+    1: (Point(3, 1), Point(1, 3)),
+    2: (Point(-1, 3), Point(-3, 1)),
+    3: (Point(-3, -1), Point(-1, -3)),
+    4: (Point(1, -3), Point(3, -1)),
+}
+
+
+def _petal(apex: Point, quadrant: int, mirrored: bool = False) -> Poly:
+    d1, d2 = _PETAL_CONES[quadrant]
+    if mirrored:
+        # Reflect across the horizontal axis through the apex.
+        d1, d2 = Point(d2.x, -d2.y), Point(d1.x, -d1.y)
+    return Poly((apex, apex + d1, apex + d2))
+
+
+def _petal_flower(
+    prefix: tuple[str, str, str], origin_x: int, mirrored: bool
+) -> dict[str, Poly]:
+    """Three triangular petals sharing a single apex point.
+
+    Petals sit in quadrants I, II, III (quadrant IV stays empty, making
+    the flower chiral); the mirrored version reflects across the
+    horizontal axis through the apex, reversing the cyclic order.
+    """
+    n1, n2, n3 = prefix
+    apex = Point(origin_x, 10)
+    return {
+        n1: _petal(apex, 1, mirrored),
+        n2: _petal(apex, 2, mirrored),
+        n3: _petal(apex, 3, mirrored),
+    }
+
+
+def fig_7a() -> SpatialInstance:
+    """Two three-petal flowers of the *same* chirality.
+
+    Nonconnected instance; compare with :func:`fig_7a_mirrored`: the two
+    have isomorphic graphs ``G_I`` but differ in the orientation relation
+    of one component, hence are not homeomorphic (no single global
+    orientation works).
+    """
+    inst = SpatialInstance()
+    for name, region in _petal_flower(("A", "B", "C"), 0, False).items():
+        inst.add(name, region)
+    for name, region in _petal_flower(("D", "E", "F"), 20, False).items():
+        inst.add(name, region)
+    return inst
+
+
+def fig_7a_mirrored() -> SpatialInstance:
+    """Same as :func:`fig_7a` but the D/E/F flower is reflected."""
+    inst = SpatialInstance()
+    for name, region in _petal_flower(("A", "B", "C"), 0, False).items():
+        inst.add(name, region)
+    for name, region in _petal_flower(("D", "E", "F"), 20, True).items():
+        inst.add(name, region)
+    return inst
+
+
+def _four_petals(order: dict[str, int]) -> SpatialInstance:
+    apex = Point(0, 0)
+    inst = SpatialInstance()
+    for name in sorted(order):
+        inst.add(name, _petal(apex, order[name]))
+    return inst
+
+
+def fig_7b_adjacent() -> SpatialInstance:
+    """Four petals at one point, cyclic order A, B, C, D.
+
+    A-B and C-D are rotationally adjacent pairs, so disjoint outside
+    connections A↔B and C↔D exist (the paper's separating query holds).
+    """
+    return _four_petals({"A": 1, "B": 2, "C": 3, "D": 4})
+
+
+def fig_7b_interleaved() -> SpatialInstance:
+    """Four petals at one point, cyclic order A, C, B, D.
+
+    A and B are separated by C and D around the touch point; no disjoint
+    outside connections A↔B and C↔D exist.  The graph ``G_I`` is
+    isomorphic to :func:`fig_7b_adjacent`'s, the full invariant is not
+    (the two cyclic orders differ even up to reflection).
+    """
+    return _four_petals({"A": 1, "C": 2, "B": 3, "D": 4})
+
+
+def fig_14_aligned() -> SpatialInstance:
+    """Two disjoint rectangles sharing a horizontal band (S-related)."""
+    return SpatialInstance(
+        {
+            "A": RectUnion([Rect(0, 0, 2, 2)]),
+            "B": RectUnion([Rect(4, 1, 6, 3)]),
+        }
+    )
+
+
+def fig_14_diagonal() -> SpatialInstance:
+    """Two disjoint rectangles with no horizontal or vertical overlap.
+
+    H-equivalent to :func:`fig_14_aligned` (two disjoint discs) but not
+    S-equivalent: symmetries preserve axis alignment, and the refined
+    invariant ``S_I`` separates the two (Fig. 14 of the paper).
+    """
+    return SpatialInstance(
+        {
+            "A": RectUnion([Rect(0, 0, 2, 2)]),
+            "B": RectUnion([Rect(4, 5, 6, 7)]),
+        }
+    )
+
+
+def all_figures() -> dict[str, SpatialInstance]:
+    """All figure instances keyed by their function name."""
+    factories = [
+        fig_1a,
+        fig_1b,
+        fig_1c,
+        fig_1d,
+        fig_6_courtyard,
+        fig_7a,
+        fig_7a_mirrored,
+        fig_7b_adjacent,
+        fig_7b_interleaved,
+        fig_14_aligned,
+        fig_14_diagonal,
+    ]
+    return {f.__name__: f() for f in factories}

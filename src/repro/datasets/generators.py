@@ -1,0 +1,112 @@
+"""Scalable workload generators for the benchmarks.
+
+Every generator is deterministic given its parameters (and seed, where
+applicable), so benchmark runs are reproducible.
+"""
+
+from __future__ import annotations
+
+import random
+from fractions import Fraction
+
+from ..geometry import Point
+from ..regions import AlgRegion, Poly, Rect, SpatialInstance
+
+__all__ = [
+    "overlap_chain",
+    "nested_rings",
+    "grid_of_squares",
+    "random_rectangles",
+    "petal_count_flower",
+    "circle_chain",
+]
+
+
+def overlap_chain(n: int, overlap: Fraction | int = 1) -> SpatialInstance:
+    """n squares in a row, each overlapping the next (a chain of lenses).
+
+    Consecutive squares are staggered vertically so their boundaries
+    cross properly (two crossing vertices per overlap); the invariant
+    grows linearly with n — the polynomial-scaling workload for
+    invariant computation.
+    """
+    inst = SpatialInstance()
+    side = 4
+    step = side - overlap
+    for i in range(n):
+        x = i * step
+        y = i % 2
+        inst.add(f"R{i:03d}", Rect(x, y, x + side, y + side))
+    return inst
+
+
+def nested_rings(depth: int) -> SpatialInstance:
+    """depth concentric squares (nesting tree of depth *depth*)."""
+    inst = SpatialInstance()
+    for i in range(depth):
+        pad = 2 * i
+        size = 4 * depth - 2 * pad
+        inst.add(f"N{i:03d}", Rect(pad, pad, pad + size, pad + size))
+    return inst
+
+
+def grid_of_squares(rows: int, cols: int, gap: int = 2) -> SpatialInstance:
+    """rows x cols disjoint squares (many skeleton components)."""
+    inst = SpatialInstance()
+    for r in range(rows):
+        for c in range(cols):
+            x = c * (4 + gap)
+            y = r * (4 + gap)
+            inst.add(f"G{r:02d}_{c:02d}", Rect(x, y, x + 4, y + 4))
+    return inst
+
+
+def random_rectangles(
+    n: int, seed: int = 0, span: int = 60
+) -> SpatialInstance:
+    """n random rectangles with integer corners (arbitrary overlaps)."""
+    rng = random.Random(seed)
+    inst = SpatialInstance()
+    for i in range(n):
+        x1 = rng.randrange(0, span)
+        y1 = rng.randrange(0, span)
+        w = rng.randrange(3, 14)
+        h = rng.randrange(3, 14)
+        inst.add(f"X{i:03d}", Rect(x1, y1, x1 + w, y1 + h))
+    return inst
+
+
+def petal_count_flower(petals: int) -> SpatialInstance:
+    """*petals* triangles sharing one apex — vertex degree scales with
+    the count (stress for the orientation machinery)."""
+    from ..geometry import ccw_sorted
+    import math
+
+    inst = SpatialInstance()
+    apex = Point(0, 0)
+    for k in range(petals):
+        theta = 2 * math.pi * k / petals
+        span = math.pi / (2 * petals)
+        d1 = Point(
+            Fraction(round(math.cos(theta - span) * 64), 8),
+            Fraction(round(math.sin(theta - span) * 64), 8),
+        )
+        d2 = Point(
+            Fraction(round(math.cos(theta + span) * 64), 8),
+            Fraction(round(math.sin(theta + span) * 64), 8),
+        )
+        if d1.cross(d2) <= 0:
+            continue
+        inst.add(f"P{k:02d}", Poly((apex, apex + d1, apex + d2)))
+    return inst
+
+
+def circle_chain(n: int, vertices: int = 12) -> SpatialInstance:
+    """n overlapping circles (semi-algebraic inputs at scale)."""
+    inst = SpatialInstance()
+    for i in range(n):
+        inst.add(
+            f"C{i:03d}",
+            AlgRegion.circle(3 * i, 0, 2, n=vertices),
+        )
+    return inst

@@ -1,0 +1,19 @@
+"""Arithmetic encodings of Theorem 6.1: numbers as component counts."""
+
+from .arithmetic import (
+    component_order_along_bar,
+    decode_number,
+    encode_number,
+    intersection_components,
+    number_instance,
+    product_grid_components,
+)
+
+__all__ = [
+    "component_order_along_bar",
+    "decode_number",
+    "encode_number",
+    "intersection_components",
+    "number_instance",
+    "product_grid_components",
+]

@@ -1,0 +1,177 @@
+"""Arithmetic encodings of Theorem 6.1.
+
+The undecidability proof of the paper encodes natural numbers inside
+spatial instances: ``x`` is represented by two regions r, q such that
+``r ∩ q`` has exactly x connected components; equality, addition and
+multiplication then become definable in FO(Alg, Alg) by matching
+components.  This module builds those encodings concretely:
+
+* :func:`encode_number` — a bar region r and a comb region q whose
+  intersection has exactly n components (teeth dipping into the bar);
+* :func:`intersection_components` — counts the components of ``a ∩ b``
+  from the labeled cell complex (the quantity the logic talks about);
+* :func:`component_order_along_bar` — the circular order of the
+  components along the bar's boundary (the Fig. 15 order machinery used
+  to encode *functions*: we exercise its finite core, the genuinely
+  infinite encodings of the AnH result being out of reach of any finite
+  data structure — see DESIGN.md).
+
+The constructions let the benchmarks verify the encoding behaves
+arithmetically: components(m) + components(n) = components(m + n), and
+multiplication via the product construction.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+from ..arrangement import build_complex
+from ..errors import EncodingError
+from ..regions import Rect, RectUnion, Region, SpatialInstance
+
+__all__ = [
+    "encode_number",
+    "number_instance",
+    "intersection_components",
+    "decode_number",
+    "component_order_along_bar",
+    "product_grid_components",
+]
+
+
+def encode_number(n: int) -> tuple[Region, Region]:
+    """Regions (r, q) with ``r ∩ q`` having exactly *n* components.
+
+    r is a horizontal bar; q is a comb whose *n* teeth dip into the bar.
+    For n = 0 the comb is just its spine, above the bar.
+    """
+    if n < 0:
+        raise EncodingError("can only encode natural numbers")
+    width = max(4 * n + 2, 6)
+    bar = Rect(0, 0, width, 2)
+    spine = Rect(-1, 3, width + 1, 5)
+    teeth = [Rect(4 * i + 1, 1, 4 * i + 3, 4) for i in range(n)]
+    comb = RectUnion([spine, *teeth])
+    return bar, comb
+
+
+def number_instance(n: int, r_name: str = "R", q_name: str = "Q") -> SpatialInstance:
+    """The two-region instance encoding *n*."""
+    bar, comb = encode_number(n)
+    return SpatialInstance({r_name: bar, q_name: comb})
+
+
+def intersection_components(a: Region, b: Region) -> int:
+    """The number of connected components of ``a ∩ b``.
+
+    Computed on the labeled cell complex: cells interior to both regions,
+    connected through shared interior cells.
+    """
+    inst = SpatialInstance({"q1_first": a, "q2_second": b})
+    cx = build_complex(inst)
+    inside = {
+        cid
+        for cid, cell in cx.cells.items()
+        if cell.label == ("o", "o")
+    }
+    if not inside:
+        return 0
+    adj: dict[str, set[str]] = {c: set() for c in inside}
+    for (x, y) in cx.incidences:
+        if x in inside and y in inside:
+            adj[x].add(y)
+            adj[y].add(x)
+    components = 0
+    seen: set[str] = set()
+    for start in sorted(inside):
+        if start in seen:
+            continue
+        components += 1
+        stack = [start]
+        seen.add(start)
+        while stack:
+            c = stack.pop()
+            for d in adj[c]:
+                if d not in seen:
+                    seen.add(d)
+                    stack.append(d)
+    return components
+
+
+def decode_number(instance: SpatialInstance, r_name: str = "R", q_name: str = "Q") -> int:
+    """Read the encoded number back from an instance."""
+    return intersection_components(
+        instance.ext(r_name), instance.ext(q_name)
+    )
+
+
+def component_order_along_bar(a: Region, b: Region) -> list[Fraction]:
+    """The positions (leftmost x) of the components of ``a ∩ b`` in the
+    order they occur along the bar — the finite core of the Fig. 15
+    circular-order machinery."""
+    inst = SpatialInstance({"q1_first": a, "q2_second": b})
+    cx = build_complex(inst)
+    inside_faces = [
+        c for c in cx.faces if c.label == ("o", "o")
+    ]
+    inside = {
+        cid
+        for cid, cell in cx.cells.items()
+        if cell.label == ("o", "o")
+    }
+    adj: dict[str, set[str]] = {c: set() for c in inside}
+    for (x, y) in cx.incidences:
+        if x in inside and y in inside:
+            adj[x].add(y)
+            adj[y].add(x)
+    seen: set[str] = set()
+    positions: list[Fraction] = []
+    for face in sorted(inside_faces, key=lambda c: c.id):
+        if face.id in seen:
+            continue
+        stack = [face.id]
+        comp: set[str] = {face.id}
+        while stack:
+            c = stack.pop()
+            for d in adj[c]:
+                if d not in comp:
+                    comp.add(d)
+                    stack.append(d)
+        seen |= comp
+        xs = [
+            cx.face_samples[c].x
+            for c in comp
+            if c in cx.face_samples
+        ]
+        positions.append(min(xs))
+    return sorted(positions)
+
+
+def product_grid_components(m: int, n: int) -> int:
+    """The multiplication gadget: m vertical bands crossing n horizontal
+    bands produce exactly m * n intersection components.
+
+    This is the geometric heart of the paper's definable multiplication:
+    the many-to-one correspondences of the proof pair each (i, j) band
+    crossing with one component.
+    """
+    if m < 0 or n < 0:
+        raise EncodingError("can only multiply natural numbers")
+    if m == 0 or n == 0:
+        # Degenerate: build disjoint regions.
+        a = Rect(0, 0, 1, 1)
+        b = Rect(5, 5, 6, 6)
+        return intersection_components(a, b)
+    width = 4 * m + 1
+    height = 4 * n + 1
+    spine_v = Rect(0, -2, width, -1)
+    verticals = [
+        Rect(4 * i + 1, -2, 4 * i + 3, height) for i in range(m)
+    ]
+    a = RectUnion([spine_v, *verticals])
+    spine_h = Rect(-2, 0, -1, height)
+    horizontals = [
+        Rect(-2, 4 * j + 1, width, 4 * j + 3) for j in range(n)
+    ]
+    b = RectUnion([spine_h, *horizontals])
+    return intersection_components(a, b)

@@ -1,0 +1,77 @@
+"""Exception hierarchy for the ``repro`` library.
+
+Every error raised by the library derives from :class:`ReproError`, so
+callers can catch library failures with a single ``except`` clause while
+still distinguishing geometric, model, and query-language failures.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` library."""
+
+
+class GeometryError(ReproError):
+    """A geometric precondition was violated (degenerate input, etc.)."""
+
+
+class RegionError(ReproError):
+    """A region constructor received data that does not describe a valid
+    region of its class (e.g. a self-intersecting polygon for ``Poly``)."""
+
+
+class InstanceError(ReproError):
+    """A spatial database instance is malformed (duplicate names, etc.)."""
+
+
+class ArrangementError(ReproError):
+    """The arrangement engine reached an inconsistent state."""
+
+
+class InvariantError(ReproError):
+    """A structure claimed to be a topological invariant is not one, or an
+    invariant operation received incompatible arguments."""
+
+
+class ValidationError(InvariantError):
+    """An instance over the thematic schema failed one of the labeled
+    planar graph conditions (1)-(7) of Section 3 of the paper.
+
+    Attributes
+    ----------
+    condition:
+        The number (1-7) of the first condition that failed, when known.
+    """
+
+    def __init__(self, message: str, condition: int | None = None):
+        super().__init__(message)
+        self.condition = condition
+
+
+class SchemaError(ReproError):
+    """A relational operation was applied to relations with incompatible
+    schemas."""
+
+
+class QueryError(ReproError):
+    """A query-language expression is ill-formed or cannot be evaluated
+    under the chosen semantics."""
+
+
+class ParseError(QueryError):
+    """The query parser rejected its input.
+
+    Attributes
+    ----------
+    position:
+        Character offset of the error in the source text, when known.
+    """
+
+    def __init__(self, message: str, position: int | None = None):
+        super().__init__(message)
+        self.position = position
+
+
+class EncodingError(ReproError):
+    """An arithmetic-encoding construction received invalid parameters."""

@@ -1,0 +1,19 @@
+"""The 4-intersection model of Egenhofer (Fig. 2 of the paper): matrices,
+the eight named relations, geometric classification, and instance
+equivalence."""
+
+from .classify import classify, four_intersection, relation_table
+from .equivalence import four_intersection_equivalent
+from .matrix import FourIntersectionMatrix
+from .relations import REALIZABLE_MATRICES, Egenhofer, relation_of_matrix
+
+__all__ = [
+    "Egenhofer",
+    "FourIntersectionMatrix",
+    "REALIZABLE_MATRICES",
+    "classify",
+    "four_intersection",
+    "four_intersection_equivalent",
+    "relation_of_matrix",
+    "relation_table",
+]

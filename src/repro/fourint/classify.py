@@ -1,0 +1,50 @@
+"""Computing 4-intersection matrices and relations from geometry.
+
+The matrix of a pair of regions is read off the labeled cell complex of
+the two-region instance: a cell labeled ``(o, o)`` witnesses an
+interior-interior intersection, ``(o, b)`` an interior-boundary one, and
+so on.  This reuses the arrangement engine, so it is exact and works for
+every region class (curved regions through their polygonalization).
+"""
+
+from __future__ import annotations
+
+from ..arrangement import build_complex
+from ..regions import Region, SpatialInstance
+from .matrix import FourIntersectionMatrix
+from .relations import Egenhofer, relation_of_matrix
+
+__all__ = ["four_intersection", "classify", "relation_table"]
+
+
+def four_intersection(a: Region, b: Region) -> FourIntersectionMatrix:
+    """The 4-intersection matrix of regions *a* and *b* (in that order)."""
+    # Fixed names chosen so that sorted order is (first, second).
+    inst = SpatialInstance({"q1_first": a, "q2_second": b})
+    cx = build_complex(inst)
+    seen = {cell.label for cell in cx.cells.values()}
+    return FourIntersectionMatrix(
+        interior_interior=("o", "o") in seen,
+        interior_boundary=("o", "b") in seen,
+        boundary_interior=("b", "o") in seen,
+        boundary_boundary=("b", "b") in seen,
+    )
+
+
+def classify(a: Region, b: Region) -> Egenhofer:
+    """The Egenhofer relation between regions *a* and *b*."""
+    return relation_of_matrix(four_intersection(a, b))
+
+
+def relation_table(
+    instance: SpatialInstance,
+) -> dict[tuple[str, str], Egenhofer]:
+    """All pairwise relations of an instance (ordered name pairs)."""
+    names = instance.names()
+    table: dict[tuple[str, str], Egenhofer] = {}
+    for i, n1 in enumerate(names):
+        for n2 in names[i + 1:]:
+            rel = classify(instance.ext(n1), instance.ext(n2))
+            table[(n1, n2)] = rel
+            table[(n2, n1)] = rel.inverse
+    return table

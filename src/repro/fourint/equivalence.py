@@ -1,0 +1,24 @@
+"""4-intersection equivalence of instances (Section 2 of the paper).
+
+Two instances are 4-intersection equivalent when they have the same
+names and every pair of regions stands in the same Egenhofer relation in
+both.  The paper's Fig. 1 shows this equivalence is strictly coarser
+than homeomorphism: (1a, 1b) and (1c, 1d) are 4-intersection equivalent
+but not H-equivalent — which is what motivates the invariant.
+"""
+
+from __future__ import annotations
+
+from ..regions import SpatialInstance
+from .classify import relation_table
+
+__all__ = ["four_intersection_equivalent"]
+
+
+def four_intersection_equivalent(
+    a: SpatialInstance, b: SpatialInstance
+) -> bool:
+    """Decide 4-intersection equivalence (names must coincide)."""
+    if not a.same_names(b):
+        return False
+    return relation_table(a) == relation_table(b)

@@ -1,0 +1,48 @@
+"""The 4-intersection matrix of a pair of regions (Egenhofer, Fig. 2).
+
+For regions A and B the matrix records the emptiness of the four set
+intersections of their topological interiors and boundaries::
+
+    ( A° ∩ B° ,  A° ∩ ∂B )
+    ( ∂A ∩ B° ,  ∂A ∩ ∂B )
+
+Only 8 of the 16 bit patterns are realizable by disc regions; those are
+the named Egenhofer relations of :mod:`repro.fourint.relations`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["FourIntersectionMatrix"]
+
+
+@dataclass(frozen=True, slots=True)
+class FourIntersectionMatrix:
+    """Emptiness pattern of the four interior/boundary intersections."""
+
+    interior_interior: bool
+    interior_boundary: bool
+    boundary_interior: bool
+    boundary_boundary: bool
+
+    def bits(self) -> tuple[bool, bool, bool, bool]:
+        return (
+            self.interior_interior,
+            self.interior_boundary,
+            self.boundary_interior,
+            self.boundary_boundary,
+        )
+
+    def transpose(self) -> "FourIntersectionMatrix":
+        """The matrix of the pair in the opposite order (B, A)."""
+        return FourIntersectionMatrix(
+            self.interior_interior,
+            self.boundary_interior,
+            self.interior_boundary,
+            self.boundary_boundary,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        code = "".join("T" if b else "F" for b in self.bits())
+        return f"FourIntersectionMatrix({code})"

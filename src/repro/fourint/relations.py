@@ -1,0 +1,76 @@
+"""The eight Egenhofer 4-intersection relations (Fig. 2 of the paper).
+
+The 16 emptiness patterns of the 4-intersection matrix collapse to 8
+realizable, mutually exclusive, jointly exhaustive relations between
+disc regions: *disjoint*, *meet*, *overlap*, *equal*, *inside*,
+*contains*, *coveredBy*, *covers*.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+
+from ..errors import RegionError
+from .matrix import FourIntersectionMatrix
+
+__all__ = ["Egenhofer", "relation_of_matrix", "REALIZABLE_MATRICES"]
+
+
+class Egenhofer(Enum):
+    """The eight named binary topological relationships."""
+
+    DISJOINT = "disjoint"
+    MEET = "meet"
+    OVERLAP = "overlap"
+    EQUAL = "equal"
+    INSIDE = "inside"
+    CONTAINS = "contains"
+    COVERED_BY = "coveredBy"
+    COVERS = "covers"
+
+    @property
+    def inverse(self) -> "Egenhofer":
+        """The relation of the pair taken in the opposite order."""
+        return _INVERSE[self]
+
+    @property
+    def symmetric(self) -> bool:
+        return self.inverse is self
+
+
+_INVERSE = {
+    Egenhofer.DISJOINT: Egenhofer.DISJOINT,
+    Egenhofer.MEET: Egenhofer.MEET,
+    Egenhofer.OVERLAP: Egenhofer.OVERLAP,
+    Egenhofer.EQUAL: Egenhofer.EQUAL,
+    Egenhofer.INSIDE: Egenhofer.CONTAINS,
+    Egenhofer.CONTAINS: Egenhofer.INSIDE,
+    Egenhofer.COVERED_BY: Egenhofer.COVERS,
+    Egenhofer.COVERS: Egenhofer.COVERED_BY,
+}
+
+#: matrix bits (A°∩B°, A°∩∂B, ∂A∩B°, ∂A∩∂B) -> relation.
+REALIZABLE_MATRICES: dict[tuple[bool, bool, bool, bool], Egenhofer] = {
+    (False, False, False, False): Egenhofer.DISJOINT,
+    (False, False, False, True): Egenhofer.MEET,
+    (True, True, True, True): Egenhofer.OVERLAP,
+    (True, False, False, True): Egenhofer.EQUAL,
+    (True, False, True, False): Egenhofer.INSIDE,
+    (True, True, False, False): Egenhofer.CONTAINS,
+    (True, False, True, True): Egenhofer.COVERED_BY,
+    (True, True, False, True): Egenhofer.COVERS,
+}
+
+
+def relation_of_matrix(matrix: FourIntersectionMatrix) -> Egenhofer:
+    """The Egenhofer relation named by a 4-intersection matrix.
+
+    Raises :class:`~repro.errors.RegionError` for the 8 patterns that no
+    pair of disc regions realizes.
+    """
+    try:
+        return REALIZABLE_MATRICES[matrix.bits()]
+    except KeyError:
+        raise RegionError(
+            f"4-intersection pattern {matrix!r} is not realizable by discs"
+        ) from None

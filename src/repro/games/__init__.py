@@ -1,0 +1,5 @@
+"""Ehrenfeucht–Fraïssé games (the tool behind Proposition 4.3)."""
+
+from .ef import distinguishing_rank, duplicator_wins
+
+__all__ = ["distinguishing_rank", "duplicator_wins"]

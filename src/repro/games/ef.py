@@ -1,0 +1,92 @@
+"""Ehrenfeucht–Fraïssé games on finite relational structures.
+
+Proposition 4.3 of the paper proves H-genericity of FO(Alg, Alg) with an
+EF game in which Spoiler adds regions and Duplicator answers preserving
+the topological invariant.  This module provides the classical finite
+version used by the expressiveness experiments:
+
+* :func:`duplicator_wins` — decide the r-round game between two finite
+  structures by the standard back-and-forth recursion;
+* :func:`distinguishing_rank` — the least number of rounds Spoiler needs
+  (None if the structures are r-equivalent for every tested r).
+
+A *structure* here is a :class:`~repro.relational.database.Database`;
+plays pick elements of the active domains.
+"""
+
+from __future__ import annotations
+
+from ..relational import Database
+
+__all__ = ["duplicator_wins", "distinguishing_rank"]
+
+
+def _partial_isomorphism(
+    a: Database, b: Database, pairs: list[tuple[object, object]]
+) -> bool:
+    """Do the picked pairs define a partial isomorphism?
+
+    Checks injectivity/functionality and the agreement of every relation
+    on all tuples over the picked elements.
+    """
+    left = [x for x, _y in pairs]
+    right = [y for _x, y in pairs]
+    for i in range(len(pairs)):
+        for j in range(len(pairs)):
+            if (left[i] == left[j]) != (right[i] == right[j]):
+                return False
+    import itertools
+
+    for name in a.relation_names():
+        arity = a.schema[name].arity
+        for combo in itertools.product(range(len(pairs)), repeat=arity):
+            ta = tuple(left[k] for k in combo)
+            tb = tuple(right[k] for k in combo)
+            if (ta in a[name]) != (tb in b[name]):
+                return False
+    return True
+
+
+def duplicator_wins(
+    a: Database,
+    b: Database,
+    rounds: int,
+    _pairs: list[tuple[object, object]] | None = None,
+) -> bool:
+    """Does Duplicator win the *rounds*-round EF game on (a, b)?
+
+    By the EF theorem this holds iff a and b agree on all first-order
+    sentences of quantifier rank <= rounds.
+    """
+    pairs = _pairs or []
+    if not _partial_isomorphism(a, b, pairs):
+        return False
+    if rounds == 0:
+        return True
+    dom_a = sorted(a.active_domain(), key=repr)
+    dom_b = sorted(b.active_domain(), key=repr)
+    # Spoiler picks in a: Duplicator must answer in b; and symmetrically.
+    for x in dom_a:
+        if not any(
+            duplicator_wins(a, b, rounds - 1, pairs + [(x, y)])
+            for y in dom_b
+        ):
+            return False
+    for y in dom_b:
+        if not any(
+            duplicator_wins(a, b, rounds - 1, pairs + [(x, y)])
+            for x in dom_a
+        ):
+            return False
+    return True
+
+
+def distinguishing_rank(
+    a: Database, b: Database, max_rounds: int = 4
+) -> int | None:
+    """The least r <= max_rounds with Spoiler winning the r-round game,
+    or None when Duplicator survives all tested round counts."""
+    for r in range(max_rounds + 1):
+        if not duplicator_wins(a, b, r):
+            return r
+    return None

@@ -1,0 +1,43 @@
+"""Exact rational 2-D geometric kernel.
+
+Everything downstream of this package — regions, arrangements, invariants —
+computes over :class:`fractions.Fraction` coordinates, so all predicates
+are exact.  See :mod:`repro.geometry.point` for the coercion rules.
+"""
+
+from .angle import ccw_sorted, direction_compare, pseudo_angle_class
+from .bbox import BBox
+from .point import Point, Q, centroid, interpolate, midpoint
+from .polygon import Location, SimplePolygon, is_simple_chain, signed_area2
+from .predicates import (
+    collinear,
+    on_segment,
+    orientation,
+    segment_intersection,
+    segments_properly_intersect,
+    strictly_between,
+)
+from .segment import Segment
+
+__all__ = [
+    "BBox",
+    "Location",
+    "Point",
+    "Q",
+    "Segment",
+    "SimplePolygon",
+    "ccw_sorted",
+    "centroid",
+    "collinear",
+    "direction_compare",
+    "interpolate",
+    "is_simple_chain",
+    "midpoint",
+    "on_segment",
+    "orientation",
+    "pseudo_angle_class",
+    "segment_intersection",
+    "segments_properly_intersect",
+    "signed_area2",
+    "strictly_between",
+]

@@ -1,0 +1,74 @@
+"""Exact rotational ordering of direction vectors.
+
+The arrangement engine needs to sort the edges leaving a vertex by angle
+(the *rotation system* of the embedded graph) without ever computing an
+actual angle, which would be irrational.  :func:`pseudo_angle_key` returns
+a key that sorts directions counterclockwise starting from the positive
+x-axis, using only exact rational comparisons.
+
+The key is ``(halfplane, slope_proxy)`` where *halfplane* splits directions
+into upper (including +x axis) and lower (including -x axis) halves, and
+within a half-plane directions are ordered by the exact comparison
+``d1 x d2 > 0`` (cross product), which is a total order there.  To make
+that usable as a sort key we use the tangent-like ratio with careful
+handling of the vertical direction.
+"""
+
+from __future__ import annotations
+
+import functools
+from fractions import Fraction
+
+from .point import Point
+
+__all__ = ["direction_compare", "ccw_sorted", "pseudo_angle_class"]
+
+
+def pseudo_angle_class(d: Point) -> int:
+    """Index of the half-open "octant-free" angular class of direction *d*.
+
+    Classes, counterclockwise: 0 = positive x-axis, 1 = open upper
+    half-plane, 2 = negative x-axis, 3 = open lower half-plane.
+    """
+    if d.x == 0 and d.y == 0:
+        raise ValueError("zero direction vector has no angle")
+    if d.y == 0:
+        return 0 if d.x > 0 else 2
+    return 1 if d.y > 0 else 3
+
+
+def direction_compare(d1: Point, d2: Point) -> int:
+    """Exact three-way comparison of directions by CCW angle from +x axis.
+
+    Returns -1, 0, or +1.  Two directions compare equal iff they are
+    positive multiples of each other.
+    """
+    c1, c2 = pseudo_angle_class(d1), pseudo_angle_class(d2)
+    if c1 != c2:
+        return -1 if c1 < c2 else 1
+    cross = d1.cross(d2)
+    if cross > 0:
+        return -1
+    if cross < 0:
+        return 1
+    return 0
+
+
+def ccw_sorted(directions: list[Point]) -> list[Point]:
+    """Sort direction vectors counterclockwise from the positive x-axis."""
+    return sorted(directions, key=functools.cmp_to_key(direction_compare))
+
+
+def angle_sort_key(d: Point) -> tuple[int, Fraction]:
+    """A plain sort key equivalent to :func:`direction_compare`.
+
+    Within the upper half-plane directions are ordered by decreasing
+    ``x/y`` (cotangent decreases as angle grows from 0 to pi); within the
+    lower half-plane likewise.  The axis classes carry a constant second
+    component.
+    """
+    cls = pseudo_angle_class(d)
+    if cls in (0, 2):
+        return (cls, Fraction(0))
+    # For cls 1 (y > 0) and cls 3 (y < 0): angle grows as x/y decreases.
+    return (cls, -Fraction(d.x, 1) / Fraction(d.y, 1))

@@ -1,0 +1,84 @@
+"""Axis-aligned bounding boxes over rational coordinates."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Iterable
+
+from ..errors import GeometryError
+from .point import Point
+
+__all__ = ["BBox"]
+
+
+@dataclass(frozen=True, slots=True)
+class BBox:
+    """A closed axis-aligned box ``[xmin, xmax] x [ymin, ymax]``."""
+
+    xmin: Fraction
+    ymin: Fraction
+    xmax: Fraction
+    ymax: Fraction
+
+    def __post_init__(self):
+        if self.xmin > self.xmax or self.ymin > self.ymax:
+            raise GeometryError(f"empty bounding box {self!r}")
+
+    @staticmethod
+    def of_points(points: Iterable[Point]) -> "BBox":
+        pts = list(points)
+        if not pts:
+            raise GeometryError("bounding box of an empty point set")
+        return BBox(
+            min(p.x for p in pts),
+            min(p.y for p in pts),
+            max(p.x for p in pts),
+            max(p.y for p in pts),
+        )
+
+    def contains(self, p: Point) -> bool:
+        return self.xmin <= p.x <= self.xmax and self.ymin <= p.y <= self.ymax
+
+    def intersects(self, other: "BBox") -> bool:
+        return not (
+            self.xmax < other.xmin
+            or other.xmax < self.xmin
+            or self.ymax < other.ymin
+            or other.ymax < self.ymin
+        )
+
+    def union(self, other: "BBox") -> "BBox":
+        return BBox(
+            min(self.xmin, other.xmin),
+            min(self.ymin, other.ymin),
+            max(self.xmax, other.xmax),
+            max(self.ymax, other.ymax),
+        )
+
+    def expanded(self, margin) -> "BBox":
+        from .point import Q
+
+        m = Q(margin)
+        return BBox(self.xmin - m, self.ymin - m, self.xmax + m, self.ymax + m)
+
+    @property
+    def width(self) -> Fraction:
+        return self.xmax - self.xmin
+
+    @property
+    def height(self) -> Fraction:
+        return self.ymax - self.ymin
+
+    def center(self) -> Point:
+        half = Fraction(1, 2)
+        return Point((self.xmin + self.xmax) * half, (self.ymin + self.ymax) * half)
+
+    def corners(self) -> tuple[Point, Point, Point, Point]:
+        """Corners in counterclockwise order starting at (xmin, ymin)."""
+        return (
+            Point(self.xmin, self.ymin),
+            Point(self.xmax, self.ymin),
+            Point(self.xmax, self.ymax),
+            Point(self.xmin, self.ymax),
+        )

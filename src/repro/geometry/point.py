@@ -1,0 +1,124 @@
+"""Exact rational points and vectors in the plane.
+
+All geometry in this library is carried out over the rationals using
+:class:`fractions.Fraction`, so every predicate downstream (orientation,
+intersection, point location) is decided exactly.  The :func:`Q` helper
+coerces ints, floats, strings and Fractions to ``Fraction``; floats are
+converted via ``Fraction(str(value))`` so that ``Q(0.1)`` means 1/10 rather
+than the binary-float neighbour of 1/10.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Union
+
+Rational = Union[int, float, str, Fraction]
+
+
+def Q(value: Rational) -> Fraction:
+    """Coerce *value* to an exact :class:`~fractions.Fraction`.
+
+    Floats are interpreted via their decimal representation (``str``),
+    which matches user intent for literals like ``0.25``.
+    """
+    if isinstance(value, Fraction):
+        return value
+    if isinstance(value, int):
+        return Fraction(value)
+    if isinstance(value, float):
+        return Fraction(str(value))
+    if isinstance(value, str):
+        return Fraction(value)
+    raise TypeError(f"cannot interpret {value!r} as a rational number")
+
+
+@dataclass(frozen=True, slots=True)
+class Point:
+    """A point of the rational plane Q^2.
+
+    Points are immutable and hashable, so they can serve as dictionary
+    keys inside the arrangement engine (vertices are deduplicated by
+    exact coordinate equality).
+    """
+
+    x: Fraction
+    y: Fraction
+
+    def __init__(self, x: Rational, y: Rational):
+        object.__setattr__(self, "x", Q(x))
+        object.__setattr__(self, "y", Q(y))
+
+    # -- vector arithmetic -------------------------------------------------
+
+    def __add__(self, other: "Point") -> "Point":
+        return Point(self.x + other.x, self.y + other.y)
+
+    def __sub__(self, other: "Point") -> "Point":
+        return Point(self.x - other.x, self.y - other.y)
+
+    def __mul__(self, scalar: Rational) -> "Point":
+        s = Q(scalar)
+        return Point(self.x * s, self.y * s)
+
+    __rmul__ = __mul__
+
+    def __neg__(self) -> "Point":
+        return Point(-self.x, -self.y)
+
+    # -- products ----------------------------------------------------------
+
+    def cross(self, other: "Point") -> Fraction:
+        """2-D cross product ``self.x * other.y - self.y * other.x``."""
+        return self.x * other.y - self.y * other.x
+
+    def dot(self, other: "Point") -> Fraction:
+        return self.x * other.x + self.y * other.y
+
+    def norm2(self) -> Fraction:
+        """Squared Euclidean norm (exact; the norm itself may be irrational)."""
+        return self.x * self.x + self.y * self.y
+
+    # -- ordering ----------------------------------------------------------
+
+    def lex_key(self) -> tuple[Fraction, Fraction]:
+        """Lexicographic (x, y) sort key."""
+        return (self.x, self.y)
+
+    def __lt__(self, other: "Point") -> bool:
+        return self.lex_key() < other.lex_key()
+
+    def __le__(self, other: "Point") -> bool:
+        return self.lex_key() <= other.lex_key()
+
+    # -- misc ----------------------------------------------------------------
+
+    def as_float(self) -> tuple[float, float]:
+        """Approximate float coordinates (for plotting / numeric output)."""
+        return (float(self.x), float(self.y))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Point({self.x}, {self.y})"
+
+
+def midpoint(a: Point, b: Point) -> Point:
+    """The exact midpoint of segment *ab*."""
+    half = Fraction(1, 2)
+    return Point((a.x + b.x) * half, (a.y + b.y) * half)
+
+
+def interpolate(a: Point, b: Point, t: Rational) -> Point:
+    """The point ``a + t*(b-a)`` for rational parameter *t*."""
+    tq = Q(t)
+    return Point(a.x + (b.x - a.x) * tq, a.y + (b.y - a.y) * tq)
+
+
+def centroid(points: list[Point]) -> Point:
+    """Arithmetic mean of a nonempty list of points."""
+    if not points:
+        raise ValueError("centroid of an empty point list")
+    n = Fraction(len(points))
+    sx = sum((p.x for p in points), Fraction(0))
+    sy = sum((p.y for p in points), Fraction(0))
+    return Point(sx / n, sy / n)

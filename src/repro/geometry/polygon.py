@@ -1,0 +1,250 @@
+"""Simple polygons over the rational plane.
+
+A :class:`SimplePolygon` is the closed polygonal chain through a cyclic
+list of vertices, with exact point location (interior / boundary /
+exterior), signed area, orientation normalization, and an exact interior
+sample point — everything the region model and the arrangement labeler
+need.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from fractions import Fraction
+from typing import Iterable, Sequence
+
+from ..errors import GeometryError
+from .point import Point, midpoint
+from .predicates import (
+    collinear,
+    on_segment,
+    orientation,
+    segments_properly_intersect,
+    strictly_between,
+)
+from .segment import Segment
+
+__all__ = ["Location", "SimplePolygon", "signed_area2", "is_simple_chain"]
+
+
+class Location(Enum):
+    """Result of locating a point relative to a region or polygon."""
+
+    INTERIOR = "interior"
+    BOUNDARY = "boundary"
+    EXTERIOR = "exterior"
+
+
+def signed_area2(vertices: Sequence[Point]) -> Fraction:
+    """Twice the signed area of the polygon through *vertices*.
+
+    Positive for counterclockwise orientation.
+    """
+    total = Fraction(0)
+    n = len(vertices)
+    for i in range(n):
+        a, b = vertices[i], vertices[(i + 1) % n]
+        total += a.cross(b)
+    return total
+
+
+def is_simple_chain(vertices: Sequence[Point]) -> bool:
+    """True iff the closed chain through *vertices* is a simple polygon.
+
+    Checks: at least 3 vertices, no repeated vertices, no zero-length or
+    collinear-degenerate edges touching, and no two edges intersecting
+    except consecutive edges at their shared endpoint.
+    """
+    n = len(vertices)
+    if n < 3:
+        return False
+    if len(set(vertices)) != n:
+        return False
+    edges = [(vertices[i], vertices[(i + 1) % n]) for i in range(n)]
+    for i in range(n):
+        a, b = edges[i]
+        if a == b:
+            return False
+        for j in range(i + 1, n):
+            c, d = edges[j]
+            adjacent = j == i + 1 or (i == 0 and j == n - 1)
+            if adjacent:
+                # Consecutive edges share exactly one endpoint; they must
+                # not otherwise overlap (no collinear back-tracking).
+                shared = b if b in (c, d) else a
+                other1 = a if shared == b else b
+                other2 = d if shared == c else c
+                if collinear(other1, shared, other2) and (
+                    on_segment(other1, shared, other2)
+                    or on_segment(other2, shared, other1)
+                ):
+                    return False
+                continue
+            if segments_properly_intersect(a, b, c, d):
+                return False
+            # Any touching between non-adjacent edges breaks simplicity.
+            if (
+                on_segment(c, a, b)
+                or on_segment(d, a, b)
+                or on_segment(a, c, d)
+                or on_segment(b, c, d)
+            ):
+                return False
+    return True
+
+
+@dataclass(frozen=True)
+class SimplePolygon:
+    """A simple polygon given by its cyclic vertex list.
+
+    The constructor validates simplicity (override with
+    ``validate=False`` when the caller has already checked) and
+    normalizes orientation to counterclockwise.
+    """
+
+    vertices: tuple[Point, ...]
+    _validated: bool = field(default=True, repr=False, compare=False)
+
+    def __init__(self, vertices: Iterable[Point], validate: bool = True):
+        verts = tuple(vertices)
+        if validate and not is_simple_chain(verts):
+            raise GeometryError(
+                f"vertex chain of length {len(verts)} is not a simple polygon"
+            )
+        if signed_area2(verts) < 0:
+            verts = tuple(reversed(verts))
+        object.__setattr__(self, "vertices", verts)
+        object.__setattr__(self, "_validated", validate)
+
+    # -- basic measures ------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.vertices)
+
+    def area2(self) -> Fraction:
+        """Twice the (positive) area."""
+        return signed_area2(self.vertices)
+
+    def edges(self) -> list[Segment]:
+        n = len(self.vertices)
+        return [
+            Segment(self.vertices[i], self.vertices[(i + 1) % n])
+            for i in range(n)
+        ]
+
+    def edge_pairs(self) -> list[tuple[Point, Point]]:
+        """Directed edges as (tail, head) pairs, counterclockwise."""
+        n = len(self.vertices)
+        return [(self.vertices[i], self.vertices[(i + 1) % n]) for i in range(n)]
+
+    # -- point location --------------------------------------------------------
+
+    def locate(self, p: Point) -> Location:
+        """Exact location of *p*: INTERIOR, BOUNDARY or EXTERIOR.
+
+        Uses the crossing-number method on a horizontal leftward ray,
+        handling vertex and edge-collinear cases exactly: an edge is
+        counted iff it crosses the ray's y-level half-open in y
+        (``min(y) <= p.y < max(y)``) strictly left of *p*.
+        """
+        for a, b in self.edge_pairs():
+            if on_segment(p, a, b):
+                return Location.BOUNDARY
+        crossings = 0
+        for a, b in self.edge_pairs():
+            ya, yb = a.y, b.y
+            if ya == yb:
+                continue  # horizontal edges never satisfy the half-open test
+            if min(ya, yb) <= p.y < max(ya, yb):
+                # x-coordinate of the edge at height p.y
+                t = (p.y - ya) / (yb - ya)
+                x_at = a.x + (b.x - a.x) * t
+                if x_at < p.x:
+                    crossings += 1
+        return Location.INTERIOR if crossings % 2 == 1 else Location.EXTERIOR
+
+    def contains_interior(self, p: Point) -> bool:
+        return self.locate(p) is Location.INTERIOR
+
+    # -- derived points --------------------------------------------------------
+
+    def interior_point(self) -> Point:
+        """An exact point strictly inside the polygon.
+
+        Classic construction: take the lexicographically smallest vertex
+        *v* with neighbours *a*, *b*.  If no other vertex lies inside the
+        closed triangle *avb*, its centroid is interior; otherwise take
+        the inside vertex *q* maximizing distance from line *ab* and use
+        the midpoint of *v* and *q*.
+        """
+        verts = self.vertices
+        n = len(verts)
+        i = min(range(n), key=lambda k: verts[k].lex_key())
+        v = verts[i]
+        a = verts[(i - 1) % n]
+        b = verts[(i + 1) % n]
+        # v is convex (it is extreme), so triangle a-v-b locally covers
+        # the interior angle at v.
+        inside: list[Point] = []
+        for q in verts:
+            if q in (a, v, b):
+                continue
+            if _in_closed_triangle(q, a, v, b):
+                inside.append(q)
+        if not inside:
+            c = Point(
+                (a.x + v.x + b.x) / 3,
+                (a.y + v.y + b.y) / 3,
+            )
+            if self.locate(c) is Location.INTERIOR:
+                return c
+            # Extremely flat triangle: fall back to nudging toward the
+            # midpoint of a-b, halving until interior.
+            target = midpoint(a, b)
+            return self._walk_inward(v, target)
+        # Farthest from line a-b (maximize |cross| which is proportional
+        # to distance).
+        q = max(inside, key=lambda p: abs((b - a).cross(p - a)))
+        candidate = midpoint(v, q)
+        if self.locate(candidate) is Location.INTERIOR:
+            return candidate
+        return self._walk_inward(v, q)
+
+    def _walk_inward(self, start: Point, toward: Point) -> Point:
+        """Binary-search along *start→toward* for an interior point."""
+        t = Fraction(1, 2)
+        for _ in range(64):
+            p = Point(
+                start.x + (toward.x - start.x) * t,
+                start.y + (toward.y - start.y) * t,
+            )
+            if self.locate(p) is Location.INTERIOR:
+                return p
+            t /= 2
+        raise GeometryError("failed to find an interior point")
+
+    def reversed(self) -> "SimplePolygon":
+        return SimplePolygon(tuple(reversed(self.vertices)), validate=False)
+
+    def translated(self, dx, dy) -> "SimplePolygon":
+        from .point import Q
+
+        dxq, dyq = Q(dx), Q(dy)
+        return SimplePolygon(
+            tuple(Point(p.x + dxq, p.y + dyq) for p in self.vertices),
+            validate=False,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"SimplePolygon({len(self.vertices)} vertices)"
+
+
+def _in_closed_triangle(p: Point, a: Point, b: Point, c: Point) -> bool:
+    """True iff *p* lies in the closed triangle *abc* (any orientation)."""
+    o1 = orientation(a, b, p)
+    o2 = orientation(b, c, p)
+    o3 = orientation(c, a, p)
+    has_neg = -1 in (o1, o2, o3)
+    has_pos = 1 in (o1, o2, o3)
+    return not (has_neg and has_pos)

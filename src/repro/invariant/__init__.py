@@ -1,0 +1,39 @@
+"""The topological invariant of Section 3 of the paper: computation,
+isomorphism, validation, realization, and the thematic bridge."""
+
+from .compute import invariant, topologically_equivalent
+from .isomorphism import are_isomorphic, find_isomorphism, verify_isomorphism
+from .realize import RealizedRegion, realize
+from .s_invariant import s_equivalent, s_invariant
+from .structure import CCW, CW, TopologicalInvariant
+from .thematic import database_to_invariant, invariant_to_database, thematic
+from .validate import (
+    ValidationWitness,
+    extract_rotation_system,
+    trace_walks,
+    validate_database,
+    validate_invariant,
+)
+
+__all__ = [
+    "CCW",
+    "CW",
+    "RealizedRegion",
+    "TopologicalInvariant",
+    "ValidationWitness",
+    "are_isomorphic",
+    "database_to_invariant",
+    "extract_rotation_system",
+    "find_isomorphism",
+    "invariant",
+    "invariant_to_database",
+    "realize",
+    "s_equivalent",
+    "s_invariant",
+    "thematic",
+    "topologically_equivalent",
+    "trace_walks",
+    "validate_database",
+    "validate_invariant",
+    "verify_isomorphism",
+]

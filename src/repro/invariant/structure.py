@@ -1,0 +1,212 @@
+"""The topological invariant ``T_I = (V, E, delta, f0, l, O)``.
+
+A :class:`TopologicalInvariant` is a plain finite first-order structure:
+cells with dimensions, sign labels over the (sorted) region names, the
+incidence relation E (cell contained in the closure of another cell), the
+distinguished exterior face ``f0``, the endpoint relation for edges, and
+the orientation relation O with clockwise/counterclockwise consecutive
+edge pairs around each vertex.  No geometry — by Theorem 3.4 of the paper
+this structure characterizes the instance up to homeomorphism.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Mapping
+
+from ..errors import InvariantError
+
+__all__ = ["TopologicalInvariant", "CW", "CCW"]
+
+CW = "cw"
+CCW = "ccw"
+
+Label = tuple[str, ...]
+
+
+@dataclass(frozen=True)
+class TopologicalInvariant:
+    """The paper's invariant as an immutable relational structure.
+
+    All relations use opaque string cell ids; two invariants are compared
+    through :func:`repro.invariant.isomorphism.find_isomorphism`, never by
+    id equality.
+    """
+
+    names: tuple[str, ...]
+    vertices: frozenset[str]
+    edges: frozenset[str]
+    faces: frozenset[str]
+    exterior_face: str
+    labels: Mapping[str, Label]
+    endpoints: Mapping[str, tuple[str, ...]]
+    incidences: frozenset[tuple[str, str]]
+    orientation: frozenset[tuple[str, str, str, str]]
+
+    def __post_init__(self):
+        object.__setattr__(self, "labels", dict(self.labels))
+        object.__setattr__(self, "endpoints", dict(self.endpoints))
+        if self.exterior_face not in self.faces:
+            raise InvariantError("exterior face is not a face")
+        if tuple(sorted(self.names)) != self.names:
+            raise InvariantError("names must be sorted")
+
+    # -- construction -----------------------------------------------------------
+
+    @staticmethod
+    def from_complex(cx) -> "TopologicalInvariant":
+        """Extract the abstract invariant from a geometric cell complex."""
+        return TopologicalInvariant(
+            names=cx.names,
+            vertices=frozenset(c.id for c in cx.vertices),
+            edges=frozenset(c.id for c in cx.edges),
+            faces=frozenset(c.id for c in cx.faces),
+            exterior_face=cx.exterior_face,
+            labels={cid: cell.label for cid, cell in cx.cells.items()},
+            endpoints=dict(cx.endpoints),
+            incidences=cx.incidences,
+            orientation=cx.orientation,
+        )
+
+    # -- accessors -----------------------------------------------------------------
+
+    def all_cells(self) -> frozenset[str]:
+        return self.vertices | self.edges | self.faces
+
+    def dim(self, cell: str) -> int:
+        if cell in self.vertices:
+            return 0
+        if cell in self.edges:
+            return 1
+        if cell in self.faces:
+            return 2
+        raise InvariantError(f"unknown cell {cell!r}")
+
+    def counts(self) -> tuple[int, int, int]:
+        return (len(self.vertices), len(self.edges), len(self.faces))
+
+    def label(self, cell: str) -> Label:
+        return self.labels[cell]
+
+    def edges_of_face(self, face: str) -> frozenset[str]:
+        return frozenset(
+            a for (a, b) in self.incidences if b == face and a in self.edges
+        )
+
+    def faces_of_edge(self, edge: str) -> frozenset[str]:
+        return frozenset(
+            b for (a, b) in self.incidences if a == edge and b in self.faces
+        )
+
+    def edges_at_vertex(self, vertex: str) -> frozenset[str]:
+        return frozenset(
+            b for (a, b) in self.incidences if a == vertex and b in self.edges
+        )
+
+    def germ_count(self, vertex: str, edge: str) -> int:
+        """How many germs of *edge* emanate from *vertex* (2 for a loop)."""
+        eps = self.endpoints.get(edge, ())
+        if vertex not in eps:
+            return 0
+        return 2 if len(eps) == 1 else 1
+
+    def vertex_degree(self, vertex: str) -> int:
+        """Total germ count at the vertex."""
+        return sum(
+            self.germ_count(vertex, e) for e in self.edges_at_vertex(vertex)
+        )
+
+    def free_loops(self) -> frozenset[str]:
+        """Edges with no endpoints (isolated closed boundary curves)."""
+        return frozenset(
+            e for e in self.edges if not self.endpoints.get(e, ())
+        )
+
+    def region_faces(self, name: str) -> frozenset[str]:
+        """Faces whose label is interior ('o') for *name*."""
+        i = self.names.index(name)
+        return frozenset(f for f in self.faces if self.labels[f][i] == "o")
+
+    def orientation_at(
+        self, vertex: str, sense: str
+    ) -> frozenset[tuple[str, str]]:
+        """The consecutive edge pairs around *vertex* in the given sense."""
+        return frozenset(
+            (e1, e2)
+            for (s, v, e1, e2) in self.orientation
+            if v == vertex and s == sense
+        )
+
+    # -- skeleton ---------------------------------------------------------------------
+
+    def skeleton_components(self) -> list[frozenset[str]]:
+        """Connected components of the skeleton (vertices and edges only).
+
+        Each free loop forms its own singleton component.  The instance is
+        *connected* in the paper's sense iff there is exactly one
+        component.
+        """
+        adjacency: dict[str, set[str]] = {
+            c: set() for c in self.vertices | self.edges
+        }
+        for e in self.edges:
+            for v in self.endpoints.get(e, ()):
+                adjacency[e].add(v)
+                adjacency[v].add(e)
+        seen: set[str] = set()
+        components: list[frozenset[str]] = []
+        for start in sorted(adjacency):
+            if start in seen:
+                continue
+            stack = [start]
+            comp: set[str] = set()
+            while stack:
+                c = stack.pop()
+                if c in comp:
+                    continue
+                comp.add(c)
+                stack.extend(adjacency[c] - comp)
+            seen |= comp
+            components.append(frozenset(comp))
+        return components
+
+    def is_connected(self) -> bool:
+        """The paper's connectedness: the skeleton is one piece."""
+        return len(self.skeleton_components()) <= 1
+
+    def relabeled(self, mapping: Mapping[str, str]) -> "TopologicalInvariant":
+        """A copy with every cell id replaced through *mapping*.
+
+        Useful in tests: a relabeled invariant must stay isomorphic to the
+        original.
+        """
+
+        def m(c: str) -> str:
+            return mapping.get(c, c)
+
+        return TopologicalInvariant(
+            names=self.names,
+            vertices=frozenset(m(v) for v in self.vertices),
+            edges=frozenset(m(e) for e in self.edges),
+            faces=frozenset(m(f) for f in self.faces),
+            exterior_face=m(self.exterior_face),
+            labels={m(c): lab for c, lab in self.labels.items()},
+            endpoints={
+                m(e): tuple(sorted(m(v) for v in vs))
+                for e, vs in self.endpoints.items()
+            },
+            incidences=frozenset(
+                (m(a), m(b)) for (a, b) in self.incidences
+            ),
+            orientation=frozenset(
+                (s, m(v), m(e1), m(e2))
+                for (s, v, e1, e2) in self.orientation
+            ),
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        v, e, f = self.counts()
+        return (
+            f"TopologicalInvariant(names={self.names}, "
+            f"V={v}, E={e}, F={f})"
+        )

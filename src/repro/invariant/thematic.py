@@ -1,0 +1,182 @@
+"""The thematic mapping (Section 3 of the paper, Fig. 9).
+
+``thematic(I)`` turns a spatial instance into a classical relational
+database over the fixed schema ``Th`` that captures exactly its
+topological information.  The mapping factors through the invariant:
+
+    instance  --invariant-->  T_I  --invariant_to_database-->  Db over Th
+
+and is invertible on its image (``database_to_invariant``), which is what
+lets updates be validated (Theorem 3.8) and topological queries be
+answered relationally (Corollary 3.7).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+from ..errors import InvariantError
+from ..regions import SpatialInstance
+from ..relational import TH_SCHEMA, Database, Relation
+from .compute import invariant
+from .structure import TopologicalInvariant
+
+__all__ = [
+    "thematic",
+    "invariant_to_database",
+    "database_to_invariant",
+]
+
+
+def thematic(instance: SpatialInstance) -> Database:
+    """The paper's thematic mapping: spatial instance -> Th database."""
+    return invariant_to_database(invariant(instance))
+
+
+def invariant_to_database(t: TopologicalInvariant) -> Database:
+    """Represent an invariant as a relational instance over ``Th``."""
+    endpoints = {
+        (e, v) for e, vs in t.endpoints.items() for v in vs
+    }
+    face_edges = {
+        (b, a)
+        for (a, b) in t.incidences
+        if a in t.edges and b in t.faces
+    }
+    cell_labels = {
+        (cell, name, sign)
+        for cell, label in t.labels.items()
+        for name, sign in zip(t.names, label)
+    }
+    region_faces = {
+        (name, f)
+        for f in t.faces
+        for name, sign in zip(t.names, t.labels[f])
+        if sign == "o"
+    }
+    return Database(
+        TH_SCHEMA,
+        {
+            "Regions": {(n,) for n in t.names},
+            "Vertices": {(v,) for v in t.vertices},
+            "Edges": {(e,) for e in t.edges},
+            "Faces": {(f,) for f in t.faces},
+            "Exterior_Face": {(t.exterior_face,)},
+            "Endpoints": endpoints,
+            "Face_Edges": face_edges,
+            "Region_Faces": region_faces,
+            "Cell_Labels": cell_labels,
+            "Orientation": set(t.orientation),
+        },
+    )
+
+
+def database_to_invariant(db: Database) -> TopologicalInvariant:
+    """Reconstruct an invariant from a ``Th`` database.
+
+    The reconstruction performs only *structural* decoding (cells, labels,
+    relations); semantic validity — that the data describes a labeled
+    planar graph — is checked separately by
+    :func:`repro.invariant.validate.validate_invariant` (Theorem 3.8).
+
+    The vertex-face incidences (not stored in ``Th``) are derived: a
+    vertex lies on the closure of a face iff one of its edges bounds the
+    face.
+    """
+    names = tuple(sorted(v for (v,) in db["Regions"].tuples))
+    vertices = frozenset(v for (v,) in db["Vertices"].tuples)
+    edges = frozenset(e for (e,) in db["Edges"].tuples)
+    faces = frozenset(f for (f,) in db["Faces"].tuples)
+    ext = [f for (f,) in db["Exterior_Face"].tuples]
+    if len(ext) != 1:
+        raise InvariantError(
+            f"Exterior_Face must contain exactly one face, got {len(ext)}"
+        )
+    exterior = ext[0]
+    if exterior not in faces:
+        raise InvariantError("exterior face is not listed in Faces")
+
+    by_cell: dict[str, dict[str, str]] = defaultdict(dict)
+    for cell, name, sign in db["Cell_Labels"].tuples:
+        if name not in names:
+            raise InvariantError(f"label for unknown region {name!r}")
+        if sign not in ("o", "b", "e"):
+            raise InvariantError(f"invalid sign {sign!r}")
+        if name in by_cell[cell]:
+            raise InvariantError(
+                f"duplicate label for cell {cell!r}, region {name!r}"
+            )
+        by_cell[cell][name] = sign
+    all_cells = vertices | edges | faces
+    labels: dict[str, tuple[str, ...]] = {}
+    for cell in all_cells:
+        row = by_cell.get(cell, {})
+        if set(row) != set(names):
+            raise InvariantError(
+                f"cell {cell!r} is missing labels for some regions"
+            )
+        labels[cell] = tuple(row[n] for n in names)
+
+    endpoint_map: dict[str, set[str]] = defaultdict(set)
+    for e, v in db["Endpoints"].tuples:
+        if e not in edges or v not in vertices:
+            raise InvariantError(
+                f"Endpoints mentions unknown cells ({e!r}, {v!r})"
+            )
+        endpoint_map[e].add(v)
+    endpoints = {
+        e: tuple(sorted(endpoint_map.get(e, ()))) for e in edges
+    }
+
+    incidences: set[tuple[str, str]] = set()
+    for e, vs in endpoints.items():
+        for v in vs:
+            incidences.add((v, e))
+    edge_faces: dict[str, set[str]] = defaultdict(set)
+    for f, e in db["Face_Edges"].tuples:
+        if f not in faces or e not in edges:
+            raise InvariantError(
+                f"Face_Edges mentions unknown cells ({f!r}, {e!r})"
+            )
+        incidences.add((e, f))
+        edge_faces[e].add(f)
+    # Derived vertex-face incidences.
+    for e, vs in endpoints.items():
+        for v in vs:
+            for f in edge_faces.get(e, ()):
+                incidences.add((v, f))
+
+    # Region_Faces must agree with the 'o' labels it is derived from.
+    derived_region_faces = {
+        (name, f)
+        for f in faces
+        for name, sign in zip(names, labels[f])
+        if sign == "o"
+    }
+    if set(db["Region_Faces"].tuples) != derived_region_faces:
+        raise InvariantError(
+            "Region_Faces disagrees with the interior labels in Cell_Labels"
+        )
+
+    orientation = set()
+    for row in db["Orientation"].tuples:
+        sense, v, e1, e2 = row
+        if sense not in ("cw", "ccw"):
+            raise InvariantError(f"invalid orientation sense {sense!r}")
+        if v not in vertices or e1 not in edges or e2 not in edges:
+            raise InvariantError(
+                f"Orientation mentions unknown cells {row!r}"
+            )
+        orientation.add(row)
+
+    return TopologicalInvariant(
+        names=names,
+        vertices=vertices,
+        edges=edges,
+        faces=faces,
+        exterior_face=exterior,
+        labels=labels,
+        endpoints=endpoints,
+        incidences=frozenset(incidences),
+        orientation=frozenset(orientation),
+    )

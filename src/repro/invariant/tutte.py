@@ -1,0 +1,266 @@
+"""Straight-line drawing of a 2-connected block by Tutte's method.
+
+This is the computational core of the realization theorem (Theorem 3.5):
+the paper itself proposes Tutte's barycentric embedding ("place the
+remaining vertices at the center of gravity of their adjacent nodes",
+solved as a linear system).  We draw one biconnected block at a time:
+
+1. the prescribed outer facial cycle is placed on a convex polygon with
+   *rational* vertices (points on a rational circle), in clockwise order
+   (facial walks carry the face on their left, so the outer walk runs
+   clockwise around the block);
+2. every interior face longer than a triangle receives a *star* node
+   connected to its corners, making the interior triangulated — by
+   Floater's generalization of Tutte's theorem, the barycentric solution
+   of a triangulated disc with convex boundary is a valid embedding;
+3. the linear system is solved in floating point and snapped to
+   rationals; an exact orientation check of every triangle certifies the
+   snap, with an exact rational Gaussian-elimination fallback when the
+   certificate fails (the true solution of the rational system is valid
+   by the theorem, so the fallback always succeeds);
+4. star nodes are discarded.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+import numpy as np
+
+from ..errors import InvariantError
+from ..geometry import Point
+
+__all__ = ["draw_block", "convex_positions", "trace_block_faces"]
+
+Node = str
+SDart = tuple[Node, Node]
+
+
+def convex_positions(n: int, radius: Fraction = Fraction(1)) -> list[Point]:
+    """*n* rational points in convex position, in CCW order.
+
+    Points lie exactly on the circle of the given radius (rational
+    tan-half-angle parameterization).
+    """
+    from ..regions.algebraic import AlgRegion
+
+    if n < 3:
+        raise InvariantError("convex positions need n >= 3")
+    circle = AlgRegion.circle(0, 0, radius, n=n)
+    return list(circle.boundary_polygon().vertices)
+
+
+def trace_block_faces(
+    block_nodes: set[Node],
+    rotation: dict[Node, tuple[Node, ...]],
+    block_segments: frozenset[tuple[Node, Node]],
+) -> list[tuple[SDart, ...]]:
+    """Facial cycles of one block, traced with the restricted rotation.
+
+    The restriction of the component rotation to the block keeps the
+    cyclic order of block neighbours (germ arcs of a block at a cut
+    vertex are contiguous, so dropping foreign germs preserves facial
+    structure of the block).
+    """
+    ring: dict[Node, list[Node]] = {}
+    for v in block_nodes:
+        ring[v] = [
+            w
+            for w in rotation[v]
+            if tuple(sorted((v, w))) in block_segments
+        ]
+
+    def next_dart(d: SDart) -> SDart:
+        tail, head = d
+        r = ring[head]
+        # position of the twin (head -> tail) in head's ring, then one
+        # step clockwise.
+        i = r.index(tail)
+        return (head, r[(i - 1) % len(r)])
+
+    darts = [
+        d
+        for seg in block_segments
+        for d in (seg, (seg[1], seg[0]))
+    ]
+    seen: set[SDart] = set()
+    faces: list[tuple[SDart, ...]] = []
+    for start in sorted(darts):
+        if start in seen:
+            continue
+        walk = []
+        d = start
+        while d not in seen:
+            seen.add(d)
+            walk.append(d)
+            d = next_dart(d)
+        faces.append(tuple(walk))
+    return faces
+
+
+def draw_block(
+    block_segments: frozenset[tuple[Node, Node]],
+    rotation: dict[Node, tuple[Node, ...]],
+    outer_cycle: tuple[SDart, ...],
+) -> dict[Node, Point]:
+    """Positions for all nodes of a 2-connected block.
+
+    *outer_cycle* must be one of the block's facial cycles; its nodes end
+    up on a convex polygon and every other face is drawn inside.
+    """
+    block_nodes = {n for seg in block_segments for n in seg}
+    faces = trace_block_faces(block_nodes, rotation, block_segments)
+    outer_key = _cycle_key(outer_cycle)
+    inner = [f for f in faces if _cycle_key(f) != outer_key]
+    if len(inner) == len(faces):
+        raise InvariantError("outer cycle is not a facial cycle of the block")
+
+    # Outer cycle on a convex polygon, clockwise.
+    outer_nodes = [d[0] for d in outer_cycle]
+    if len(set(outer_nodes)) != len(outer_nodes):
+        raise InvariantError(
+            "outer facial cycle of a 2-connected block must be simple"
+        )
+    convex = convex_positions(max(len(outer_nodes), 3))
+    positions: dict[Node, Point] = {}
+    for node, pos in zip(outer_nodes, reversed(convex[: len(outer_nodes)])):
+        positions[node] = pos
+
+    # Triangulate interior faces with star nodes.
+    adjacency: dict[Node, set[Node]] = {n: set() for n in block_nodes}
+    for u, v in block_segments:
+        adjacency[u].add(v)
+        adjacency[v].add(u)
+    triangles: list[tuple[Node, Node, Node]] = []
+    star_count = 0
+    for face in inner:
+        cycle_nodes = [d[0] for d in face]
+        if len(cycle_nodes) == 3:
+            triangles.append(tuple(cycle_nodes))
+            continue
+        star = f"*{star_count}"
+        star_count += 1
+        adjacency[star] = set()
+        for n in cycle_nodes:
+            adjacency[star].add(n)
+            adjacency[n].add(star)
+        k = len(cycle_nodes)
+        for i in range(k):
+            triangles.append(
+                (star, cycle_nodes[i], cycle_nodes[(i + 1) % k])
+            )
+
+    interior = [n for n in adjacency if n not in positions]
+    if interior:
+        solved = _solve_tutte_float(adjacency, positions, interior)
+        if solved is None or not _triangles_positive(solved, triangles):
+            solved = _solve_tutte_exact(adjacency, positions, interior)
+            if not _triangles_positive(solved, triangles):
+                raise InvariantError(
+                    "Tutte embedding failed orientation certification"
+                )
+        positions = solved
+    elif not _triangles_positive(positions, triangles):
+        raise InvariantError("convex placement failed for chordal block")
+
+    return {
+        n: p for n, p in positions.items() if not n.startswith("*")
+    }
+
+
+def _cycle_key(cycle: tuple[SDart, ...]) -> frozenset[SDart]:
+    return frozenset(cycle)
+
+
+def _triangles_positive(
+    positions: dict[Node, Point], triangles: list[tuple[Node, Node, Node]]
+) -> bool:
+    """Exact check: every (CCW-traced) triangle has positive area."""
+    for a, b, c in triangles:
+        pa, pb, pc = positions[a], positions[b], positions[c]
+        if (pb - pa).cross(pc - pa) <= 0:
+            return False
+    return True
+
+
+def _snap(x: float, precision: int = 1 << 24) -> Fraction:
+    return Fraction(round(x * precision), precision)
+
+
+def _solve_tutte_float(
+    adjacency, fixed: dict[Node, Point], interior: list[Node]
+) -> dict[Node, Point] | None:
+    index = {n: i for i, n in enumerate(interior)}
+    k = len(interior)
+    a = np.zeros((k, k))
+    bx = np.zeros(k)
+    by = np.zeros(k)
+    for n in interior:
+        i = index[n]
+        neighbours = adjacency[n]
+        a[i, i] = len(neighbours)
+        for m in neighbours:
+            if m in index:
+                a[i, index[m]] -= 1.0
+            else:
+                p = fixed[m]
+                bx[i] += float(p.x)
+                by[i] += float(p.y)
+    try:
+        xs = np.linalg.solve(a, bx)
+        ys = np.linalg.solve(a, by)
+    except np.linalg.LinAlgError:
+        return None
+    out = dict(fixed)
+    for n, i in index.items():
+        out[n] = Point(_snap(xs[i]), _snap(ys[i]))
+    return out
+
+
+def _solve_tutte_exact(
+    adjacency, fixed: dict[Node, Point], interior: list[Node]
+) -> dict[Node, Point]:
+    """Exact rational Gaussian elimination of the Tutte system."""
+    index = {n: i for i, n in enumerate(interior)}
+    k = len(interior)
+    # Augmented matrix rows: k coefficients + bx + by.
+    rows: list[list[Fraction]] = []
+    for n in interior:
+        row = [Fraction(0)] * (k + 2)
+        neighbours = adjacency[n]
+        row[index[n]] = Fraction(len(neighbours))
+        for m in neighbours:
+            if m in index:
+                row[index[m]] -= 1
+            else:
+                p = fixed[m]
+                row[k] += p.x
+                row[k + 1] += p.y
+        rows.append(row)
+
+    # Forward elimination with partial pivoting (by absolute value).
+    for col in range(k):
+        pivot = max(
+            range(col, k), key=lambda r: abs(rows[r][col])
+        )
+        if rows[pivot][col] == 0:
+            raise InvariantError("singular Tutte system")
+        rows[col], rows[pivot] = rows[pivot], rows[col]
+        inv = rows[col][col]
+        for r in range(col + 1, k):
+            factor = rows[r][col] / inv
+            if factor == 0:
+                continue
+            for c in range(col, k + 2):
+                rows[r][c] -= factor * rows[col][c]
+    xs = [Fraction(0)] * k
+    ys = [Fraction(0)] * k
+    for r in range(k - 1, -1, -1):
+        sx = rows[r][k] - sum(rows[r][c] * xs[c] for c in range(r + 1, k))
+        sy = rows[r][k + 1] - sum(rows[r][c] * ys[c] for c in range(r + 1, k))
+        xs[r] = sx / rows[r][r]
+        ys[r] = sy / rows[r][r]
+    out = dict(fixed)
+    for n, i in index.items():
+        out[n] = Point(xs[i], ys[i])
+    return out

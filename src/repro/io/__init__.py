@@ -1,0 +1,15 @@
+"""Serialization: lossless JSON for instances and invariants."""
+
+from .json_io import (
+    instance_from_json,
+    instance_to_json,
+    invariant_from_json,
+    invariant_to_json,
+)
+
+__all__ = [
+    "instance_from_json",
+    "instance_to_json",
+    "invariant_from_json",
+    "invariant_to_json",
+]

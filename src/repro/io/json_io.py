@@ -1,0 +1,198 @@
+"""JSON serialization of instances and invariants.
+
+Exact rational coordinates are preserved as ``"num/den"`` strings, so a
+round trip is lossless.  Invariants serialize as their plain relational
+content — the same data the thematic mapping exposes.
+"""
+
+from __future__ import annotations
+
+import json
+from fractions import Fraction
+from typing import Any
+
+from ..errors import ReproError
+from ..geometry import Point
+from ..invariant import TopologicalInvariant
+from ..regions import (
+    AlgRegion,
+    Poly,
+    Rect,
+    RectUnion,
+    Region,
+    SpatialInstance,
+)
+
+__all__ = [
+    "instance_to_json",
+    "instance_from_json",
+    "invariant_to_json",
+    "invariant_from_json",
+]
+
+
+def _frac(value: Fraction) -> str:
+    return f"{value.numerator}/{value.denominator}"
+
+
+def _unfrac(text: str) -> Fraction:
+    return Fraction(text)
+
+
+def _point(p: Point) -> list[str]:
+    return [_frac(p.x), _frac(p.y)]
+
+
+def _unpoint(data: list[str]) -> Point:
+    return Point(_unfrac(data[0]), _unfrac(data[1]))
+
+
+def _region_to_obj(region: Region) -> dict[str, Any]:
+    if isinstance(region, Rect):
+        return {
+            "type": "rect",
+            "bounds": [
+                _frac(region.x1),
+                _frac(region.y1),
+                _frac(region.x2),
+                _frac(region.y2),
+            ],
+        }
+    if isinstance(region, RectUnion):
+        return {
+            "type": "rect_union",
+            "rects": [
+                [
+                    _frac(r.x1), _frac(r.y1), _frac(r.x2), _frac(r.y2)
+                ]
+                for r in region.rects
+            ],
+        }
+    if isinstance(region, AlgRegion):
+        return {
+            "type": "alg",
+            "vertices": [
+                _point(p) for p in region.boundary_polygon().vertices
+            ],
+            "definition": [
+                [
+                    [[list(ij), _frac(c)] for ij, c in poly.coeffs]
+                    for poly in conj
+                ]
+                for conj in region.definition
+            ],
+        }
+    if isinstance(region, Poly):
+        return {
+            "type": "poly",
+            "vertices": [_point(p) for p in region.vertices],
+        }
+    # Generic fallback (e.g. RealizedRegion): keep the boundary polygon
+    # when it is simple.
+    return {
+        "type": "poly",
+        "vertices": [
+            _point(p) for p in region.boundary_polygon().vertices
+        ],
+    }
+
+
+def _region_from_obj(data: dict[str, Any]) -> Region:
+    kind = data.get("type")
+    if kind == "rect":
+        x1, y1, x2, y2 = (Fraction(v) for v in data["bounds"])
+        return Rect(x1, y1, x2, y2)
+    if kind == "rect_union":
+        return RectUnion(
+            [
+                Rect(*(Fraction(v) for v in bounds))
+                for bounds in data["rects"]
+            ]
+        )
+    if kind == "poly":
+        return Poly([_unpoint(p) for p in data["vertices"]])
+    if kind == "alg":
+        from ..geometry import SimplePolygon
+        from ..regions.algebraic import Polynomial2
+
+        definition = tuple(
+            tuple(
+                Polynomial2(
+                    {tuple(ij): Fraction(c) for ij, c in coeffs}
+                )
+                for coeffs in conj
+            )
+            for conj in data["definition"]
+        )
+        polygon = SimplePolygon(
+            tuple(_unpoint(p) for p in data["vertices"])
+        )
+        return AlgRegion(definition, polygon)
+    raise ReproError(f"unknown region type {kind!r}")
+
+
+def instance_to_json(instance: SpatialInstance) -> str:
+    """Serialize an instance (losslessly for the built-in classes)."""
+    return json.dumps(
+        {
+            "regions": {
+                name: _region_to_obj(region)
+                for name, region in instance.items()
+            }
+        },
+        indent=2,
+        sort_keys=True,
+    )
+
+
+def instance_from_json(text: str) -> SpatialInstance:
+    data = json.loads(text)
+    inst = SpatialInstance()
+    for name in sorted(data["regions"]):
+        inst.add(name, _region_from_obj(data["regions"][name]))
+    return inst
+
+
+def invariant_to_json(t: TopologicalInvariant) -> str:
+    return json.dumps(
+        {
+            "names": list(t.names),
+            "vertices": sorted(t.vertices),
+            "edges": sorted(t.edges),
+            "faces": sorted(t.faces),
+            "exterior_face": t.exterior_face,
+            "labels": {
+                cell: list(label) for cell, label in sorted(t.labels.items())
+            },
+            "endpoints": {
+                e: list(vs) for e, vs in sorted(t.endpoints.items())
+            },
+            "incidences": sorted(map(list, t.incidences)),
+            "orientation": sorted(map(list, t.orientation)),
+        },
+        indent=2,
+        sort_keys=True,
+    )
+
+
+def invariant_from_json(text: str) -> TopologicalInvariant:
+    data = json.loads(text)
+    return TopologicalInvariant(
+        names=tuple(data["names"]),
+        vertices=frozenset(data["vertices"]),
+        edges=frozenset(data["edges"]),
+        faces=frozenset(data["faces"]),
+        exterior_face=data["exterior_face"],
+        labels={
+            cell: tuple(label) for cell, label in data["labels"].items()
+        },
+        endpoints={
+            e: tuple(vs) for e, vs in data["endpoints"].items()
+        },
+        incidences=frozenset(
+            (a, b) for a, b in data["incidences"]
+        ),
+        orientation=frozenset(
+            (s, v, e1, e2) for s, v, e1, e2 in data["orientation"]
+        ),
+    )

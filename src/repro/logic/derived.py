@@ -1,0 +1,240 @@
+"""Derived predicates and the paper's example queries (Section 4).
+
+The paper observes that all eight 4-intersection relations are definable
+from ``connect`` alone (``connect(r, r') = not disjoint(r, r')``, i.e.
+the closures intersect)::
+
+    r ⊆ r'      =  ∀r''. connect(r, r'') → connect(r', r'')
+    overlap     =  ∃r''. (r'' ⊆ r ∧ r'' ⊆ r') ∧ ¬(r ⊆ r') ∧ ¬(r' ⊆ r)
+    meet        =  connect ∧ ¬overlap ∧ ¬⊆ ∧ ¬⊇
+    ...
+
+We provide both the primitive atoms (evaluators implement them directly)
+and these *definitional* constructors, so the definability claim can be
+tested by comparing the two (see tests).  Also included: the separating
+queries of Examples 4.1 and 4.2 and ``path``.
+"""
+
+from __future__ import annotations
+
+from .ast import (
+    And,
+    ExistsRegion,
+    ForAllRegion,
+    Formula,
+    NameConst,
+    Not,
+    Or,
+    RegionTerm,
+    RegionVar,
+    Rel,
+    Ext,
+)
+
+__all__ = [
+    "connect",
+    "disjoint",
+    "subset_via_connect",
+    "overlap_via_connect",
+    "meet_via_connect",
+    "equal_via_connect",
+    "region",
+    "path",
+    "triple_intersection_query",
+    "connected_intersection_query",
+    "disjoint_paths_query",
+    "three_disjoint_paths_negation",
+    "FIG_7A_SEPARATING_PAIRS",
+]
+
+
+def region(name: str) -> RegionTerm:
+    """Shorthand: ``ext(NAME)`` for a name constant, as in the paper's
+    sugar ``inside(p, A)``."""
+    return Ext(NameConst(name))
+
+
+def connect(p: RegionTerm, q: RegionTerm) -> Formula:
+    return Rel("connect", p, q)
+
+
+def disjoint(p: RegionTerm, q: RegionTerm) -> Formula:
+    return Rel("disjoint", p, q)
+
+
+# -- definability from connect (Section 4) -------------------------------------
+
+_FRESH = ["w1", "w2", "w3"]
+
+
+def subset_via_connect(p: RegionTerm, q: RegionTerm, fresh: str = "w1") -> Formula:
+    """``p ⊆ q`` as ∀w. connect(p, w) → connect(q, w)."""
+    w = RegionVar(fresh)
+    from .ast import Implies
+
+    return ForAllRegion(fresh, Implies(connect(p, w), connect(q, w)))
+
+
+def overlap_via_connect(p: RegionTerm, q: RegionTerm) -> Formula:
+    w = RegionVar("w2")
+    return And(
+        ExistsRegion(
+            "w2",
+            And(
+                subset_via_connect(w, p, "w3"),
+                subset_via_connect(w, q, "w3"),
+            ),
+        ),
+        Not(subset_via_connect(p, q)),
+        Not(subset_via_connect(q, p)),
+    )
+
+
+def meet_via_connect(p: RegionTerm, q: RegionTerm) -> Formula:
+    return And(
+        connect(p, q),
+        Not(overlap_via_connect(p, q)),
+        Not(subset_via_connect(p, q)),
+        Not(subset_via_connect(q, p)),
+    )
+
+
+def equal_via_connect(p: RegionTerm, q: RegionTerm) -> Formula:
+    return And(
+        subset_via_connect(p, q), subset_via_connect(q, p)
+    )
+
+
+# -- the paper's example queries ---------------------------------------------------
+
+
+def path(
+    a: RegionTerm,
+    r: RegionTerm,
+    b: RegionTerm,
+    avoiding: tuple[RegionTerm, ...] = (),
+) -> Formula:
+    """The paper's ``path(A, r, B)``: *r* connects *a* and *b* while
+    avoiding the listed regions."""
+    parts: list[Formula] = [connect(a, r), connect(b, r)]
+    parts.extend(Not(connect(other, r)) for other in avoiding)
+    return And(*parts)
+
+
+def triple_intersection_query(
+    a: str = "A", b: str = "B", c: str = "C"
+) -> Formula:
+    """Example 4.1: ``∃r . r ⊆ A ∩ B ∩ C`` — separates Fig. 1a from 1b.
+
+    ``r ⊆ X ∩ Y`` is ``inside-or-covered``: we use the primitive
+    relations: r inside-ish each region, expressed as
+    ``¬disjoint interior``…  Following the paper's sugar
+    ``inside(r, A) ∧ inside(r, B) ∧ inside(r, C)``.
+    """
+    r = RegionVar("r")
+    return ExistsRegion(
+        "r",
+        And(
+            Rel("subset", r, region(a)),
+            Rel("subset", r, region(b)),
+            Rel("subset", r, region(c)),
+        ),
+    )
+
+
+def connected_intersection_query(a: str = "A", b: str = "B") -> Formula:
+    """Example 4.2: ``A ∩ B`` is topologically connected — separates
+    Fig. 1c from Fig. 1d.
+
+    ∀r ∀r' (r, r' ⊆ A ∩ B → ∃r''. r'' ⊆ A ∩ B ∧ connect(r'', r) ∧
+    connect(r'', r'')).
+    """
+    r, rp, rpp = RegionVar("r"), RegionVar("rp"), RegionVar("rpp")
+
+    def inside_both(t: RegionTerm) -> Formula:
+        return And(
+            Rel("subset", t, region(a)), Rel("subset", t, region(b))
+        )
+
+    from .ast import Implies
+
+    return ForAllRegion(
+        "r",
+        ForAllRegion(
+            "rp",
+            Implies(
+                And(inside_both(r), inside_both(rp)),
+                ExistsRegion(
+                    "rpp",
+                    And(
+                        inside_both(rpp),
+                        connect(rpp, r),
+                        connect(rpp, rp),
+                    ),
+                ),
+            ),
+        ),
+    )
+
+
+def disjoint_paths_query(
+    pair1: tuple[str, str] = ("A", "B"),
+    pair2: tuple[str, str] = ("C", "D"),
+) -> Formula:
+    """Example 4.2 (Fig. 7b): disjoint connections between two pairs.
+
+    ``∃r ∃r' . path(A, r, B) ∧ path(C, r', D) ∧ disjoint(r, r')`` where
+    each path avoids the other pair's regions.
+    """
+    r, rp = RegionVar("r"), RegionVar("rp")
+    a, b = pair1
+    c, d = pair2
+    return ExistsRegion(
+        "r",
+        ExistsRegion(
+            "rp",
+            And(
+                path(region(a), r, region(b), (region(c), region(d))),
+                path(region(c), rp, region(d), (region(a), region(b))),
+                disjoint(r, rp),
+            ),
+        ),
+    )
+
+
+#: The pairing that separates the Fig. 7a instances of this repo's
+#: dataset: it is linkable when both flowers have the same chirality and
+#: unlinkable when one is mirrored.  (Which pairing separates depends on
+#: the concrete layout; exactly one of the six pairings is linkable for
+#: each chirality, and the linkable one flips with it.)
+FIG_7A_SEPARATING_PAIRS = [("A", "E"), ("B", "D"), ("C", "F")]
+
+
+def three_disjoint_paths_negation(
+    pairs=None,
+) -> Formula:
+    """Example 4.2 (Fig. 7a): the negated three-disjoint-paths query
+
+    ``¬(∃r ∃r' ∃r'' . path(X1,r,Y1) ∧ path(X2,r',Y2) ∧ path(X3,r'',Y3) ∧
+    pairwise-disjoint)`` — each path avoiding the other pairs' regions.
+    """
+    if pairs is None:
+        pairs = FIG_7A_SEPARATING_PAIRS
+    (x1, y1), (x2, y2), (x3, y3) = pairs
+    all_names = {x1, y1, x2, y2, x3, y3}
+    r, rp, rpp = RegionVar("r"), RegionVar("rp"), RegionVar("rpp")
+
+    def others(*mine: str) -> tuple[RegionTerm, ...]:
+        return tuple(region(n) for n in sorted(all_names - set(mine)))
+
+    inner = And(
+        path(region(x1), r, region(y1), others(x1, y1)),
+        path(region(x2), rp, region(y2), others(x2, y2)),
+        path(region(x3), rpp, region(y3), others(x3, y3)),
+        disjoint(r, rp),
+        disjoint(r, rpp),
+        disjoint(rp, rpp),
+    )
+    return Not(
+        ExistsRegion("r", ExistsRegion("rp", ExistsRegion("rpp", inner)))
+    )

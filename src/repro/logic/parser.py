@@ -1,0 +1,254 @@
+"""A concrete syntax for FO(Region, Region') queries.
+
+Grammar (precedence low to high: ``->``, ``or``, ``and``, ``not``)::
+
+    formula   := quantified | implication
+    quantified:= ("exists" | "forall") ["name"] IDENT ("," IDENT)* "." formula
+    implication := disjunction [ "->" formula ]
+    disjunction := conjunction ("or" conjunction)*
+    conjunction := negation ("and" negation)*
+    negation  := "not" negation | atom
+    atom      := REL "(" term "," term ")"
+               | IDENT "=" IDENT
+               | "(" formula ")"
+    term      := IDENT | "ext" "(" IDENT ")"
+
+Identifier resolution follows the paper's conventions: an identifier
+bound by a region quantifier is a region variable; bound by a name
+quantifier, a name variable; unbound identifiers are name *constants*
+and stand for ``ext(<constant>)`` in region positions (the paper's sugar
+``inside(r, A)``).
+
+Example::
+
+    parse("exists r . subset(r, A) and subset(r, B) and subset(r, C)")
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+from ..errors import ParseError
+from .ast import (
+    And,
+    ExistsName,
+    ExistsRegion,
+    Ext,
+    ForAllName,
+    ForAllRegion,
+    Formula,
+    Implies,
+    NameConst,
+    NameEq,
+    NameVar,
+    Not,
+    Or,
+    RegionVar,
+    Rel,
+    RELATION_NAMES,
+)
+
+__all__ = ["parse"]
+
+_TOKEN = re.compile(
+    r"\s*(?:(?P<arrow>->)|(?P<punct>[().,=])|(?P<word>[A-Za-z_][A-Za-z_0-9]*))"
+)
+
+_KEYWORDS = {"exists", "forall", "and", "or", "not", "name", "ext"}
+
+
+@dataclass
+class _Token:
+    kind: str
+    text: str
+    position: int
+
+
+def _tokenize(text: str) -> list[_Token]:
+    tokens: list[_Token] = []
+    pos = 0
+    while pos < len(text):
+        m = _TOKEN.match(text, pos)
+        if not m or m.end() == pos:
+            if text[pos:].strip():
+                raise ParseError(
+                    f"unexpected character {text[pos]!r}", pos
+                )
+            break
+        pos = m.end()
+        if m.group("arrow"):
+            tokens.append(_Token("arrow", "->", m.start()))
+        elif m.group("punct"):
+            tokens.append(_Token("punct", m.group("punct"), m.start()))
+        else:
+            word = m.group("word")
+            kind = "keyword" if word in _KEYWORDS else "ident"
+            tokens.append(_Token(kind, word, m.start()))
+    return tokens
+
+
+class _Parser:
+    def __init__(self, text: str):
+        self.tokens = _tokenize(text)
+        self.i = 0
+        self.region_vars: list[set[str]] = [set()]
+        self.name_vars: list[set[str]] = [set()]
+
+    # -- token helpers ------------------------------------------------------------
+
+    def peek(self) -> _Token | None:
+        return self.tokens[self.i] if self.i < len(self.tokens) else None
+
+    def next(self) -> _Token:
+        tok = self.peek()
+        if tok is None:
+            raise ParseError("unexpected end of query")
+        self.i += 1
+        return tok
+
+    def expect(self, text: str) -> _Token:
+        tok = self.next()
+        if tok.text != text:
+            raise ParseError(
+                f"expected {text!r}, found {tok.text!r}", tok.position
+            )
+        return tok
+
+    def at(self, text: str) -> bool:
+        tok = self.peek()
+        return tok is not None and tok.text == text
+
+    # -- grammar ------------------------------------------------------------------
+
+    def parse(self) -> Formula:
+        f = self.formula()
+        tok = self.peek()
+        if tok is not None:
+            raise ParseError(
+                f"trailing input at {tok.text!r}", tok.position
+            )
+        return f
+
+    def formula(self) -> Formula:
+        if self.at("exists") or self.at("forall"):
+            return self.quantified()
+        return self.implication()
+
+    def quantified(self) -> Formula:
+        kind = self.next().text
+        name_sort = False
+        if self.at("name"):
+            self.next()
+            name_sort = True
+        variables = [self._ident("variable")]
+        while self.at(","):
+            self.next()
+            variables.append(self._ident("variable"))
+        self.expect(".")
+        scope = self.name_vars if name_sort else self.region_vars
+        scope.append(scope[-1] | set(variables))
+        try:
+            body = self.formula()
+        finally:
+            scope.pop()
+        for v in reversed(variables):
+            if name_sort:
+                body = (
+                    ExistsName(v, body)
+                    if kind == "exists"
+                    else ForAllName(v, body)
+                )
+            else:
+                body = (
+                    ExistsRegion(v, body)
+                    if kind == "exists"
+                    else ForAllRegion(v, body)
+                )
+        return body
+
+    def implication(self) -> Formula:
+        left = self.disjunction()
+        if self.at("->"):
+            self.next()
+            return Implies(left, self.formula())
+        return left
+
+    def disjunction(self) -> Formula:
+        parts = [self.conjunction()]
+        while self.at("or"):
+            self.next()
+            parts.append(self.conjunction())
+        return parts[0] if len(parts) == 1 else Or(*parts)
+
+    def conjunction(self) -> Formula:
+        parts = [self.negation()]
+        while self.at("and"):
+            self.next()
+            parts.append(self.negation())
+        return parts[0] if len(parts) == 1 else And(*parts)
+
+    def negation(self) -> Formula:
+        if self.at("not"):
+            self.next()
+            return Not(self.negation())
+        return self.atom()
+
+    def atom(self) -> Formula:
+        tok = self.peek()
+        if tok is None:
+            raise ParseError("unexpected end of query")
+        if tok.text == "(":
+            self.next()
+            f = self.formula()
+            self.expect(")")
+            return f
+        if tok.text == "exists" or tok.text == "forall":
+            return self.quantified()
+        if tok.kind == "ident" and tok.text in RELATION_NAMES:
+            rel = self.next().text
+            self.expect("(")
+            left = self.region_term()
+            self.expect(",")
+            right = self.region_term()
+            self.expect(")")
+            return Rel(rel, left, right)
+        # name equality: IDENT = IDENT
+        first = self._ident("name expression")
+        self.expect("=")
+        second = self._ident("name expression")
+        return NameEq(self._name_term(first), self._name_term(second))
+
+    def region_term(self):
+        if self.at("ext"):
+            self.next()
+            self.expect("(")
+            inner = self._ident("name expression")
+            self.expect(")")
+            return Ext(self._name_term(inner))
+        ident = self._ident("region expression")
+        if ident in self.region_vars[-1]:
+            return RegionVar(ident)
+        return Ext(self._name_term(ident))
+
+    def _name_term(self, ident: str):
+        if ident in self.name_vars[-1]:
+            return NameVar(ident)
+        if ident in self.region_vars[-1]:
+            raise ParseError(
+                f"{ident!r} is a region variable, not a name"
+            )
+        return NameConst(ident)
+
+    def _ident(self, what: str) -> str:
+        tok = self.next()
+        if tok.kind != "ident":
+            raise ParseError(
+                f"expected {what}, found {tok.text!r}", tok.position
+            )
+        return tok.text
+
+
+def parse(text: str) -> Formula:
+    """Parse a query in the concrete syntax into the logic AST."""
+    return _Parser(text).parse()

@@ -1,0 +1,146 @@
+"""Decision procedure for disjoint-connection queries (Example 4.2).
+
+The Fig. 7 separating queries ask for pairwise *disjoint* regions, each
+connecting one pair of named regions while avoiding all others:
+
+    ∃r1 … ∃rk .  ⋀i path(Xi, ri, Yi)  ∧  ⋀i<j disjoint(ri, rj)
+
+Under cell semantics a connecting region can be normalized to an
+*induced simple path of faces*: any connecting region can be shrunk to a
+face path, and any face path can be shortcut to an induced one, which
+only blocks fewer cells — so searching induced paths is complete.  The
+grid overlay is deliberately coarse (:func:`coarse_grid_complex`): just
+enough exterior cells for witnesses to exist without a combinatorial
+explosion.
+"""
+
+from __future__ import annotations
+
+from ..errors import QueryError
+from ..regions import SpatialInstance
+from .cell_eval import CellModel, coarse_grid_complex
+
+__all__ = ["disjoint_connections"]
+
+
+def disjoint_connections(
+    instance: SpatialInstance,
+    pairs: list[tuple[str, str]],
+    grid_lines: int | None = None,
+    node_budget: int = 2_000_000,
+) -> bool:
+    """Do pairwise-disjoint connections exist for all the given pairs?
+
+    For each pair ``(X, Y)`` the connection must avoid (not even touch)
+    every other region named in *pairs*; the connections' closures must
+    be pairwise disjoint (the paper's ``disjoint``).
+    """
+    model = CellModel(
+        instance, complex=coarse_grid_complex(instance, grid_lines)
+    )
+    cx = model.complex
+    all_names = {n for pair in pairs for n in pair}
+
+    down: dict[str, set[str]] = {c: set() for c in cx.cells}
+    for (a, b) in cx.incidences:
+        down[b].add(a)
+    closure: dict[str, frozenset[str]] = {}
+    for f in (c.id for c in cx.faces):
+        cells = {f} | down[f]
+        extra = set()
+        for c in cells:
+            extra |= down.get(c, set())
+        closure[f] = frozenset(cells | extra)
+
+    name_index = {n: cx.names.index(n) for n in cx.names}
+
+    def touches(face: str, name: str) -> bool:
+        i = name_index[name]
+        return any(cx.cells[c].label[i] != "e" for c in closure[face])
+
+    searches = []
+    for (x, y) in pairs:
+        avoided = sorted(all_names - {x, y})
+        usable = [
+            f.id
+            for f in cx.faces
+            if not any(touches(f.id, z) for z in avoided)
+        ]
+        usable_set = set(usable)
+        starts = sorted(f for f in usable if touches(f, x))
+        ends = {f for f in usable if touches(f, y)}
+        adjacency: dict[str, set[str]] = {f: set() for f in usable}
+        for f in usable:
+            for (_e, g) in model._face_adj.get(f, ()):
+                if g in usable_set:
+                    adjacency[f].add(g)
+        searches.append((starts, ends, adjacency))
+
+    # Cheapest searches first: fail fast when a pair has no room at all.
+    order = sorted(
+        range(len(searches)), key=lambda i: len(searches[i][0])
+    )
+    searches = [searches[i] for i in order]
+
+    budget = [node_budget]
+
+    def reachable(j: int, blocked: frozenset[str]) -> bool:
+        """Cheap lookahead: ignoring mutual disjointness, can pair *j*
+        still be connected outside *blocked*?"""
+        starts, ends, adjacency = searches[j]
+        frontier = [
+            s for s in starts if not (closure[s] & blocked)
+        ]
+        seen = set(frontier)
+        while frontier:
+            f = frontier.pop()
+            if f in ends:
+                return True
+            for g in adjacency[f]:
+                if g not in seen and not (closure[g] & blocked):
+                    seen.add(g)
+                    frontier.append(g)
+        return False
+
+    def search(i: int, blocked: frozenset[str]) -> bool:
+        if i == len(searches):
+            return True
+        for j in range(i, len(searches)):
+            if not reachable(j, blocked):
+                return False
+        starts, ends, adjacency = searches[i]
+
+        def extend(path: list[str], used_cells: frozenset[str]) -> bool:
+            budget[0] -= 1
+            if budget[0] <= 0:
+                raise QueryError(
+                    "disjoint-connection search exceeded its node budget"
+                )
+            face = path[-1]
+            if face in ends:
+                if search(i + 1, blocked | used_cells):
+                    return True
+                # A longer continuation would only block more cells.
+                return False
+            banned = set(path[:-1])
+            for g in sorted(adjacency[face]):
+                if g in path:
+                    continue
+                # Induced-path pruning: the new face may touch only the
+                # current path head, not earlier faces.
+                if adjacency[g] & banned:
+                    continue
+                if closure[g] & blocked:
+                    continue
+                if extend(path + [g], used_cells | closure[g]):
+                    return True
+            return False
+
+        for s in starts:
+            if closure[s] & blocked:
+                continue
+            if extend([s], frozenset(closure[s])):
+                return True
+        return False
+
+    return search(0, frozenset())

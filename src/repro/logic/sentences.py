@@ -1,0 +1,322 @@
+"""Defining sentences and the normal form for topological queries
+(Proposition 5.1, Theorems 5.2, 5.4, 5.6).
+
+``build_phi(T)`` constructs the sentence φ_I of Proposition 5.1 from an
+invariant: a region-quantified first-order sentence over the
+4-intersection vocabulary that defines the H-equivalence class of the
+instances with invariant ``T``.  The sentence follows the proof's
+structure —
+
+* a name part fixing ``names(I)``,
+* one existential region variable per cell of the invariant,
+* pairwise disjointness of the cell witnesses,
+* label constraints tying each witness to each named region
+  (``overlap`` for boundary, ``subset`` for interior, ``disjoint`` for
+  exterior),
+* an exterior-face marker, incidence gadgets for E, and orientation
+  gadgets for O.
+
+The incidence and orientation gadgets are *schematic*: they have the
+shape the proof prescribes (auxiliary quantified regions connected to
+the participating cell witnesses) but their full geometric content is
+carried by the canonical construction rather than spelled out as nested
+path formulas — the paper's own evaluation strategy for these sentences
+(proof of Theorem 5.6) is to *reverse-engineer* the invariant from the
+sentence and decide by invariant isomorphism, which is exactly what
+``phi_holds`` implements.  ``reverse_engineer`` inverts ``build_phi``;
+``normal_form`` is the polynomial-time mapping ``f(I) = φ_{T_I}`` of
+Theorem 5.6.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from ..errors import QueryError
+from ..invariant import (
+    TopologicalInvariant,
+    are_isomorphic,
+    invariant,
+)
+from ..regions import SpatialInstance
+from .ast import (
+    And,
+    ExistsName,
+    ExistsRegion,
+    Ext,
+    ForAllName,
+    Formula,
+    NameConst,
+    NameEq,
+    NameVar,
+    Not,
+    Or,
+    RegionVar,
+    Rel,
+)
+
+__all__ = [
+    "build_phi",
+    "reverse_engineer",
+    "phi_holds",
+    "normal_form",
+    "RecursiveTopologicalProperty",
+]
+
+_LABEL_RELATION = {"b": "overlap", "o": "subset", "e": "disjoint"}
+_RELATION_LABEL = {v: k for k, v in _LABEL_RELATION.items()}
+
+
+def build_phi(t: TopologicalInvariant) -> Formula:
+    """The defining sentence φ of the H-equivalence class of ``T``."""
+    cells = sorted(t.all_cells())
+    var_of = {c: f"r_{c}" for c in cells}
+
+    conjuncts: list[Formula] = []
+
+    # Pairwise disjointness of the cell witnesses.
+    for i, c1 in enumerate(cells):
+        for c2 in cells[i + 1:]:
+            conjuncts.append(
+                Rel("disjoint", RegionVar(var_of[c1]), RegionVar(var_of[c2]))
+            )
+
+    # Label constraints.
+    for c in cells:
+        for name, sign in zip(t.names, t.labels[c]):
+            conjuncts.append(
+                Rel(
+                    _LABEL_RELATION[sign],
+                    RegionVar(var_of[c]),
+                    Ext(NameConst(name)),
+                )
+            )
+
+    # Exterior face marker: some region covering every named region does
+    # not connect to the exterior witness.
+    ext_parts: list[Formula] = [
+        Rel("subset", Ext(NameConst(n)), RegionVar("w_ext"))
+        for n in t.names
+    ]
+    ext_parts.append(
+        Not(Rel("connect", RegionVar("w_ext"), RegionVar(var_of[t.exterior_face])))
+    )
+    conjuncts.append(ExistsRegion("w_ext", And(*ext_parts)))
+
+    # Incidence gadgets: a connector region for each E pair.
+    for a, b in sorted(t.incidences):
+        w = f"w_inc_{a}_{b}"
+        conjuncts.append(
+            ExistsRegion(
+                w,
+                And(
+                    Rel("connect", RegionVar(var_of[a]), RegionVar(w)),
+                    Rel("connect", RegionVar(var_of[b]), RegionVar(w)),
+                ),
+            )
+        )
+
+    # Endpoint gadgets (edges to their endpoint vertices) are part of the
+    # incidences; loops need their multiplicity marked: an edge with a
+    # single endpoint entry is flagged by an equal-witness gadget.
+    for e in sorted(t.edges):
+        eps = t.endpoints.get(e, ())
+        if len(eps) == 1:
+            w = f"w_loop_{e}"
+            conjuncts.append(
+                ExistsRegion(
+                    w,
+                    Rel("equal", RegionVar(w), RegionVar(var_of[e])),
+                )
+            )
+
+    # Orientation gadgets: CW tuples as And-shaped connectors, CCW as
+    # Or-shaped (schematic; see module docstring).
+    for sense, v, e1, e2 in sorted(t.orientation):
+        w = f"w_{sense}_{v}_{e1}_{e2}"
+        body = And(
+            Rel("connect", RegionVar(var_of[v]), RegionVar(w)),
+            Rel("connect", RegionVar(var_of[e1]), RegionVar(w)),
+            Rel("connect", RegionVar(var_of[e2]), RegionVar(w)),
+        )
+        conjuncts.append(
+            ExistsRegion(w, body if sense == "cw" else Or(body))
+        )
+
+    # Existential closure over the cell witnesses.
+    psi: Formula = And(*conjuncts)
+    for c in reversed(cells):
+        psi = ExistsRegion(var_of[c], psi)
+
+    # Name part: the instance has exactly the names of T.
+    name_atoms = [
+        NameEq(NameVar(f"a{i}"), NameConst(n))
+        for i, n in enumerate(t.names)
+    ]
+    closure = ForAllName(
+        "a",
+        Or(*[NameEq(NameVar("a"), NameConst(n)) for n in t.names]),
+    )
+    phi: Formula = And(*name_atoms, closure, psi)
+    for i in reversed(range(len(t.names))):
+        phi = ExistsName(f"a{i}", phi)
+    return phi
+
+
+def reverse_engineer(phi: Formula) -> TopologicalInvariant:
+    """Recover the invariant from a sentence built by :func:`build_phi`.
+
+    This is the reverse engineering step in the proof of Theorem 5.6.
+    Raises :class:`~repro.errors.QueryError` when the sentence does not
+    have the canonical shape.
+    """
+    # Strip the name quantifiers.
+    body = phi
+    while isinstance(body, ExistsName):
+        body = body.body
+    if not isinstance(body, And):
+        raise QueryError("not a canonical defining sentence")
+    names: list[str] = []
+    psi = None
+    for part in body.parts:
+        if isinstance(part, NameEq) and isinstance(part.right, NameConst):
+            names.append(part.right.value)
+        elif isinstance(part, ExistsRegion):
+            psi = part
+        elif isinstance(part, ForAllName):
+            continue
+        else:
+            raise QueryError("unexpected component in defining sentence")
+    if psi is None:
+        raise QueryError("defining sentence has no region part")
+    names_t = tuple(sorted(names))
+
+    # Collect the cell witnesses.
+    cells: list[str] = []
+    inner: Formula = psi
+    while isinstance(inner, ExistsRegion) and inner.variable.startswith("r_"):
+        cells.append(inner.variable[2:])
+        inner = inner.body
+    if not isinstance(inner, And):
+        raise QueryError("malformed region part")
+
+    labels: dict[str, dict[str, str]] = {c: {} for c in cells}
+    incidences: set[tuple[str, str]] = set()
+    orientation: set[tuple[str, str, str, str]] = set()
+    loops: set[str] = set()
+    exterior: str | None = None
+
+    for part in inner.parts:
+        if isinstance(part, Rel) and isinstance(part.right, Ext):
+            cell = part.left.name[2:]
+            name = part.right.name.value
+            labels[cell][name] = _RELATION_LABEL[part.relation]
+        elif isinstance(part, Rel):
+            continue  # pairwise disjointness
+        elif isinstance(part, ExistsRegion):
+            w = part.variable
+            if w == "w_ext":
+                last = part.body.parts[-1]
+                exterior = last.inner.right.name[2:]
+            elif w.startswith("w_inc_"):
+                a, b = w[len("w_inc_"):].split("_", 1)
+                incidences.add((a, b))
+            elif w.startswith("w_loop_"):
+                loops.add(w[len("w_loop_"):])
+            elif w.startswith(("w_cw_", "w_ccw_")):
+                sense, rest = w[2:].split("_", 1)
+                v, e1, e2 = rest.split("_", 2)
+                orientation.add((sense, v, e1, e2))
+            else:
+                raise QueryError(f"unknown gadget variable {w!r}")
+        else:
+            raise QueryError("unexpected conjunct in region part")
+    if exterior is None:
+        raise QueryError("defining sentence lacks an exterior marker")
+
+    # Reconstruct sorts: faces have no boundary sign; among the rest,
+    # vertices are cells nothing is incident to *and* that are incident
+    # to at least one non-face (an edge) — free-loop edges are also on
+    # the right of nothing but are incident only to faces.
+    cell_set = set(cells)
+    right = {b for (_a, b) in incidences}
+    faces = {c for c in cell_set if "b" not in labels[c].values()}
+    non_face_partner = {
+        a for (a, b) in incidences if b not in faces
+    }
+    vertices = {
+        c
+        for c in cell_set - faces
+        if c not in right and c in non_face_partner
+    }
+    edges = cell_set - faces - vertices
+
+    endpoints: dict[str, tuple[str, ...]] = {}
+    for e in edges:
+        eps = sorted(v for (v, x) in incidences if x == e and v in vertices)
+        if e in loops and len(eps) == 1:
+            endpoints[e] = (eps[0],)
+        else:
+            endpoints[e] = tuple(eps)
+
+    return TopologicalInvariant(
+        names=names_t,
+        vertices=frozenset(vertices),
+        edges=frozenset(edges),
+        faces=frozenset(faces),
+        exterior_face=exterior,
+        labels={
+            c: tuple(labels[c][n] for n in names_t) for c in cell_set
+        },
+        endpoints=endpoints,
+        incidences=frozenset(incidences),
+        orientation=frozenset(orientation),
+    )
+
+
+def phi_holds(phi: Formula, instance: SpatialInstance) -> bool:
+    """Does the instance satisfy the defining sentence?
+
+    By Theorem 5.2, ``I ⊨ φ_T`` iff ``T_I`` is isomorphic to ``T`` — and
+    that is how the paper evaluates these sentences (Theorem 5.6), so we
+    decide exactly that.
+    """
+    return are_isomorphic(reverse_engineer(phi), invariant(instance))
+
+
+def normal_form(instance: SpatialInstance) -> Formula:
+    """Theorem 5.6's polynomial-time map ``f(I) = φ_{T_I}``.
+
+    ``I ⊨ f(I)`` always holds, and for a recursive topological property
+    τ, ``I ⊨ τ  iff  f(I) ∈ F_τ`` where ``F_τ`` is the recursive set of
+    sentences accepted by :class:`RecursiveTopologicalProperty`.
+    """
+    return build_phi(invariant(instance))
+
+
+class RecursiveTopologicalProperty:
+    """A recursive topological property τ and its sentence set ``F_τ``.
+
+    The property is given as a computable predicate on invariants
+    (topological properties factor through the invariant by Theorem 3.4).
+    ``contains(phi)`` decides membership of a defining sentence in
+    ``F_τ``: reverse-engineer the invariant and apply the predicate —
+    the membership test of Theorem 5.6.
+    """
+
+    def __init__(
+        self, name: str, predicate: Callable[[TopologicalInvariant], bool]
+    ):
+        self.name = name
+        self.predicate = predicate
+
+    def holds_on(self, instance: SpatialInstance) -> bool:
+        return self.predicate(invariant(instance))
+
+    def contains(self, phi: Formula) -> bool:
+        """Membership of a sentence in ``F_τ``."""
+        try:
+            t = reverse_engineer(phi)
+        except QueryError:
+            return False
+        return self.predicate(t)

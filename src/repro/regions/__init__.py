@@ -1,0 +1,20 @@
+"""Region model: the paper's classes Rect, Rect*, Poly, Alg, and spatial
+database instances."""
+
+from .algebraic import AlgRegion, Polynomial2
+from .base import PolygonRegion, Region
+from .instance import SpatialInstance
+from .poly import Poly
+from .rect import Rect
+from .rectunion import RectUnion
+
+__all__ = [
+    "AlgRegion",
+    "Poly",
+    "PolygonRegion",
+    "Polynomial2",
+    "Rect",
+    "RectUnion",
+    "Region",
+    "SpatialInstance",
+]

@@ -1,0 +1,262 @@
+"""Semi-algebraic disc regions (the paper's class ``Alg``).
+
+An ``Alg`` region is a disc of the form  ``∪_i ∩_j { (x, y) | P_ij(x, y) > 0 }``
+with integer-coefficient polynomials — equivalently, a disc whose boundary
+is a piecewise algebraic curve.  The paper computes its topological
+invariant through the Kozen–Yap cell decomposition; we instead carry an
+exact *polygonalization* of the boundary (Theorem 3.5 of the paper: every
+Alg instance has a Poly representative with the same invariant), while
+keeping the defining polynomials available for exact sign queries.
+
+The circle/ellipse factories place vertices *exactly on* the algebraic
+curve using the rational (tan half-angle) parameterization, so the
+polygonal boundary interpolates the true boundary at rational points.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Iterable, Mapping, Sequence
+
+from ..errors import RegionError
+from ..geometry import Point, Q, SimplePolygon, ccw_sorted
+from .base import PolygonRegion
+
+__all__ = ["Polynomial2", "AlgRegion"]
+
+
+@dataclass(frozen=True)
+class Polynomial2:
+    """A bivariate polynomial with rational coefficients.
+
+    Coefficients are stored sparsely as ``{(i, j): c}`` meaning
+    ``c * x**i * y**j``.
+    """
+
+    coeffs: tuple[tuple[tuple[int, int], Fraction], ...]
+
+    def __init__(self, coeffs: Mapping[tuple[int, int], object]):
+        cleaned = tuple(
+            sorted(
+                ((ij, Q(c)) for ij, c in coeffs.items() if Q(c) != 0),
+            )
+        )
+        object.__setattr__(self, "coeffs", cleaned)
+
+    def __call__(self, p: Point) -> Fraction:
+        total = Fraction(0)
+        for (i, j), c in self.coeffs:
+            total += c * p.x**i * p.y**j
+        return total
+
+    def sign_at(self, p: Point) -> int:
+        v = self(p)
+        return (v > 0) - (v < 0)
+
+    def degree(self) -> int:
+        return max((i + j for (i, j), _ in self.coeffs), default=0)
+
+    # -- arithmetic ----------------------------------------------------------
+
+    def _as_dict(self) -> dict[tuple[int, int], Fraction]:
+        return dict(self.coeffs)
+
+    def __add__(self, other: "Polynomial2") -> "Polynomial2":
+        d = self._as_dict()
+        for ij, c in other.coeffs:
+            d[ij] = d.get(ij, Fraction(0)) + c
+        return Polynomial2(d)
+
+    def __neg__(self) -> "Polynomial2":
+        return Polynomial2({ij: -c for ij, c in self.coeffs})
+
+    def __sub__(self, other: "Polynomial2") -> "Polynomial2":
+        return self + (-other)
+
+    def __mul__(self, other: "Polynomial2") -> "Polynomial2":
+        d: dict[tuple[int, int], Fraction] = {}
+        for (i1, j1), c1 in self.coeffs:
+            for (i2, j2), c2 in other.coeffs:
+                key = (i1 + i2, j1 + j2)
+                d[key] = d.get(key, Fraction(0)) + c1 * c2
+        return Polynomial2(d)
+
+    @staticmethod
+    def constant(c) -> "Polynomial2":
+        return Polynomial2({(0, 0): Q(c)})
+
+    @staticmethod
+    def x() -> "Polynomial2":
+        return Polynomial2({(1, 0): 1})
+
+    @staticmethod
+    def y() -> "Polynomial2":
+        return Polynomial2({(0, 1): 1})
+
+    @staticmethod
+    def circle(cx, cy, r) -> "Polynomial2":
+        """``r^2 - (x - cx)^2 - (y - cy)^2`` — positive inside the circle."""
+        cxq, cyq, rq = Q(cx), Q(cy), Q(r)
+        return Polynomial2(
+            {
+                (0, 0): rq * rq - cxq * cxq - cyq * cyq,
+                (1, 0): 2 * cxq,
+                (0, 1): 2 * cyq,
+                (2, 0): -1,
+                (0, 2): -1,
+            }
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        terms = " + ".join(
+            f"{c}*x^{i}*y^{j}" for (i, j), c in self.coeffs
+        )
+        return f"Polynomial2({terms or '0'})"
+
+
+# The defining formula of an AlgRegion: a disjunction of conjunctions of
+# strict polynomial inequalities P > 0.
+Definition = tuple[tuple[Polynomial2, ...], ...]
+
+
+class AlgRegion(PolygonRegion):
+    """A semi-algebraic disc, carried as definition + polygonalization.
+
+    The polygonalization is the authoritative extent for all topological
+    computations (arrangements, invariants); the polynomial definition is
+    retained for exact algebraic sign queries and documentation.
+    """
+
+    __slots__ = ("definition", "_polygon")
+
+    def __init__(
+        self,
+        definition: Iterable[Iterable[Polynomial2]],
+        polygon: SimplePolygon,
+    ):
+        self.definition: Definition = tuple(
+            tuple(conj) for conj in definition
+        )
+        if not isinstance(polygon, SimplePolygon):
+            raise RegionError("AlgRegion requires a SimplePolygon boundary")
+        self._polygon = polygon
+
+    def boundary_polygon(self) -> SimplePolygon:
+        return self._polygon
+
+    def algebraic_classify_interior(self, p: Point) -> bool:
+        """Exact sign-based interior test against the defining formula."""
+        return any(
+            all(poly.sign_at(p) > 0 for poly in conj)
+            for conj in self.definition
+        )
+
+    def polygonalize(self):
+        """This region as a plain :class:`~repro.regions.poly.Poly`."""
+        from .poly import Poly
+
+        return Poly(self._polygon.vertices, validate=False)
+
+    # -- factories -----------------------------------------------------------
+
+    @staticmethod
+    def circle(cx, cy, r, n: int = 16) -> "AlgRegion":
+        """The open disc of radius *r* centred at (cx, cy).
+
+        The polygonal boundary has *n* vertices lying exactly on the
+        circle, obtained from the rational parameterization
+        ``x = (1-t^2)/(1+t^2), y = 2t/(1+t^2)`` with rational *t*
+        approximating ``tan(theta/2)`` at evenly spaced angles.
+        """
+        if n < 3:
+            raise RegionError("circle polygonalization needs n >= 3")
+        cxq, cyq, rq = Q(cx), Q(cy), Q(r)
+        if rq <= 0:
+            raise RegionError("circle radius must be positive")
+        centre = Point(cxq, cyq)
+        pts: list[Point] = []
+        for k in range(n):
+            theta = 2 * math.pi * k / n
+            half = theta / 2
+            # Near the pole (theta = pi) the half-angle tangent blows up;
+            # use the antipodal point exactly.
+            if abs(half - math.pi / 2) < 1e-9:
+                pts.append(Point(cxq - rq, cyq))
+                continue
+            t = Fraction(round(math.tan(half) * 4096), 4096)
+            denom = 1 + t * t
+            ux = (1 - t * t) / denom
+            uy = 2 * t / denom
+            pts.append(Point(cxq + rq * ux, cyq + rq * uy))
+        unique = list(dict.fromkeys(pts))
+        dirs = ccw_sorted([p - centre for p in unique])
+        ordered = [centre + d for d in dirs]
+        poly = SimplePolygon(tuple(ordered), validate=False)
+        return AlgRegion(((Polynomial2.circle(cxq, cyq, rq),),), poly)
+
+    @staticmethod
+    def ellipse(cx, cy, rx, ry, n: int = 16) -> "AlgRegion":
+        """The open axis-aligned ellipse with semi-axes *rx*, *ry*."""
+        cxq, cyq = Q(cx), Q(cy)
+        rxq, ryq = Q(rx), Q(ry)
+        if rxq <= 0 or ryq <= 0:
+            raise RegionError("ellipse semi-axes must be positive")
+        unit = AlgRegion.circle(0, 0, 1, n)
+        pts = tuple(
+            Point(cxq + rxq * p.x, cyq + ryq * p.y)
+            for p in unit.boundary_polygon().vertices
+        )
+        # ry^2 (x-cx)^2 + rx^2 (y-cy)^2 < rx^2 ry^2
+        x = Polynomial2.x() - Polynomial2.constant(cxq)
+        y = Polynomial2.y() - Polynomial2.constant(cyq)
+        poly = (
+            Polynomial2.constant(rxq * rxq * ryq * ryq)
+            - Polynomial2.constant(ryq * ryq) * x * x
+            - Polynomial2.constant(rxq * rxq) * y * y
+        )
+        return AlgRegion(
+            ((poly,),), SimplePolygon(pts, validate=False)
+        )
+
+    @staticmethod
+    def from_polygon(vertices: Sequence[Point]) -> "AlgRegion":
+        """Wrap a polygon as a (piecewise linear) semi-algebraic region.
+
+        The defining formula is a single conjunction of half-plane
+        inequalities when the polygon is convex; for non-convex polygons
+        the formula is left empty and only the polygonal extent is used.
+        """
+        poly = SimplePolygon(tuple(vertices))
+        halfplanes: list[Polynomial2] = []
+        convex = True
+        verts = poly.vertices
+        n = len(verts)
+        for i in range(n):
+            a, b, c = verts[i], verts[(i + 1) % n], verts[(i + 2) % n]
+            if (b - a).cross(c - b) < 0:
+                convex = False
+                break
+        if convex:
+            for a, b in poly.edge_pairs():
+                # Inside (CCW) means left of each directed edge:
+                # (b-a) x (p-a) > 0.
+                d = b - a
+                halfplanes.append(
+                    Polynomial2(
+                        {
+                            (1, 0): -d.y,
+                            (0, 1): d.x,
+                            (0, 0): d.y * a.x - d.x * a.y,
+                        }
+                    )
+                )
+        definition = ((tuple(halfplanes),) if convex else ())
+        return AlgRegion(definition, poly)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"AlgRegion({len(self.definition)} disjuncts, "
+            f"{len(self._polygon.vertices)}-gon boundary)"
+        )

@@ -1,0 +1,95 @@
+"""Abstract region model.
+
+Following Section 2 of the paper, a *region* is an open, simply connected,
+nonempty subset of R^2 with connected boundary (a homeomorph of the open
+unit disc).  Note that such a region's boundary need **not** be a simple
+closed curve — a union of rectangles can form a disc with a slit or a
+corner pinch (this is what the paper's Fig. 7 instances exploit) — so the
+primitive interface is point classification plus a set of boundary
+segments, and only the polygon-backed classes expose a
+``boundary_polygon``.
+
+Concrete classes: :class:`~repro.regions.rect.Rect`,
+:class:`~repro.regions.rectunion.RectUnion` (the paper's Rect*),
+:class:`~repro.regions.poly.Poly`,
+:class:`~repro.regions.algebraic.AlgRegion`.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+from ..geometry import BBox, Location, Point, Segment, SimplePolygon
+
+__all__ = ["Region", "PolygonRegion"]
+
+
+class Region(ABC):
+    """A disc-homeomorphic open region of the plane."""
+
+    @abstractmethod
+    def classify(self, p: Point) -> Location:
+        """Exact location of *p*: INTERIOR (in the open region), BOUNDARY
+        (on its topological boundary), or EXTERIOR."""
+
+    @abstractmethod
+    def boundary_segments(self) -> list[Segment]:
+        """The region's topological boundary as a finite set of segments.
+
+        Segments may share endpoints; together they cover the boundary
+        exactly (for curved regions, after polygonalization)."""
+
+    @abstractmethod
+    def interior_point(self) -> Point:
+        """Some exact point strictly inside the region."""
+
+    @abstractmethod
+    def bbox(self) -> BBox:
+        """A bounding box of the region's closure."""
+
+    def contains_point(self, p: Point) -> bool:
+        """True iff *p* is in the open region (boundary excluded)."""
+        return self.classify(p) is Location.INTERIOR
+
+    def to_poly(self):
+        """This region as a :class:`~repro.regions.poly.Poly`.
+
+        Only defined for regions with a simple polygonal boundary."""
+        from .poly import Poly
+
+        return Poly(self.boundary_polygon().vertices, validate=False)
+
+    def boundary_polygon(self) -> SimplePolygon:
+        """The boundary as a simple polygon, when it is one.
+
+        Raises :class:`~repro.errors.RegionError` for regions whose
+        boundary is not a simple closed curve."""
+        from ..errors import RegionError
+
+        raise RegionError(
+            f"{type(self).__name__} does not expose a simple polygon boundary"
+        )
+
+
+class PolygonRegion(Region):
+    """Mixin for regions whose boundary is a simple polygon."""
+
+    @abstractmethod
+    def boundary_polygon(self) -> SimplePolygon:
+        """The region's boundary as a simple polygon."""
+
+    def classify(self, p: Point) -> Location:
+        return self.boundary_polygon().locate(p)
+
+    def boundary_segments(self) -> list[Segment]:
+        return self.boundary_polygon().edges()
+
+    def bbox(self) -> BBox:
+        return BBox.of_points(self.boundary_polygon().vertices)
+
+    def interior_point(self) -> Point:
+        return self.boundary_polygon().interior_point()
+
+    def area2(self):
+        """Twice the enclosed area."""
+        return self.boundary_polygon().area2()

@@ -1,0 +1,138 @@
+"""Spatial database instances (Section 2 of the paper).
+
+An instance ``I`` is a finite set of region names together with a mapping
+from each name to its extent, a region of the plane:
+
+    ``names(I) ⊆ Names``,  ``ext(I, r) ⊆ R^2``  for ``r ∈ names(I)``.
+
+The only thematic information is the region names, and queries are
+boolean, exactly as the paper's simplified model prescribes.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Iterator, Mapping
+
+from ..errors import InstanceError
+from ..geometry import BBox, Location, Point
+from .base import Region
+
+__all__ = ["SpatialInstance"]
+
+
+class SpatialInstance:
+    """A finite map from region names to extents.
+
+    Iteration order is the insertion order of names; equality of the name
+    *sets* (not the order) is what G-equivalence requires.
+    """
+
+    __slots__ = ("_regions",)
+
+    def __init__(self, regions: Mapping[str, Region] | None = None):
+        self._regions: dict[str, Region] = {}
+        if regions:
+            for name, region in regions.items():
+                self.add(name, region)
+
+    def add(self, name: str, region: Region) -> "SpatialInstance":
+        """Add a named region; names must be unique and nonempty."""
+        if not name:
+            raise InstanceError("region name must be a nonempty string")
+        if name in self._regions:
+            raise InstanceError(f"duplicate region name {name!r}")
+        if not isinstance(region, Region):
+            raise InstanceError(
+                f"extent of {name!r} must be a Region, got {type(region)!r}"
+            )
+        self._regions[name] = region
+        return self
+
+    # -- the paper's accessors -------------------------------------------------
+
+    def names(self) -> tuple[str, ...]:
+        """``names(I)`` in insertion order."""
+        return tuple(self._regions)
+
+    def ext(self, name: str) -> Region:
+        """``ext(I, name)``."""
+        try:
+            return self._regions[name]
+        except KeyError:
+            raise InstanceError(f"no region named {name!r}") from None
+
+    # -- container protocol ------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._regions)
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._regions)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._regions
+
+    def items(self) -> Iterable[tuple[str, Region]]:
+        return self._regions.items()
+
+    def regions(self) -> tuple[Region, ...]:
+        return tuple(self._regions.values())
+
+    # -- derived ------------------------------------------------------------------
+
+    def bbox(self) -> BBox:
+        if not self._regions:
+            raise InstanceError("bounding box of an empty instance")
+        boxes = [r.bbox() for r in self._regions.values()]
+        box = boxes[0]
+        for b in boxes[1:]:
+            box = box.union(b)
+        return box
+
+    def classify(self, name: str, p: Point) -> Location:
+        return self.ext(name).classify(p)
+
+    def label_of(self, p: Point) -> tuple[str, ...]:
+        """The sign vector of *p*: for each name, 'o'/'b'/'e' for
+        interior/boundary/exterior — the paper's labeling sigma."""
+        codes = {
+            Location.INTERIOR: "o",
+            Location.BOUNDARY: "b",
+            Location.EXTERIOR: "e",
+        }
+        return tuple(codes[self.ext(n).classify(p)] for n in self.names())
+
+    def map_regions(
+        self, f: Callable[[str, Region], Region]
+    ) -> "SpatialInstance":
+        """A new instance with each extent replaced by ``f(name, extent)``."""
+        out = SpatialInstance()
+        for name, region in self._regions.items():
+            out.add(name, f(name, region))
+        return out
+
+    def polygonalized(self) -> "SpatialInstance":
+        """Every extent converted to a ``Poly`` where possible.
+
+        Regions with non-simple boundaries (some ``RectUnion``) are kept
+        as-is; the arrangement engine handles them through their segment
+        boundaries.
+        """
+        from ..errors import RegionError
+
+        def convert(_name: str, region: Region) -> Region:
+            try:
+                return region.to_poly()
+            except RegionError:
+                return region
+
+        return self.map_regions(convert)
+
+    def same_names(self, other: "SpatialInstance") -> bool:
+        return set(self.names()) == set(other.names())
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        inner = ", ".join(
+            f"{name}: {region!r}" for name, region in self._regions.items()
+        )
+        return f"SpatialInstance({{{inner}}})"

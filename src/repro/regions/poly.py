@@ -1,0 +1,61 @@
+"""Open simple polygonal regions (the paper's class ``Poly``)."""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from ..errors import RegionError
+from ..geometry import Point, SimplePolygon
+from .base import PolygonRegion
+
+__all__ = ["Poly"]
+
+
+class Poly(PolygonRegion):
+    """The open interior of a simple polygon.
+
+    ``Poly`` regions are finitely specifiable (linear inequalities with
+    rational coefficients in the paper; a vertex list here, which is the
+    same data presented differently).
+    """
+
+    __slots__ = ("_polygon",)
+
+    def __init__(self, vertices: Iterable[Point], validate: bool = True):
+        try:
+            self._polygon = SimplePolygon(tuple(vertices), validate=validate)
+        except Exception as exc:  # GeometryError
+            raise RegionError(f"not a simple polygon: {exc}") from exc
+
+    @property
+    def vertices(self) -> tuple[Point, ...]:
+        return self._polygon.vertices
+
+    def boundary_polygon(self) -> SimplePolygon:
+        return self._polygon
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, Poly) and _cyclic_equal(
+            self.vertices, other.vertices
+        )
+
+    def __hash__(self) -> int:
+        return hash(frozenset(self.vertices))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Poly({len(self.vertices)} vertices)"
+
+
+def _cyclic_equal(a: tuple[Point, ...], b: tuple[Point, ...]) -> bool:
+    """True iff *a* and *b* are equal up to rotation (orientation is
+    already normalized by :class:`SimplePolygon`)."""
+    if len(a) != len(b):
+        return False
+    if not a:
+        return True
+    try:
+        start = b.index(a[0])
+    except ValueError:
+        return False
+    n = len(a)
+    return all(a[i] == b[(start + i) % n] for i in range(n))

@@ -1,0 +1,77 @@
+"""Open axis-aligned rectangles (the paper's class ``Rect``)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+
+from ..errors import RegionError
+from ..geometry import BBox, Location, Point, Q, SimplePolygon
+from .base import PolygonRegion
+
+__all__ = ["Rect"]
+
+
+@dataclass(frozen=True)
+class Rect(PolygonRegion):
+    """The open rectangle ``{(x, y) | x1 < x < x2, y1 < y < y2}``.
+
+    Instances with rational corners are finitely specifiable, matching the
+    paper's convention for decidability results.
+    """
+
+    x1: Fraction
+    y1: Fraction
+    x2: Fraction
+    y2: Fraction
+
+    def __init__(self, x1, y1, x2, y2):
+        x1q, y1q, x2q, y2q = Q(x1), Q(y1), Q(x2), Q(y2)
+        if not (x1q < x2q and y1q < y2q):
+            raise RegionError(
+                f"rectangle requires x1 < x2 and y1 < y2, got "
+                f"({x1q}, {y1q}, {x2q}, {y2q})"
+            )
+        object.__setattr__(self, "x1", x1q)
+        object.__setattr__(self, "y1", y1q)
+        object.__setattr__(self, "x2", x2q)
+        object.__setattr__(self, "y2", y2q)
+
+    @staticmethod
+    def from_bbox(box: BBox) -> "Rect":
+        return Rect(box.xmin, box.ymin, box.xmax, box.ymax)
+
+    def boundary_polygon(self) -> SimplePolygon:
+        return SimplePolygon(
+            (
+                Point(self.x1, self.y1),
+                Point(self.x2, self.y1),
+                Point(self.x2, self.y2),
+                Point(self.x1, self.y2),
+            ),
+            validate=False,
+        )
+
+    def classify(self, p: Point) -> Location:
+        # Direct comparisons are faster than the generic polygon walk.
+        if self.x1 < p.x < self.x2 and self.y1 < p.y < self.y2:
+            return Location.INTERIOR
+        if self.x1 <= p.x <= self.x2 and self.y1 <= p.y <= self.y2:
+            return Location.BOUNDARY
+        return Location.EXTERIOR
+
+    def bbox(self) -> BBox:
+        return BBox(self.x1, self.y1, self.x2, self.y2)
+
+    def interior_point(self) -> Point:
+        half = Fraction(1, 2)
+        return Point((self.x1 + self.x2) * half, (self.y1 + self.y2) * half)
+
+    def width(self) -> Fraction:
+        return self.x2 - self.x1
+
+    def height(self) -> Fraction:
+        return self.y2 - self.y1
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Rect({self.x1}, {self.y1}, {self.x2}, {self.y2})"

@@ -1,0 +1,337 @@
+"""Finite unions of open rectangles that form a disc (the paper's Rect*).
+
+A member of ``Rect*`` is an open, simply connected set that happens to be a
+finite union of open axis-aligned rectangles.  Because the rectangles are
+open, they must overlap properly to connect — two open rectangles sharing
+only an edge or corner have a disconnected union.  A valid union may still
+have a *non-simple* boundary (a slit reaching in from the outer boundary,
+or a corner pinch); such regions are discs by the Riemann mapping theorem
+and are exactly what the paper's non-simple instances (Fig. 7) are made of.
+
+The implementation refines the plane by the grid of all rectangle corner
+coordinates.  Within a refined cell/edge/vertex, membership in the union
+is constant, so finitely many point tests decide everything:
+
+* *connectivity*  — the graph of in-union cells linked through in-union
+  edges must be connected;
+* *simple connectivity* — the complement complex (out-cells, out-edges,
+  out-vertices, plus the unbounded outside) must be connected — this
+  rejects holes, interior slits, and punctures.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Iterable, Sequence
+
+from ..errors import RegionError
+from ..geometry import BBox, Location, Point, Segment
+from .base import Region
+from .rect import Rect
+
+__all__ = ["RectUnion"]
+
+_HALF = Fraction(1, 2)
+
+
+class RectUnion(Region):
+    """The union of finitely many open rectangles, validated to be a disc.
+
+    Parameters
+    ----------
+    rects:
+        The rectangles.  At least one is required.
+    validate:
+        When true (default), reject unions that are not open discs
+        (disconnected, with holes, punctures, or interior slits).
+    """
+
+    __slots__ = (
+        "rects",
+        "_xs",
+        "_ys",
+        "_in_cell",
+        "_in_vedge",
+        "_in_hedge",
+        "_in_vertex",
+    )
+
+    def __init__(self, rects: Iterable[Rect], validate: bool = True):
+        self.rects: tuple[Rect, ...] = tuple(rects)
+        if not self.rects:
+            raise RegionError("RectUnion requires at least one rectangle")
+        xs = sorted({r.x1 for r in self.rects} | {r.x2 for r in self.rects})
+        ys = sorted({r.y1 for r in self.rects} | {r.y2 for r in self.rects})
+        self._xs: list[Fraction] = xs
+        self._ys: list[Fraction] = ys
+        nx, ny = len(xs) - 1, len(ys) - 1
+
+        def in_union(p: Point) -> bool:
+            return any(
+                r.x1 < p.x < r.x2 and r.y1 < p.y < r.y2 for r in self.rects
+            )
+
+        # Cell (i, j) is the open box (xs[i], xs[i+1]) x (ys[j], ys[j+1]).
+        self._in_cell = {
+            (i, j): in_union(
+                Point((xs[i] + xs[i + 1]) * _HALF, (ys[j] + ys[j + 1]) * _HALF)
+            )
+            for i in range(nx)
+            for j in range(ny)
+        }
+        # Vertical grid edge (i, j): segment x = xs[i], ys[j] < y < ys[j+1];
+        # it separates cells (i-1, j) and (i, j).
+        self._in_vedge = {
+            (i, j): in_union(Point(xs[i], (ys[j] + ys[j + 1]) * _HALF))
+            for i in range(len(xs))
+            for j in range(ny)
+        }
+        # Horizontal grid edge (i, j): segment y = ys[j], xs[i] < x < xs[i+1];
+        # it separates cells (i, j-1) and (i, j).
+        self._in_hedge = {
+            (i, j): in_union(Point((xs[i] + xs[i + 1]) * _HALF, ys[j]))
+            for i in range(nx)
+            for j in range(len(ys))
+        }
+        self._in_vertex = {
+            (i, j): in_union(Point(xs[i], ys[j]))
+            for i in range(len(xs))
+            for j in range(len(ys))
+        }
+        if validate:
+            self._validate()
+
+    # -- validation --------------------------------------------------------
+
+    def _validate(self) -> None:
+        if not self._connected():
+            raise RegionError("rectangle union is not connected")
+        if not self._complement_connected():
+            raise RegionError(
+                "rectangle union is not simply connected "
+                "(hole, puncture, or interior slit)"
+            )
+
+    def _in_cells(self) -> list[tuple[int, int]]:
+        return [c for c, inside in self._in_cell.items() if inside]
+
+    def _connected(self) -> bool:
+        cells = self._in_cells()
+        if not cells:
+            return False
+        seen = {cells[0]}
+        stack = [cells[0]]
+        while stack:
+            i, j = stack.pop()
+            neighbours = []
+            if self._in_vedge.get((i, j)):
+                neighbours.append((i - 1, j))
+            if self._in_vedge.get((i + 1, j)):
+                neighbours.append((i + 1, j))
+            if self._in_hedge.get((i, j)):
+                neighbours.append((i, j - 1))
+            if self._in_hedge.get((i, j + 1)):
+                neighbours.append((i, j + 1))
+            for n in neighbours:
+                if self._in_cell.get(n) and n not in seen:
+                    seen.add(n)
+                    stack.append(n)
+        return len(seen) == len(cells)
+
+    def _complement_connected(self) -> bool:
+        """Connectivity of the closed complement (plus the point at
+        infinity), over the complex of out-cells / out-edges / out-vertices.
+
+        Node keys: ("cell", i, j), ("v", i, j) (vertical edge),
+        ("h", i, j) (horizontal edge), ("pt", i, j) (vertex), and "inf"
+        for the unbounded outside.  Edges of the connectivity graph link
+        each out-edge with its adjacent out-cells and out-endpoints; the
+        frame of the grid connects to "inf".
+        """
+        nx, ny = len(self._xs) - 1, len(self._ys) - 1
+        nodes: set = {"inf"}
+        for (i, j), inside in self._in_cell.items():
+            if not inside:
+                nodes.add(("cell", i, j))
+        for (i, j), inside in self._in_vedge.items():
+            if not inside:
+                nodes.add(("v", i, j))
+        for (i, j), inside in self._in_hedge.items():
+            if not inside:
+                nodes.add(("h", i, j))
+        for (i, j), inside in self._in_vertex.items():
+            if not inside:
+                nodes.add(("pt", i, j))
+
+        adj: dict = {n: [] for n in nodes}
+
+        def link(a, b):
+            if a in adj and b in adj:
+                adj[a].append(b)
+                adj[b].append(a)
+
+        for i in range(len(self._xs)):
+            for j in range(ny):
+                e = ("v", i, j)
+                link(e, ("cell", i - 1, j) if i > 0 else "inf")
+                link(e, ("cell", i, j) if i < nx else "inf")
+                link(e, ("pt", i, j))
+                link(e, ("pt", i, j + 1))
+        for i in range(nx):
+            for j in range(len(self._ys)):
+                e = ("h", i, j)
+                link(e, ("cell", i, j - 1) if j > 0 else "inf")
+                link(e, ("cell", i, j) if j < ny else "inf")
+                link(e, ("pt", i, j))
+                link(e, ("pt", i + 1, j))
+        # Frame vertices touch the outside.
+        for i in (0, len(self._xs) - 1):
+            for j in range(len(self._ys)):
+                link(("pt", i, j), "inf")
+        for j in (0, len(self._ys) - 1):
+            for i in range(len(self._xs)):
+                link(("pt", i, j), "inf")
+
+        seen = {"inf"}
+        stack = ["inf"]
+        while stack:
+            n = stack.pop()
+            for m in adj[n]:
+                if m not in seen:
+                    seen.add(m)
+                    stack.append(m)
+        return len(seen) == len(nodes)
+
+    # -- Region interface ----------------------------------------------------
+
+    def classify(self, p: Point) -> Location:
+        if any(r.classify(p) is Location.INTERIOR for r in self.rects):
+            return Location.INTERIOR
+        # p is in the closure of the union iff it lies in the closure of
+        # some in-union cell; equivalently, in the closure of some
+        # rectangle AND adjacent to union interior.  Closure of the union
+        # equals the union of closed in-union cells.
+        if any(
+            r.x1 <= p.x <= r.x2 and r.y1 <= p.y <= r.y2 for r in self.rects
+        ):
+            # Check adjacency to an in-union cell through the refined grid.
+            if self._touches_interior(p):
+                return Location.BOUNDARY
+        return Location.EXTERIOR
+
+    def _touches_interior(self, p: Point) -> bool:
+        """True iff *p* lies in the closure of some in-union cell."""
+        import bisect
+
+        xs, ys = self._xs, self._ys
+        # Candidate cell index ranges containing p in their closure.
+        i_hi = bisect.bisect_left(xs, p.x)
+        j_hi = bisect.bisect_left(ys, p.y)
+        i_candidates = set()
+        if i_hi < len(xs) and xs[i_hi] == p.x:
+            i_candidates.update({i_hi - 1, i_hi})
+        else:
+            i_candidates.add(i_hi - 1)
+        j_candidates = set()
+        if j_hi < len(ys) and ys[j_hi] == p.y:
+            j_candidates.update({j_hi - 1, j_hi})
+        else:
+            j_candidates.add(j_hi - 1)
+        for i in i_candidates:
+            for j in j_candidates:
+                if self._in_cell.get((i, j)):
+                    return True
+        return False
+
+    def boundary_segments(self) -> list[Segment]:
+        """Grid edges on the topological boundary of the union.
+
+        A grid edge is a boundary edge iff it is not itself in the union
+        but at least one of its adjacent cells is.  Maximal runs of
+        collinear boundary edges are merged into single segments.
+        """
+        xs, ys = self._xs, self._ys
+        nx, ny = len(xs) - 1, len(ys) - 1
+        segs: list[Segment] = []
+        for (i, j), inside in self._in_vedge.items():
+            if inside:
+                continue
+            left = self._in_cell.get((i - 1, j), False)
+            right = self._in_cell.get((i, j), False)
+            if left or right:
+                segs.append(
+                    Segment(Point(xs[i], ys[j]), Point(xs[i], ys[j + 1]))
+                )
+        for (i, j), inside in self._in_hedge.items():
+            if inside:
+                continue
+            below = self._in_cell.get((i, j - 1), False)
+            above = self._in_cell.get((i, j), False)
+            if below or above:
+                segs.append(
+                    Segment(Point(xs[i], ys[j]), Point(xs[i + 1], ys[j]))
+                )
+        return segs
+
+    def interior_point(self) -> Point:
+        return self.rects[0].interior_point()
+
+    def bbox(self) -> BBox:
+        box = self.rects[0].bbox()
+        for r in self.rects[1:]:
+            box = box.union(r.bbox())
+        return box
+
+    def is_simple_boundary(self) -> bool:
+        """True iff the boundary is a single simple closed curve.
+
+        Equivalent to: every boundary grid vertex has exactly two incident
+        boundary edges.
+        """
+        degree: dict[Point, int] = {}
+        for seg in self.boundary_segments():
+            for p in seg.endpoints():
+                degree[p] = degree.get(p, 0) + 1
+        return all(d == 2 for d in degree.values())
+
+    def boundary_polygon(self):
+        """The boundary as a simple polygon, when it is simple."""
+        from ..geometry import SimplePolygon
+
+        if not self.is_simple_boundary():
+            raise RegionError("RectUnion boundary is not a simple curve")
+        segs = self.boundary_segments()
+        adj: dict[Point, list[Point]] = {}
+        for seg in segs:
+            a, b = seg.endpoints()
+            adj.setdefault(a, []).append(b)
+            adj.setdefault(b, []).append(a)
+        start = min(adj, key=Point.lex_key)
+        chain = [start]
+        prev = None
+        current = start
+        while True:
+            nxt = [q for q in adj[current] if q != prev]
+            # A degree-2 vertex has exactly one way forward.
+            step = nxt[0]
+            if step == start:
+                break
+            chain.append(step)
+            prev, current = current, step
+        return SimplePolygon(_merge_collinear(chain), validate=False)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"RectUnion({len(self.rects)} rects)"
+
+
+def _merge_collinear(chain: Sequence[Point]) -> tuple[Point, ...]:
+    """Drop vertices interior to straight runs of a closed chain."""
+    from ..geometry import collinear
+
+    n = len(chain)
+    kept = [
+        chain[i]
+        for i in range(n)
+        if not collinear(chain[(i - 1) % n], chain[i], chain[(i + 1) % n])
+    ]
+    return tuple(kept)

@@ -1,0 +1,61 @@
+"""A small relational database engine: schemas, relations, algebra, and a
+first-order query evaluator — the classical side of the paper's thematic
+bridge."""
+
+from .algebra import (
+    difference,
+    intersection,
+    natural_join,
+    product,
+    project,
+    rename,
+    select,
+    union,
+)
+from .database import Database
+from .foquery import (
+    And,
+    Atom,
+    Const,
+    Eq,
+    Exists,
+    ForAll,
+    Formula,
+    Implies,
+    Not,
+    Or,
+    Term,
+    Var,
+    evaluate,
+)
+from .relation import Relation
+from .schema import TH_SCHEMA, DatabaseSchema, Schema
+
+__all__ = [
+    "And",
+    "Atom",
+    "Const",
+    "Database",
+    "DatabaseSchema",
+    "Eq",
+    "Exists",
+    "ForAll",
+    "Formula",
+    "Implies",
+    "Not",
+    "Or",
+    "Relation",
+    "Schema",
+    "TH_SCHEMA",
+    "Term",
+    "Var",
+    "difference",
+    "evaluate",
+    "intersection",
+    "natural_join",
+    "product",
+    "project",
+    "rename",
+    "select",
+    "union",
+]

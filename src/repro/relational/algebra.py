@@ -1,0 +1,102 @@
+"""Relational algebra over :class:`~repro.relational.relation.Relation`.
+
+The classical five operators plus natural join and rename.  These are the
+building blocks the thematic queries compile to (Corollary 3.7 of the
+paper: topological queries become classical database queries against the
+invariant).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Mapping
+
+from ..errors import SchemaError
+from .relation import Relation
+from .schema import Schema
+
+__all__ = [
+    "select",
+    "project",
+    "rename",
+    "union",
+    "difference",
+    "intersection",
+    "product",
+    "natural_join",
+]
+
+
+def select(rel: Relation, predicate: Callable[[Mapping[str, object]], bool]) -> Relation:
+    """Tuples satisfying *predicate*, which receives an attribute->value map."""
+    attrs = rel.schema.attributes
+    kept = [
+        t for t in rel.tuples if predicate(dict(zip(attrs, t)))
+    ]
+    return Relation(rel.schema, kept)
+
+
+def project(rel: Relation, attributes: Iterable[str]) -> Relation:
+    attrs = tuple(attributes)
+    idx = [rel.schema.index_of(a) for a in attrs]
+    return Relation(
+        Schema(attrs), {tuple(t[i] for i in idx) for t in rel.tuples}
+    )
+
+
+def rename(rel: Relation, mapping: Mapping[str, str]) -> Relation:
+    return Relation(rel.schema.rename(mapping), rel.tuples)
+
+
+def _require_same_schema(a: Relation, b: Relation, op: str) -> None:
+    if a.schema != b.schema:
+        raise SchemaError(
+            f"{op} requires identical schemas, got "
+            f"{a.schema.attributes} and {b.schema.attributes}"
+        )
+
+
+def union(a: Relation, b: Relation) -> Relation:
+    _require_same_schema(a, b, "union")
+    return Relation(a.schema, a.tuples | b.tuples)
+
+
+def difference(a: Relation, b: Relation) -> Relation:
+    _require_same_schema(a, b, "difference")
+    return Relation(a.schema, a.tuples - b.tuples)
+
+
+def intersection(a: Relation, b: Relation) -> Relation:
+    _require_same_schema(a, b, "intersection")
+    return Relation(a.schema, a.tuples & b.tuples)
+
+
+def product(a: Relation, b: Relation) -> Relation:
+    """Cartesian product; attribute names must be disjoint."""
+    overlap = set(a.schema.attributes) & set(b.schema.attributes)
+    if overlap:
+        raise SchemaError(
+            f"product requires disjoint attributes; shared: {sorted(overlap)}"
+        )
+    schema = Schema(a.schema.attributes + b.schema.attributes)
+    return Relation(
+        schema, {ta + tb for ta in a.tuples for tb in b.tuples}
+    )
+
+
+def natural_join(a: Relation, b: Relation) -> Relation:
+    """Join on all shared attribute names."""
+    shared = [x for x in a.schema.attributes if x in b.schema.attributes]
+    only_b = [x for x in b.schema.attributes if x not in shared]
+    schema = Schema(a.schema.attributes + tuple(only_b))
+    ia = [a.schema.index_of(x) for x in shared]
+    ib = [b.schema.index_of(x) for x in shared]
+    ib_rest = [b.schema.index_of(x) for x in only_b]
+    index: dict[tuple, list[tuple]] = {}
+    for tb in b.tuples:
+        index.setdefault(tuple(tb[i] for i in ib), []).append(tb)
+    rows = set()
+    for ta in a.tuples:
+        key = tuple(ta[i] for i in ia)
+        for tb in index.get(key, ()):
+            rows.add(ta + tuple(tb[i] for i in ib_rest))
+    return Relation(schema, rows)

@@ -1,0 +1,83 @@
+"""Relational database instances."""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping
+
+from ..errors import SchemaError
+from .relation import Relation
+from .schema import DatabaseSchema, Schema
+
+__all__ = ["Database"]
+
+
+class Database:
+    """A finite relational structure: named relations over a schema.
+
+    Relations missing from *relations* are materialized empty, so every
+    relation named by the schema is always present.
+    """
+
+    def __init__(
+        self,
+        schema: DatabaseSchema,
+        relations: Mapping[str, Relation | Iterable[tuple]] | None = None,
+    ):
+        self.schema = schema
+        self._relations: dict[str, Relation] = {}
+        supplied = dict(relations or {})
+        for name in schema.names():
+            value = supplied.pop(name, ())
+            if isinstance(value, Relation):
+                if value.schema != schema[name]:
+                    raise SchemaError(
+                        f"relation {name!r} has schema "
+                        f"{value.schema.attributes}, expected "
+                        f"{schema[name].attributes}"
+                    )
+                self._relations[name] = value
+            else:
+                self._relations[name] = Relation(schema[name], value)
+        if supplied:
+            raise SchemaError(
+                f"relations not in schema: {sorted(supplied)}"
+            )
+
+    def __getitem__(self, name: str) -> Relation:
+        try:
+            return self._relations[name]
+        except KeyError:
+            raise SchemaError(f"no relation {name!r}") from None
+
+    def relation_names(self) -> tuple[str, ...]:
+        return tuple(self._relations)
+
+    def active_domain(self) -> set:
+        dom: set = set()
+        for rel in self._relations.values():
+            dom |= rel.active_domain()
+        return dom
+
+    def with_relation(self, name: str, relation: Relation) -> "Database":
+        """A copy with one relation replaced."""
+        rels = dict(self._relations)
+        rels[name] = relation
+        return Database(self.schema, rels)
+
+    def __eq__(self, other) -> bool:
+        return (
+            isinstance(other, Database)
+            and self.schema == other.schema
+            and self._relations == other._relations
+        )
+
+    def __hash__(self) -> int:
+        return hash(
+            (self.schema, tuple(sorted(self._relations.items())))
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        sizes = ", ".join(
+            f"{name}:{len(rel)}" for name, rel in self._relations.items()
+        )
+        return f"Database({sizes})"

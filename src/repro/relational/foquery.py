@@ -1,0 +1,250 @@
+"""First-order queries over finite relational structures.
+
+An active-domain-semantics FO evaluator: quantifiers range over the
+active domain of the database.  This is the classical query language the
+paper's thematic bridge targets (Corollary 3.7: every topological query
+becomes a classical query against ``thematic(I)``).
+
+The AST is deliberately tiny and composable::
+
+    q = Exists("f",
+            And(Atom("Faces", Var("f")),
+                Not(Atom("Exterior_Face", Var("f")))))
+    q.evaluate(db)          # -> bool (sentence)
+    q.free_variables()      # -> set of names
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Mapping
+
+from ..errors import QueryError
+from .database import Database
+
+__all__ = [
+    "Term",
+    "Var",
+    "Const",
+    "Formula",
+    "Atom",
+    "Eq",
+    "Not",
+    "And",
+    "Or",
+    "Implies",
+    "Exists",
+    "ForAll",
+    "evaluate",
+]
+
+
+class Term:
+    """A term: a variable or a constant."""
+
+
+@dataclass(frozen=True)
+class Var(Term):
+    name: str
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return self.name
+
+
+@dataclass(frozen=True)
+class Const(Term):
+    value: object
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return repr(self.value)
+
+
+def _value(term: Term, env: Mapping[str, object]) -> object:
+    if isinstance(term, Var):
+        try:
+            return env[term.name]
+        except KeyError:
+            raise QueryError(f"unbound variable {term.name!r}") from None
+    if isinstance(term, Const):
+        return term.value
+    raise QueryError(f"not a term: {term!r}")
+
+
+class Formula:
+    """Base class for FO formulas."""
+
+    def free_variables(self) -> frozenset[str]:
+        raise NotImplementedError
+
+    def holds(self, db: Database, env: Mapping[str, object]) -> bool:
+        raise NotImplementedError
+
+    def evaluate(self, db: Database) -> bool:
+        """Evaluate a sentence (no free variables)."""
+        free = self.free_variables()
+        if free:
+            raise QueryError(
+                f"cannot evaluate formula with free variables {sorted(free)}"
+            )
+        return self.holds(db, {})
+
+    def answers(self, db: Database) -> Iterator[dict[str, object]]:
+        """All satisfying assignments of the free variables."""
+        free = sorted(self.free_variables())
+        domain = sorted(db.active_domain(), key=repr)
+
+        def rec(i: int, env: dict) -> Iterator[dict]:
+            if i == len(free):
+                if self.holds(db, env):
+                    yield dict(env)
+                return
+            for v in domain:
+                env[free[i]] = v
+                yield from rec(i + 1, env)
+            env.pop(free[i], None)
+
+        yield from rec(0, {})
+
+    # Connective sugar.
+    def __and__(self, other: "Formula") -> "Formula":
+        return And(self, other)
+
+    def __or__(self, other: "Formula") -> "Formula":
+        return Or(self, other)
+
+    def __invert__(self) -> "Formula":
+        return Not(self)
+
+
+@dataclass(frozen=True)
+class Atom(Formula):
+    """Membership of a tuple of terms in a named relation."""
+
+    relation: str
+    terms: tuple[Term, ...]
+
+    def __init__(self, relation: str, *terms: Term):
+        object.__setattr__(self, "relation", relation)
+        object.__setattr__(self, "terms", tuple(terms))
+
+    def free_variables(self) -> frozenset[str]:
+        return frozenset(
+            t.name for t in self.terms if isinstance(t, Var)
+        )
+
+    def holds(self, db: Database, env) -> bool:
+        row = tuple(_value(t, env) for t in self.terms)
+        return row in db[self.relation]
+
+
+@dataclass(frozen=True)
+class Eq(Formula):
+    left: Term
+    right: Term
+
+    def free_variables(self) -> frozenset[str]:
+        return frozenset(
+            t.name for t in (self.left, self.right) if isinstance(t, Var)
+        )
+
+    def holds(self, db: Database, env) -> bool:
+        return _value(self.left, env) == _value(self.right, env)
+
+
+@dataclass(frozen=True)
+class Not(Formula):
+    inner: Formula
+
+    def free_variables(self) -> frozenset[str]:
+        return self.inner.free_variables()
+
+    def holds(self, db: Database, env) -> bool:
+        return not self.inner.holds(db, env)
+
+
+class _Nary(Formula):
+    def __init__(self, *parts: Formula):
+        self.parts = tuple(parts)
+
+    def free_variables(self) -> frozenset[str]:
+        out: frozenset[str] = frozenset()
+        for p in self.parts:
+            out |= p.free_variables()
+        return out
+
+    def __eq__(self, other):
+        return type(self) is type(other) and self.parts == other.parts
+
+    def __hash__(self):
+        return hash((type(self).__name__, self.parts))
+
+
+class And(_Nary):
+    def holds(self, db: Database, env) -> bool:
+        return all(p.holds(db, env) for p in self.parts)
+
+
+class Or(_Nary):
+    def holds(self, db: Database, env) -> bool:
+        return any(p.holds(db, env) for p in self.parts)
+
+
+@dataclass(frozen=True)
+class Implies(Formula):
+    antecedent: Formula
+    consequent: Formula
+
+    def free_variables(self) -> frozenset[str]:
+        return (
+            self.antecedent.free_variables()
+            | self.consequent.free_variables()
+        )
+
+    def holds(self, db: Database, env) -> bool:
+        return (not self.antecedent.holds(db, env)) or self.consequent.holds(
+            db, env
+        )
+
+
+class _Quantifier(Formula):
+    def __init__(self, variable: str, body: Formula):
+        self.variable = variable
+        self.body = body
+
+    def free_variables(self) -> frozenset[str]:
+        return self.body.free_variables() - {self.variable}
+
+    def __eq__(self, other):
+        return (
+            type(self) is type(other)
+            and self.variable == other.variable
+            and self.body == other.body
+        )
+
+    def __hash__(self):
+        return hash((type(self).__name__, self.variable, self.body))
+
+
+class Exists(_Quantifier):
+    def holds(self, db: Database, env) -> bool:
+        env = dict(env)
+        for v in db.active_domain():
+            env[self.variable] = v
+            if self.body.holds(db, env):
+                return True
+        return False
+
+
+class ForAll(_Quantifier):
+    def holds(self, db: Database, env) -> bool:
+        env = dict(env)
+        for v in db.active_domain():
+            env[self.variable] = v
+            if not self.body.holds(db, env):
+                return False
+        return True
+
+
+def evaluate(formula: Formula, db: Database) -> bool:
+    """Convenience wrapper: evaluate a sentence against a database."""
+    return formula.evaluate(db)

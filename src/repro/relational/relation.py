@@ -1,0 +1,73 @@
+"""Relations: immutable sets of fixed-arity tuples over a schema."""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+from ..errors import SchemaError
+from .schema import Schema
+
+__all__ = ["Relation"]
+
+
+class Relation:
+    """An immutable relation instance.
+
+    Tuples are plain Python tuples whose length must equal the schema
+    arity; values may be any hashable objects (strings in the thematic
+    database).
+    """
+
+    __slots__ = ("schema", "tuples")
+
+    def __init__(self, schema: Schema | Iterable[str], tuples: Iterable[tuple] = ()):
+        if not isinstance(schema, Schema):
+            schema = Schema(schema)
+        rows = frozenset(tuple(t) for t in tuples)
+        for t in rows:
+            if len(t) != schema.arity:
+                raise SchemaError(
+                    f"tuple {t!r} does not match arity {schema.arity}"
+                )
+        self.schema = schema
+        self.tuples: frozenset[tuple] = rows
+
+    # -- container protocol ------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.tuples)
+
+    def __iter__(self) -> Iterator[tuple]:
+        return iter(sorted(self.tuples, key=repr))
+
+    def __contains__(self, t: tuple) -> bool:
+        return tuple(t) in self.tuples
+
+    def __eq__(self, other) -> bool:
+        return (
+            isinstance(other, Relation)
+            and self.schema == other.schema
+            and self.tuples == other.tuples
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.schema, self.tuples))
+
+    def is_empty(self) -> bool:
+        return not self.tuples
+
+    # -- columns ----------------------------------------------------------------
+
+    def column(self, attribute: str) -> set:
+        """The set of values in one column."""
+        i = self.schema.index_of(attribute)
+        return {t[i] for t in self.tuples}
+
+    def active_domain(self) -> set:
+        """All values appearing anywhere in the relation."""
+        return {v for t in self.tuples for v in t}
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Relation({self.schema.attributes}, {len(self.tuples)} tuples)"
+        )

@@ -1,0 +1,107 @@
+"""Relational schemas.
+
+A :class:`Schema` is an ordered tuple of attribute names; a
+:class:`DatabaseSchema` maps relation names to schemas.  The thematic
+schema ``Th`` of the paper (Section 3, Fig. 9) is provided as a module
+constant.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Mapping
+
+from ..errors import SchemaError
+
+__all__ = ["Schema", "DatabaseSchema", "TH_SCHEMA"]
+
+
+@dataclass(frozen=True)
+class Schema:
+    """An ordered list of distinct attribute names."""
+
+    attributes: tuple[str, ...]
+
+    def __init__(self, attributes: Iterable[str]):
+        attrs = tuple(attributes)
+        if len(set(attrs)) != len(attrs):
+            raise SchemaError(f"duplicate attributes in {attrs!r}")
+        if not all(isinstance(a, str) and a for a in attrs):
+            raise SchemaError("attributes must be nonempty strings")
+        object.__setattr__(self, "attributes", attrs)
+
+    @property
+    def arity(self) -> int:
+        return len(self.attributes)
+
+    def index_of(self, attribute: str) -> int:
+        try:
+            return self.attributes.index(attribute)
+        except ValueError:
+            raise SchemaError(
+                f"no attribute {attribute!r} in {self.attributes!r}"
+            ) from None
+
+    def __contains__(self, attribute: str) -> bool:
+        return attribute in self.attributes
+
+    def project(self, attributes: Iterable[str]) -> "Schema":
+        attrs = tuple(attributes)
+        for a in attrs:
+            if a not in self.attributes:
+                raise SchemaError(f"cannot project on missing {a!r}")
+        return Schema(attrs)
+
+    def rename(self, mapping: Mapping[str, str]) -> "Schema":
+        return Schema(tuple(mapping.get(a, a) for a in self.attributes))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Schema({', '.join(self.attributes)})"
+
+
+@dataclass(frozen=True)
+class DatabaseSchema:
+    """Relation name -> schema."""
+
+    relations: Mapping[str, Schema]
+
+    def __init__(self, relations: Mapping[str, Iterable[str]]):
+        object.__setattr__(
+            self,
+            "relations",
+            {
+                name: sch if isinstance(sch, Schema) else Schema(sch)
+                for name, sch in relations.items()
+            },
+        )
+
+    def __getitem__(self, name: str) -> Schema:
+        try:
+            return self.relations[name]
+        except KeyError:
+            raise SchemaError(f"no relation {name!r} in schema") from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self.relations
+
+    def names(self) -> tuple[str, ...]:
+        return tuple(self.relations)
+
+
+#: The paper's thematic schema ``Th`` (Section 3).  ``Endpoints`` is the
+#: paper's ternary relation flattened to (edge, vertex) pairs plus an
+#: occurrence index so loops at a vertex remain representable.
+TH_SCHEMA = DatabaseSchema(
+    {
+        "Regions": ("name",),
+        "Vertices": ("cell",),
+        "Edges": ("cell",),
+        "Faces": ("cell",),
+        "Exterior_Face": ("cell",),
+        "Endpoints": ("edge", "vertex"),
+        "Face_Edges": ("face", "edge"),
+        "Region_Faces": ("name", "face"),
+        "Cell_Labels": ("cell", "name", "sign"),
+        "Orientation": ("sense", "vertex", "edge1", "edge2"),
+    }
+)

@@ -1,0 +1,29 @@
+"""String graphs and the Σ1(Rect*, ∅) fragment (Prop. 6.2 / Cor. 6.3)."""
+
+from .graphs import Graph
+from .realizability import (
+    Realization,
+    full_subdivision,
+    is_string_graph,
+    realize_string_graph,
+    verify_realization,
+)
+from .sigma1 import (
+    conjunctive_sigma1_satisfiable,
+    graph_to_sigma1,
+    sigma1_satisfiable,
+    sigma1_to_graph,
+)
+
+__all__ = [
+    "Graph",
+    "Realization",
+    "conjunctive_sigma1_satisfiable",
+    "full_subdivision",
+    "graph_to_sigma1",
+    "is_string_graph",
+    "realize_string_graph",
+    "sigma1_satisfiable",
+    "sigma1_to_graph",
+    "verify_realization",
+]

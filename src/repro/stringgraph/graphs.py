@@ -1,0 +1,75 @@
+"""String graphs: intersection graphs of curves in the plane.
+
+Proposition 6.2 of the paper reduces the decidability of the existential
+fragment Σ1(Rect*, ∅) to the *string graph* problem: is a given graph
+the intersection graph of a set of curves?  (Open at the time of the
+paper; since resolved in the affirmative, with wild complexity.)  We
+carry graphs as simple adjacency structures and realize them with
+rectilinear curves on a grid.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import combinations
+
+from ..errors import ReproError
+
+__all__ = ["Graph"]
+
+
+@dataclass(frozen=True)
+class Graph:
+    """A finite simple graph with integer vertices 0..n-1."""
+
+    n: int
+    edges: frozenset[frozenset[int]]
+
+    def __init__(self, n: int, edges):
+        edge_set = frozenset(frozenset(e) for e in edges)
+        for e in edge_set:
+            if len(e) != 2 or not all(0 <= v < n for v in e):
+                raise ReproError(f"bad edge {sorted(e)} for n={n}")
+        object.__setattr__(self, "n", n)
+        object.__setattr__(self, "edges", edge_set)
+
+    def adjacent(self, u: int, v: int) -> bool:
+        return frozenset((u, v)) in self.edges
+
+    def degree(self, v: int) -> int:
+        return sum(1 for e in self.edges if v in e)
+
+    def complement(self) -> "Graph":
+        return Graph(
+            self.n,
+            [
+                (u, v)
+                for u, v in combinations(range(self.n), 2)
+                if not self.adjacent(u, v)
+            ],
+        )
+
+    # -- standard families --------------------------------------------------------
+
+    @staticmethod
+    def path(n: int) -> "Graph":
+        return Graph(n, [(i, i + 1) for i in range(n - 1)])
+
+    @staticmethod
+    def cycle(n: int) -> "Graph":
+        return Graph(n, [(i, (i + 1) % n) for i in range(n)])
+
+    @staticmethod
+    def complete(n: int) -> "Graph":
+        return Graph(n, list(combinations(range(n), 2)))
+
+    @staticmethod
+    def star(leaves: int) -> "Graph":
+        return Graph(leaves + 1, [(0, i + 1) for i in range(leaves)])
+
+    @staticmethod
+    def matching(pairs: int) -> "Graph":
+        return Graph(2 * pairs, [(2 * i, 2 * i + 1) for i in range(pairs)])
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Graph(n={self.n}, m={len(self.edges)})"

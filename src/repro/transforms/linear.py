@@ -1,0 +1,96 @@
+"""Invertible affine maps of the plane (the paper's *linear* maps)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+
+from ..errors import GeometryError
+from ..geometry import Point, Q
+from .base import Transform
+
+__all__ = ["AffineMap"]
+
+
+@dataclass(frozen=True)
+class AffineMap(Transform):
+    """``(x, y) -> (a x + b y + c,  d x + e y + f)`` with rational
+    coefficients and nonzero determinant."""
+
+    a: Fraction
+    b: Fraction
+    c: Fraction
+    d: Fraction
+    e: Fraction
+    f: Fraction
+
+    def __init__(self, a, b, c, d, e, f):
+        coeffs = [Q(v) for v in (a, b, c, d, e, f)]
+        if coeffs[0] * coeffs[4] - coeffs[1] * coeffs[3] == 0:
+            raise GeometryError("affine map must be invertible")
+        for name, value in zip("abcdef", coeffs):
+            object.__setattr__(self, name, value)
+
+    def __call__(self, p: Point) -> Point:
+        return Point(
+            self.a * p.x + self.b * p.y + self.c,
+            self.d * p.x + self.e * p.y + self.f,
+        )
+
+    def inverse(self) -> "AffineMap":
+        det = self.a * self.e - self.b * self.d
+        ia, ib = self.e / det, -self.b / det
+        id_, ie = -self.d / det, self.a / det
+        return AffineMap(
+            ia,
+            ib,
+            -(ia * self.c + ib * self.f),
+            id_,
+            ie,
+            -(id_ * self.c + ie * self.f),
+        )
+
+    def determinant(self) -> Fraction:
+        return self.a * self.e - self.b * self.d
+
+    def is_orientation_preserving(self) -> bool:
+        return self.determinant() > 0
+
+    def compose(self, other: "AffineMap") -> "AffineMap":
+        """``self ∘ other`` (apply *other* first)."""
+        return AffineMap(
+            self.a * other.a + self.b * other.d,
+            self.a * other.b + self.b * other.e,
+            self.a * other.c + self.b * other.f + self.c,
+            self.d * other.a + self.e * other.d,
+            self.d * other.b + self.e * other.e,
+            self.d * other.c + self.e * other.f + self.f,
+        )
+
+    # -- factories -----------------------------------------------------------------
+
+    @staticmethod
+    def identity() -> "AffineMap":
+        return AffineMap(1, 0, 0, 0, 1, 0)
+
+    @staticmethod
+    def translation(dx, dy) -> "AffineMap":
+        return AffineMap(1, 0, dx, 0, 1, dy)
+
+    @staticmethod
+    def scaling(sx, sy) -> "AffineMap":
+        return AffineMap(sx, 0, 0, 0, sy, 0)
+
+    @staticmethod
+    def rotation90() -> "AffineMap":
+        """Exact quarter-turn counterclockwise."""
+        return AffineMap(0, -1, 0, 1, 0, 0)
+
+    @staticmethod
+    def reflection_x() -> "AffineMap":
+        """Reflection across the horizontal axis (orientation-reversing)."""
+        return AffineMap(1, 0, 0, 0, -1, 0)
+
+    @staticmethod
+    def shear(k) -> "AffineMap":
+        return AffineMap(1, k, 0, 0, 1, 0)

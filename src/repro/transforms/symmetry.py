@@ -1,0 +1,209 @@
+"""Symmetries (the paper's group S).
+
+S consists of maps ``(x, y) -> (ρ1(x), ρ2(y))`` and
+``(x, y) -> (ρ1(y), ρ2(x))`` where ρ1, ρ2 are monotone bijections of R.
+Such maps send horizontal/vertical lines to horizontal/vertical lines
+but may bend everything else.
+
+Two kinds of monotone bijections are provided:
+
+* :class:`PiecewiseMonotone` — piecewise linear with rational
+  breakpoints; these keep rectilinear regions rectilinear (the Fig. 4
+  entries Rect/S and Rect*/S);
+* :class:`CubicMonotone` — ``ρ(x) = x^3`` style maps that are exact on
+  rationals but *bend* diagonal segments, witnessing that Poly and Alg
+  are **not** S-invariant.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Sequence
+
+from ..errors import GeometryError
+from ..geometry import Point, Q
+from .base import Transform
+
+__all__ = ["Monotone1D", "PiecewiseMonotone", "CubicMonotone", "Symmetry"]
+
+
+class Monotone1D:
+    """A monotone bijection of the rational line."""
+
+    def __call__(self, x: Fraction) -> Fraction:
+        raise NotImplementedError
+
+    def inverse(self) -> "Monotone1D":
+        raise NotImplementedError
+
+    @property
+    def increasing(self) -> bool:
+        raise NotImplementedError
+
+    def is_linear_between(self, a: Fraction, b: Fraction) -> bool:
+        """Whether the map is affine on [a, b] (used for straightness)."""
+        raise NotImplementedError
+
+    def breakpoints_between(self, a: Fraction, b: Fraction) -> list[Fraction]:
+        return []
+
+
+@dataclass(frozen=True)
+class _Identity1D(Monotone1D):
+    def __call__(self, x: Fraction) -> Fraction:
+        return x
+
+    def inverse(self) -> "Monotone1D":
+        return self
+
+    @property
+    def increasing(self) -> bool:
+        return True
+
+    def is_linear_between(self, a, b) -> bool:
+        return True
+
+
+class PiecewiseMonotone(Monotone1D):
+    """A piecewise-linear monotone bijection given by breakpoints.
+
+    ``pairs`` lists (x, ρ(x)) anchor points in strictly increasing x
+    order with strictly monotone images; outside the anchors the map
+    continues with the first/last slope.
+    """
+
+    def __init__(self, pairs: Sequence[tuple[object, object]]):
+        pts = [(Q(x), Q(y)) for x, y in pairs]
+        if len(pts) < 2:
+            raise GeometryError("need at least two anchor points")
+        xs = [x for x, _ in pts]
+        ys = [y for _, y in pts]
+        if any(b <= a for a, b in zip(xs, xs[1:])):
+            raise GeometryError("anchor xs must be strictly increasing")
+        inc = ys[1] > ys[0]
+        for a, b in zip(ys, ys[1:]):
+            if (b > a) != inc:
+                raise GeometryError("anchor images must be strictly monotone")
+        self.pairs = pts
+        self._increasing = inc
+
+    @property
+    def increasing(self) -> bool:
+        return self._increasing
+
+    def __call__(self, x: Fraction) -> Fraction:
+        xq = Q(x)
+        pts = self.pairs
+        if xq <= pts[0][0]:
+            (x0, y0), (x1, y1) = pts[0], pts[1]
+        elif xq >= pts[-1][0]:
+            (x0, y0), (x1, y1) = pts[-2], pts[-1]
+        else:
+            for (x0, y0), (x1, y1) in zip(pts, pts[1:]):
+                if x0 <= xq <= x1:
+                    break
+        slope = (y1 - y0) / (x1 - x0)
+        return y0 + slope * (xq - x0)
+
+    def inverse(self) -> "PiecewiseMonotone":
+        flipped = [(y, x) for x, y in self.pairs]
+        if not self._increasing:
+            flipped = list(reversed(flipped))
+        return PiecewiseMonotone(flipped)
+
+    def is_linear_between(self, a: Fraction, b: Fraction) -> bool:
+        lo, hi = min(a, b), max(a, b)
+        return not any(lo < x < hi for x, _ in self.pairs)
+
+    def breakpoints_between(self, a: Fraction, b: Fraction) -> list[Fraction]:
+        lo, hi = min(a, b), max(a, b)
+        return [x for x, _ in self.pairs if lo < x < hi]
+
+
+@dataclass(frozen=True)
+class CubicMonotone(Monotone1D):
+    """``ρ(x) = x^3`` — a smooth monotone bijection that bends lines."""
+
+    def __call__(self, x: Fraction) -> Fraction:
+        xq = Q(x)
+        return xq * xq * xq
+
+    def inverse(self) -> "Monotone1D":
+        raise GeometryError("cube-root is not rational; inverse unsupported")
+
+    @property
+    def increasing(self) -> bool:
+        return True
+
+    def is_linear_between(self, a, b) -> bool:
+        return a == b
+
+
+class Symmetry(Transform):
+    """An element of S: coordinate-wise monotone maps, optionally with
+    the two axes swapped first."""
+
+    def __init__(
+        self,
+        rho1: Monotone1D | None = None,
+        rho2: Monotone1D | None = None,
+        swap_axes: bool = False,
+    ):
+        self.rho1 = rho1 or _Identity1D()
+        self.rho2 = rho2 or _Identity1D()
+        self.swap_axes = swap_axes
+
+    def __call__(self, p: Point) -> Point:
+        x, y = (p.y, p.x) if self.swap_axes else (p.x, p.y)
+        return Point(self.rho1(x), self.rho2(y))
+
+    def inverse(self) -> "Symmetry":
+        # (x,y) -> swap -> rho: inverse applies rho^{-1} then unswaps,
+        # which is again of Symmetry form with the roles exchanged.
+        r1, r2 = self.rho1.inverse(), self.rho2.inverse()
+        if not self.swap_axes:
+            return Symmetry(r1, r2, False)
+        return Symmetry(r2, r1, True)
+
+    def preserves_straight_lines(self) -> bool:
+        # Piecewise-linear coordinate maps keep segments straight between
+        # the subdivision cuts; smooth nonlinear maps (e.g. the cubic)
+        # bend them, so we report conservatively by type.
+        return isinstance(
+            self.rho1, (PiecewiseMonotone, _Identity1D)
+        ) and isinstance(self.rho2, (PiecewiseMonotone, _Identity1D))
+
+    def subdivide_segment(self, a: Point, b: Point) -> list[Point]:
+        ax, ay = (a.y, a.x) if self.swap_axes else (a.x, a.y)
+        bx, by = (b.y, b.x) if self.swap_axes else (b.x, b.y)
+        cuts: list[Point] = []
+        if ax != bx:
+            for x in self.rho1.breakpoints_between(ax, bx):
+                t = (x - ax) / (bx - ax)
+                cuts.append(
+                    Point(a.x + (b.x - a.x) * t, a.y + (b.y - a.y) * t)
+                )
+        if ay != by:
+            for y in self.rho2.breakpoints_between(ay, by):
+                t = (y - ay) / (by - ay)
+                cuts.append(
+                    Point(a.x + (b.x - a.x) * t, a.y + (b.y - a.y) * t)
+                )
+        from ..geometry import strictly_between
+
+        d = b - a
+        return sorted(
+            {c for c in cuts if strictly_between(c, a, b)},
+            key=lambda c: (c - a).dot(d),
+        )
+
+    def bends_segment(self, a: Point, b: Point) -> bool:
+        """Exact witness that the image of segment *ab* is curved: the
+        image of the midpoint is off the line through the images of the
+        endpoints."""
+        from ..geometry import collinear, midpoint
+
+        ia, ib = self(a), self(b)
+        im = self(midpoint(a, b))
+        return not collinear(ia, im, ib)

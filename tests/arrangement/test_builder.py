@@ -1,0 +1,105 @@
+"""Tests for segment planarization."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.arrangement import planarize
+from repro.geometry import Point, Segment, segments_properly_intersect
+
+coords = st.fractions(min_value=-20, max_value=20, max_denominator=8)
+points = st.builds(Point, coords, coords)
+
+
+@st.composite
+def segments(draw):
+    a = draw(points)
+    b = draw(points.filter(lambda p: p != a))
+    return Segment(a, b)
+
+
+class TestPlanarize:
+    def test_disjoint_pass_through(self):
+        segs = [
+            Segment(Point(0, 0), Point(1, 0)),
+            Segment(Point(0, 1), Point(1, 1)),
+        ]
+        assert sorted(planarize(segs), key=str) == sorted(segs, key=str)
+
+    def test_crossing_split(self):
+        segs = [
+            Segment(Point(0, 0), Point(2, 2)),
+            Segment(Point(0, 2), Point(2, 0)),
+        ]
+        pieces = planarize(segs)
+        assert len(pieces) == 4
+        assert all(
+            s.contains(Point(1, 1)) for s in pieces
+        )
+
+    def test_t_junction_split(self):
+        segs = [
+            Segment(Point(0, 0), Point(4, 0)),
+            Segment(Point(2, 0), Point(2, 2)),
+        ]
+        pieces = planarize(segs)
+        # Horizontal split into two; vertical untouched.
+        assert len(pieces) == 3
+
+    def test_collinear_overlap_split(self):
+        segs = [
+            Segment(Point(0, 0), Point(3, 0)),
+            Segment(Point(1, 0), Point(4, 0)),
+        ]
+        pieces = planarize(segs)
+        assert pieces == [
+            Segment(Point(0, 0), Point(1, 0)),
+            Segment(Point(1, 0), Point(3, 0)),
+            Segment(Point(3, 0), Point(4, 0)),
+        ]
+
+    def test_identical_segments_dedupe(self):
+        s = Segment(Point(0, 0), Point(1, 1))
+        assert planarize([s, s, Segment(Point(1, 1), Point(0, 0))]) == [s]
+
+    def test_contained_overlap(self):
+        segs = [
+            Segment(Point(0, 0), Point(4, 0)),
+            Segment(Point(1, 0), Point(2, 0)),
+        ]
+        pieces = planarize(segs)
+        assert len(pieces) == 3
+
+    def test_multiple_crossings_on_one_segment(self):
+        base = Segment(Point(0, 0), Point(10, 0))
+        crossers = [
+            Segment(Point(k, -1), Point(k, 1)) for k in (2, 5, 8)
+        ]
+        pieces = planarize([base, *crossers])
+        horizontal = [p for p in pieces if p.a.y == 0 and p.b.y == 0]
+        vertical = [p for p in pieces if p.a.x == p.b.x]
+        assert len(horizontal) == 4
+        assert len(vertical) == 6
+
+    @given(st.lists(segments(), min_size=1, max_size=8))
+    def test_no_proper_crossings_remain(self, segs):
+        pieces = planarize(segs)
+        for i in range(len(pieces)):
+            for j in range(i + 1, len(pieces)):
+                a, b = pieces[i], pieces[j]
+                assert not segments_properly_intersect(a.a, a.b, b.a, b.b)
+                kind, payload = a.intersect(b)
+                assert kind != "overlap"
+                if kind == "point":
+                    assert payload in (a.a, a.b)
+                    assert payload in (b.a, b.b)
+
+    @given(st.lists(segments(), min_size=1, max_size=6))
+    def test_endpoints_preserved(self, segs):
+        pieces = planarize(segs)
+        piece_pts = {p for s in pieces for p in s.endpoints()}
+        for s in segs:
+            assert s.a in piece_pts and s.b in piece_pts
+
+    @given(st.lists(segments(), min_size=1, max_size=6))
+    def test_deterministic(self, segs):
+        assert planarize(segs) == planarize(list(reversed(segs)))

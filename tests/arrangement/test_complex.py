@@ -1,0 +1,223 @@
+"""Tests for the reduced cell complex (the paper's maximal cell complex)."""
+
+import pytest
+
+from repro.arrangement import build_complex
+from repro.errors import ArrangementError
+from repro.geometry import Point
+from repro.regions import (
+    AlgRegion,
+    Poly,
+    Rect,
+    RectUnion,
+    SpatialInstance,
+)
+
+
+def overlapping_pair():
+    return SpatialInstance({"A": Rect(0, 0, 4, 4), "B": Rect(2, 2, 6, 6)})
+
+
+class TestDegenerateSingleRegion:
+    """The paper's degenerate case: one region gives no vertices, one
+    (free loop) edge, and two faces."""
+
+    def test_counts(self):
+        cx = build_complex(SpatialInstance({"A": Rect(0, 0, 2, 2)}))
+        assert cx.counts() == (0, 1, 2)
+
+    def test_free_loop_has_no_endpoints(self):
+        cx = build_complex(SpatialInstance({"A": Rect(0, 0, 2, 2)}))
+        (edge,) = cx.edges
+        assert cx.endpoints[edge.id] == ()
+
+    def test_labels(self):
+        cx = build_complex(SpatialInstance({"A": Rect(0, 0, 2, 2)}))
+        (edge,) = cx.edges
+        assert edge.label == ("b",)
+        labels = {f.label for f in cx.faces}
+        assert labels == {("o",), ("e",)}
+
+    def test_circle_same_structure(self):
+        cx = build_complex(
+            SpatialInstance({"A": AlgRegion.circle(0, 0, 5, n=20)})
+        )
+        assert cx.counts() == (0, 1, 2)
+
+    def test_empty_instance_rejected(self):
+        with pytest.raises(ArrangementError):
+            build_complex(SpatialInstance())
+
+
+class TestExampleThreeOne:
+    """Example 3.1 of the paper: two overlapping discs give two vertices,
+    four edges, four faces, and 16 orientation tuples."""
+
+    def test_counts(self):
+        assert build_complex(overlapping_pair()).counts() == (2, 4, 4)
+
+    def test_vertex_labels_are_boundary_boundary(self):
+        cx = build_complex(overlapping_pair())
+        for v in cx.vertices:
+            assert v.label == ("b", "b")
+
+    def test_edge_labels(self):
+        cx = build_complex(overlapping_pair())
+        labels = sorted(e.label for e in cx.edges)
+        assert labels == [
+            ("b", "e"),
+            ("b", "o"),
+            ("e", "b"),
+            ("o", "b"),
+        ]
+
+    def test_face_labels(self):
+        cx = build_complex(overlapping_pair())
+        labels = sorted(f.label for f in cx.faces)
+        assert labels == [
+            ("e", "e"),
+            ("e", "o"),
+            ("o", "e"),
+            ("o", "o"),
+        ]
+
+    def test_exterior_face_label(self):
+        cx = build_complex(overlapping_pair())
+        assert cx.label(cx.exterior_face) == ("e", "e")
+
+    def test_orientation_matches_example_3_3(self):
+        cx = build_complex(overlapping_pair())
+        # 2 vertices x 4 germs x 2 rotational senses = 16 tuples.
+        assert len(cx.orientation) == 16
+
+    def test_every_edge_connects_the_two_vertices(self):
+        cx = build_complex(overlapping_pair())
+        vids = {v.id for v in cx.vertices}
+        for e in cx.edges:
+            assert set(cx.endpoints[e.id]) == vids
+
+    def test_each_edge_borders_two_faces(self):
+        cx = build_complex(overlapping_pair())
+        for e in cx.edges:
+            faces = [
+                b for (a, b) in cx.incidences
+                if a == e.id and cx.cells[b].dim == 2
+            ]
+            assert len(faces) == 2
+
+    def test_circles_give_isomorphic_counts(self):
+        inst = SpatialInstance(
+            {
+                "A": AlgRegion.circle(0, 0, 2, n=16),
+                "B": AlgRegion.circle(2, 0, 2, n=16),
+            }
+        )
+        assert build_complex(inst).counts() == (2, 4, 4)
+
+
+class TestNestingAndDisjoint:
+    def test_disjoint(self):
+        cx = build_complex(
+            SpatialInstance({"A": Rect(0, 0, 2, 2), "B": Rect(5, 0, 7, 2)})
+        )
+        assert cx.counts() == (0, 2, 3)
+        assert sorted(f.label for f in cx.faces) == [
+            ("e", "e"),
+            ("e", "o"),
+            ("o", "e"),
+        ]
+
+    def test_nested(self):
+        cx = build_complex(
+            SpatialInstance({"A": Rect(0, 0, 10, 10), "B": Rect(2, 2, 4, 4)})
+        )
+        assert cx.counts() == (0, 2, 3)
+        assert sorted(f.label for f in cx.faces) == [
+            ("e", "e"),
+            ("o", "e"),
+            ("o", "o"),
+        ]
+
+    def test_nested_vs_disjoint_differ_only_in_labels(self):
+        nested = build_complex(
+            SpatialInstance({"A": Rect(0, 0, 10, 10), "B": Rect(2, 2, 4, 4)})
+        )
+        disjoint = build_complex(
+            SpatialInstance({"A": Rect(0, 0, 2, 2), "B": Rect(5, 0, 7, 2)})
+        )
+        assert nested.counts() == disjoint.counts()
+        assert sorted(f.label for f in nested.faces) != sorted(
+            f.label for f in disjoint.faces
+        )
+
+
+class TestMeetingRegions:
+    def test_edge_meeting_squares(self):
+        # Closed squares sharing a boundary segment: meet at an edge.
+        inst = SpatialInstance(
+            {"A": Rect(0, 0, 2, 2), "B": Rect(2, 0, 4, 2)}
+        )
+        cx = build_complex(inst)
+        # Two corner vertices where boundaries diverge, the shared edge,
+        # and the two outer arcs.
+        assert cx.counts() == (2, 3, 3)
+        shared = [e for e in cx.edges if e.label == ("b", "b")]
+        assert len(shared) == 1
+
+    def test_corner_touching_squares(self):
+        inst = SpatialInstance(
+            {"A": Rect(0, 0, 2, 2), "B": Rect(2, 2, 4, 4)}
+        )
+        cx = build_complex(inst)
+        # One touch point of degree 4; two boundary loops at it.
+        assert cx.counts() == (1, 2, 3)
+        (v,) = cx.vertices
+        assert v.label == ("b", "b")
+        assert cx.vertex_points[v.id] == Point(2, 2)
+
+
+class TestSlitRegion:
+    def test_slit_complex(self):
+        ru = RectUnion(
+            [Rect(0, 0, 2, 2), Rect(2, 0, 4, 2), Rect(1, 1, 3, 2)]
+        )
+        cx = build_complex(SpatialInstance({"U": ru}))
+        assert cx.counts() == (2, 2, 2)
+        slit = [e for e in cx.edges if len(cx.endpoints[e.id]) == 2]
+        assert len(slit) == 1
+        # The slit borders the interior face on both sides.
+        (s,) = slit
+        faces = [
+            b for (a, b) in cx.incidences
+            if a == s.id and cx.cells[b].dim == 2
+        ]
+        assert len(faces) == 1
+        assert cx.cells[faces[0]].label == ("o",)
+
+
+class TestPolygonCornersSmoothed:
+    def test_polygon_and_rect_same_counts(self):
+        """A triangle and a rectangle are homeomorphic: same complex."""
+        tri = Poly((Point(0, 0), Point(5, 0), Point(0, 5)))
+        a = build_complex(SpatialInstance({"A": tri}))
+        b = build_complex(SpatialInstance({"A": Rect(0, 0, 1, 1)}))
+        assert a.counts() == b.counts() == (0, 1, 2)
+
+    def test_smoothing_keeps_sign_changes(self):
+        # Two squares meeting along part of an edge: the junction points
+        # must survive smoothing even though they have degree 2 geometry
+        # ... (they have degree 3 in the arrangement).
+        inst = SpatialInstance(
+            {"A": Rect(0, 0, 2, 2), "B": Rect(2, 1, 4, 3)}
+        )
+        cx = build_complex(inst)
+        degrees = {
+            v.id: sum(
+                1
+                for (_r, vv, _e1, _e2) in cx.orientation
+                if vv == v.id and _r == "ccw"
+            )
+            for v in cx.vertices
+        }
+        assert set(degrees.values()) <= {2, 3, 4}
+        assert cx.counts()[0] == 2  # the two junction points

@@ -1,0 +1,159 @@
+"""Tests for the subdivision: cycles, faces, containment, sampling."""
+
+import pytest
+
+from repro.arrangement import Subdivision, locate_in_closed_walk, planarize
+from repro.errors import ArrangementError
+from repro.geometry import Location, Point, Segment, SimplePolygon
+
+
+def square_pieces(x0=0, y0=0, side=2):
+    pts = [
+        Point(x0, y0),
+        Point(x0 + side, y0),
+        Point(x0 + side, y0 + side),
+        Point(x0, y0 + side),
+    ]
+    return [Segment(pts[i], pts[(i + 1) % 4]) for i in range(4)]
+
+
+class TestSubdivisionBasics:
+    def test_empty_rejected(self):
+        with pytest.raises(ArrangementError):
+            Subdivision([])
+
+    def test_square_structure(self):
+        sub = Subdivision(planarize(square_pieces()))
+        assert len(sub.vertices) == 4
+        assert len(sub.pieces) == 4
+        assert len(sub.cycles) == 2
+        assert len(sub.faces) == 2  # inside + unbounded
+
+    def test_square_cycle_areas(self):
+        sub = Subdivision(planarize(square_pieces()))
+        areas = sorted(sub.cycle_area2)
+        assert areas == [-8, 8]
+
+    def test_degrees(self):
+        sub = Subdivision(planarize(square_pieces()))
+        assert all(sub.degree(v) == 2 for v in range(4))
+
+    def test_crossing_squares_faces(self):
+        pieces = planarize(square_pieces(0, 0, 4) + square_pieces(2, 2, 4))
+        sub = Subdivision(pieces)
+        # lens + two crescents + unbounded.
+        assert len(sub.faces) == 4
+
+
+class TestFaceSamples:
+    def _check_samples_distinct_faces(self, sub):
+        # Each bounded face sample must be strictly inside that face's
+        # outer cycle and outside every smaller cycle.
+        for face in sub.faces:
+            sample = sub.face_sample(face.index)
+            if face.is_unbounded:
+                assert all(
+                    locate_in_closed_walk(sample, sub.cycle_walk(c)) == "out"
+                    for c, a in enumerate(sub.cycle_area2)
+                    if a > 0
+                )
+            else:
+                walk = sub.cycle_walk(face.outer_cycle)
+                assert locate_in_closed_walk(sample, walk) == "in"
+
+    def test_square(self):
+        self._check_samples_distinct_faces(
+            Subdivision(planarize(square_pieces()))
+        )
+
+    def test_crossing_squares(self):
+        pieces = planarize(square_pieces(0, 0, 4) + square_pieces(2, 2, 4))
+        self._check_samples_distinct_faces(Subdivision(pieces))
+
+    def test_thin_sliver(self):
+        # A long thin triangle: the ray-shoot sampler must stay inside.
+        tri = [
+            Segment(Point(0, 0), Point(100, 1)),
+            Segment(Point(100, 1), Point(100, 0)),
+            Segment(Point(100, 0), Point(0, 0)),
+        ]
+        sub = Subdivision(planarize(tri))
+        bounded = [f for f in sub.faces if not f.is_unbounded]
+        poly = SimplePolygon(
+            (Point(0, 0), Point(100, 1), Point(100, 0))
+        )
+        sample = sub.face_sample(bounded[0].index)
+        assert poly.locate(sample) is Location.INTERIOR
+
+
+class TestContainment:
+    def test_nested_squares(self):
+        pieces = planarize(square_pieces(0, 0, 10) + square_pieces(2, 2, 2))
+        sub = Subdivision(pieces)
+        # Faces: inner square, annulus-with-square-hole (big face), unbounded.
+        assert len(sub.faces) == 3
+        unbounded = sub.faces[sub.unbounded_face_index]
+        assert len(unbounded.hole_cycles) == 1
+        bounded = [f for f in sub.faces if not f.is_unbounded]
+        with_hole = [f for f in bounded if f.hole_cycles]
+        assert len(with_hole) == 1
+
+    def test_disjoint_squares_both_in_unbounded(self):
+        pieces = planarize(square_pieces(0, 0, 2) + square_pieces(10, 0, 2))
+        sub = Subdivision(pieces)
+        unbounded = sub.faces[sub.unbounded_face_index]
+        assert len(unbounded.hole_cycles) == 2
+
+    def test_deep_nesting(self):
+        pieces = planarize(
+            square_pieces(0, 0, 12)
+            + square_pieces(2, 2, 8)
+            + square_pieces(4, 4, 4)
+        )
+        sub = Subdivision(pieces)
+        assert len(sub.faces) == 4
+        # Exactly one hole contour per enclosing face.
+        hole_counts = sorted(len(f.hole_cycles) for f in sub.faces)
+        assert hole_counts == [0, 1, 1, 1]
+
+
+class TestDanglingEdges:
+    def test_isolated_segment(self):
+        sub = Subdivision([Segment(Point(0, 0), Point(2, 0))])
+        # One cycle traversing both sides, zero area, one (unbounded) face.
+        assert len(sub.cycles) == 1
+        assert sub.cycle_area2[0] == 0
+        assert len(sub.faces) == 1
+
+    def test_segment_inside_square(self):
+        pieces = planarize(
+            square_pieces(0, 0, 10) + [Segment(Point(4, 4), Point(6, 6))]
+        )
+        sub = Subdivision(pieces)
+        assert len(sub.faces) == 2
+        inner = [f for f in sub.faces if not f.is_unbounded][0]
+        assert len(inner.hole_cycles) == 1
+
+
+class TestWalkLocation:
+    def test_simple_cases(self):
+        walk = [Point(0, 0), Point(4, 0), Point(4, 4), Point(0, 4)]
+        assert locate_in_closed_walk(Point(2, 2), walk) == "in"
+        assert locate_in_closed_walk(Point(5, 5), walk) == "out"
+        assert locate_in_closed_walk(Point(2, 0), walk) == "on"
+
+    def test_walk_with_slit(self):
+        # Square with a slit walked in and back out.
+        walk = [
+            Point(0, 0),
+            Point(2, 0),
+            Point(2, 2),  # into the slit
+            Point(2, 0),  # back out
+            Point(4, 0),
+            Point(4, 4),
+            Point(0, 4),
+        ]
+        assert locate_in_closed_walk(Point(1, 1), walk) == "in"
+        assert locate_in_closed_walk(Point(3, 1), walk) == "in"
+        assert locate_in_closed_walk(Point(2, 1), walk) == "on"
+        assert locate_in_closed_walk(Point(5, 1), walk) == "out"

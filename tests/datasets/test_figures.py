@@ -1,0 +1,116 @@
+"""Tests for the executable paper figures (E1)."""
+
+import pytest
+
+from repro.datasets import (
+    all_figures,
+    fig_1a,
+    fig_1b,
+    fig_1c,
+    fig_1d,
+    fig_6_courtyard,
+    fig_14_aligned,
+)
+from repro.fourint import four_intersection_equivalent
+from repro.invariant import invariant, topologically_equivalent
+
+
+class TestFig1:
+    def test_1a_has_triple_intersection(self):
+        inst = fig_1a()
+        # The complex has a face interior to all three regions.
+        t = invariant(inst)
+        assert t.region_faces("A") & t.region_faces("B") & t.region_faces("C")
+
+    def test_1b_has_no_triple_intersection(self):
+        t = invariant(fig_1b())
+        assert not (
+            t.region_faces("A") & t.region_faces("B") & t.region_faces("C")
+        )
+
+    def test_example_2_1_connectivity(self):
+        """Fig 1a-1c satisfy 'A ∩ B has one component'; 1d does not."""
+        from repro.encodings import intersection_components
+
+        for factory in (fig_1a, fig_1b, fig_1c):
+            inst = factory()
+            assert (
+                intersection_components(inst.ext("A"), inst.ext("B")) == 1
+            ), factory.__name__
+        inst = fig_1d()
+        assert intersection_components(inst.ext("A"), inst.ext("B")) == 2
+
+    def test_equivalence_pattern(self):
+        assert four_intersection_equivalent(fig_1a(), fig_1b())
+        assert not topologically_equivalent(fig_1a(), fig_1b())
+        assert four_intersection_equivalent(fig_1c(), fig_1d())
+        assert not topologically_equivalent(fig_1c(), fig_1d())
+
+
+class TestFig6:
+    def test_courtyard_exists(self):
+        t = invariant(fig_6_courtyard())
+        bounded_exterior = [
+            f
+            for f in t.faces
+            if f != t.exterior_face and set(t.labels[f]) == {"e"}
+        ]
+        assert len(bounded_exterior) == 1
+
+
+class TestAllFigures:
+    def test_all_construct_and_have_invariants(self):
+        for name, inst in all_figures().items():
+            t = invariant(inst)
+            assert t.counts()[2] >= 2, name  # at least one bounded face
+
+    def test_figure_names_distinct(self):
+        figs = all_figures()
+        assert len(figs) == 11
+
+
+class TestGenerators:
+    def test_overlap_chain_scales_linearly(self):
+        from repro.datasets import overlap_chain
+
+        t3 = invariant(overlap_chain(3))
+        t5 = invariant(overlap_chain(5))
+        v3, e3, f3 = t3.counts()
+        v5, e5, f5 = t5.counts()
+        assert (v5 - v3) == 2 * (5 - 3)  # two crossing vertices per lens
+        assert (f5 - f3) == 2 * (5 - 3)  # one lens + one solo face each
+
+    def test_nested_rings(self):
+        from repro.datasets import nested_rings
+
+        t = invariant(nested_rings(4))
+        assert t.counts() == (0, 4, 5)
+
+    def test_grid_of_squares(self):
+        from repro.datasets import grid_of_squares
+
+        t = invariant(grid_of_squares(2, 3))
+        assert t.counts() == (0, 6, 7)
+        assert len(t.skeleton_components()) == 6
+
+    def test_random_rectangles_deterministic(self):
+        from repro.datasets import random_rectangles
+
+        a = random_rectangles(5, seed=42)
+        b = random_rectangles(5, seed=42)
+        assert topologically_equivalent(a, b)
+
+    def test_circle_chain(self):
+        from repro.datasets import circle_chain
+
+        t = invariant(circle_chain(3))
+        assert t.counts()[0] == 4  # two crossings per adjacent pair
+
+    def test_petal_flower(self):
+        from repro.datasets import petal_count_flower
+
+        inst = petal_count_flower(5)
+        t = invariant(inst)
+        assert len(t.vertices) == 1
+        (v,) = t.vertices
+        assert t.vertex_degree(v) == 2 * len(inst)

@@ -1,0 +1,87 @@
+"""Tests for the Theorem 6.1 arithmetic encodings."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.encodings import (
+    component_order_along_bar,
+    decode_number,
+    encode_number,
+    intersection_components,
+    number_instance,
+    product_grid_components,
+)
+from repro.errors import EncodingError
+from repro.regions import Rect
+
+
+class TestNumberEncoding:
+    @pytest.mark.parametrize("n", [0, 1, 2, 3, 7])
+    def test_components_equal_n(self, n):
+        r, q = encode_number(n)
+        assert intersection_components(r, q) == n
+
+    def test_negative_rejected(self):
+        with pytest.raises(EncodingError):
+            encode_number(-1)
+
+    def test_decode_roundtrip(self):
+        for n in (0, 2, 4):
+            assert decode_number(number_instance(n)) == n
+
+    @given(st.integers(min_value=0, max_value=6))
+    @settings(max_examples=7, deadline=None)
+    def test_roundtrip_property(self, n):
+        assert decode_number(number_instance(n)) == n
+
+
+class TestArithmetic:
+    """The encodings behave arithmetically — the geometric content of
+    the definable +, x, = of Theorem 6.1."""
+
+    @pytest.mark.parametrize("m,n", [(0, 3), (1, 2), (2, 2), (3, 4)])
+    def test_addition(self, m, n):
+        rm, qm = encode_number(m)
+        rn, qn = encode_number(n)
+        rs, qs = encode_number(m + n)
+        assert (
+            intersection_components(rm, qm)
+            + intersection_components(rn, qn)
+            == intersection_components(rs, qs)
+        )
+
+    @pytest.mark.parametrize("m,n", [(1, 1), (2, 3), (3, 2), (0, 4), (2, 0)])
+    def test_multiplication_grid(self, m, n):
+        assert product_grid_components(m, n) == m * n
+
+    def test_equality_via_components(self):
+        r3a, q3a = encode_number(3)
+        r3b, q3b = encode_number(3)
+        assert intersection_components(r3a, q3a) == intersection_components(
+            r3b, q3b
+        )
+
+
+class TestCircularOrder:
+    """The Fig. 15 machinery: components are linearly ordered along the
+    bar's boundary."""
+
+    def test_order_positions_monotone(self):
+        positions = component_order_along_bar(*encode_number(5))
+        assert len(positions) == 5
+        assert positions == sorted(positions)
+
+    def test_component_spacing(self):
+        positions = component_order_along_bar(*encode_number(4))
+        gaps = [b - a for a, b in zip(positions, positions[1:])]
+        assert all(g == 4 for g in gaps)
+
+    def test_empty_encoding(self):
+        assert component_order_along_bar(*encode_number(0)) == []
+
+    def test_order_for_plain_overlaps(self):
+        a = Rect(0, 0, 20, 2)
+        b = Rect(3, 1, 6, 3)
+        positions = component_order_along_bar(a, b)
+        assert len(positions) == 1

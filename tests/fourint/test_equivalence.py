@@ -1,0 +1,65 @@
+"""Tests for 4-intersection equivalence vs. H-equivalence (Fig. 1)."""
+
+from repro.datasets.figures import fig_1a, fig_1b, fig_1c, fig_1d
+from repro.fourint import Egenhofer, four_intersection_equivalent, relation_table
+from repro.invariant import topologically_equivalent
+from repro.regions import Rect, SpatialInstance
+
+
+class TestFig1:
+    """The paper's motivating example: 4-intersection equivalence does
+    not determine topology."""
+
+    def test_1a_1b_four_intersection_equivalent(self):
+        assert four_intersection_equivalent(fig_1a(), fig_1b())
+
+    def test_1a_1b_not_homeomorphic(self):
+        assert not topologically_equivalent(fig_1a(), fig_1b())
+
+    def test_1c_1d_four_intersection_equivalent(self):
+        assert four_intersection_equivalent(fig_1c(), fig_1d())
+
+    def test_1c_1d_not_homeomorphic(self):
+        assert not topologically_equivalent(fig_1c(), fig_1d())
+
+    def test_1a_relations_all_overlap(self):
+        table = relation_table(fig_1a())
+        assert set(table.values()) == {Egenhofer.OVERLAP}
+
+    def test_1b_relations_all_overlap(self):
+        table = relation_table(fig_1b())
+        assert set(table.values()) == {Egenhofer.OVERLAP}
+
+
+class TestEquivalenceBasics:
+    def test_different_names(self):
+        a = SpatialInstance({"A": Rect(0, 0, 1, 1)})
+        b = SpatialInstance({"X": Rect(0, 0, 1, 1)})
+        assert not four_intersection_equivalent(a, b)
+
+    def test_different_relations(self):
+        overlap = SpatialInstance(
+            {"A": Rect(0, 0, 4, 4), "B": Rect(2, 2, 6, 6)}
+        )
+        disjoint = SpatialInstance(
+            {"A": Rect(0, 0, 2, 2), "B": Rect(5, 0, 7, 2)}
+        )
+        assert not four_intersection_equivalent(overlap, disjoint)
+
+    def test_h_equivalence_implies_four_intersection_equivalence(self):
+        small = SpatialInstance(
+            {"A": Rect(0, 0, 4, 4), "B": Rect(2, 2, 6, 6)}
+        )
+        big = SpatialInstance(
+            {"A": Rect(0, 0, 40, 40), "B": Rect(20, 20, 60, 60)}
+        )
+        assert topologically_equivalent(small, big)
+        assert four_intersection_equivalent(small, big)
+
+    def test_asymmetric_relations_recorded_in_both_orders(self):
+        inst = SpatialInstance(
+            {"A": Rect(0, 0, 9, 9), "B": Rect(2, 2, 4, 4)}
+        )
+        table = relation_table(inst)
+        assert table[("A", "B")] is Egenhofer.CONTAINS
+        assert table[("B", "A")] is Egenhofer.INSIDE

@@ -1,0 +1,116 @@
+"""Tests for the 4-intersection model (Fig. 2 reproduction)."""
+
+import pytest
+
+from repro.errors import RegionError
+from repro.fourint import (
+    REALIZABLE_MATRICES,
+    Egenhofer,
+    FourIntersectionMatrix,
+    classify,
+    four_intersection,
+    relation_of_matrix,
+)
+from repro.geometry import Point
+from repro.regions import AlgRegion, Poly, Rect
+
+# Geometric witnesses for all eight relations (A, B, expected).
+WITNESSES = {
+    Egenhofer.DISJOINT: (Rect(0, 0, 2, 2), Rect(5, 0, 7, 2)),
+    Egenhofer.MEET: (Rect(0, 0, 2, 2), Rect(2, 0, 4, 2)),
+    Egenhofer.OVERLAP: (Rect(0, 0, 4, 4), Rect(2, 2, 6, 6)),
+    Egenhofer.EQUAL: (Rect(0, 0, 2, 2), Rect(0, 0, 2, 2)),
+    Egenhofer.INSIDE: (Rect(2, 2, 4, 4), Rect(0, 0, 9, 9)),
+    Egenhofer.CONTAINS: (Rect(0, 0, 9, 9), Rect(2, 2, 4, 4)),
+    Egenhofer.COVERED_BY: (Rect(0, 0, 2, 2), Rect(0, 0, 4, 4)),
+    Egenhofer.COVERS: (Rect(0, 0, 4, 4), Rect(0, 0, 2, 2)),
+}
+
+
+class TestClassification:
+    @pytest.mark.parametrize(
+        "relation", list(Egenhofer), ids=lambda r: r.value
+    )
+    def test_witness_classifies_correctly(self, relation):
+        a, b = WITNESSES[relation]
+        assert classify(a, b) is relation
+
+    @pytest.mark.parametrize(
+        "relation", list(Egenhofer), ids=lambda r: r.value
+    )
+    def test_reversed_pair_gives_inverse(self, relation):
+        a, b = WITNESSES[relation]
+        assert classify(b, a) is relation.inverse
+
+    def test_corner_touch_is_meet(self):
+        assert classify(Rect(0, 0, 2, 2), Rect(2, 2, 4, 4)) is Egenhofer.MEET
+
+    def test_circles(self):
+        a = AlgRegion.circle(0, 0, 2, n=16)
+        b = AlgRegion.circle(3, 0, 2, n=16)
+        c = AlgRegion.circle(10, 0, 1, n=16)
+        assert classify(a, b) is Egenhofer.OVERLAP
+        assert classify(a, c) is Egenhofer.DISJOINT
+
+    def test_polygon_inside_rect(self):
+        tri = Poly((Point(1, 1), Point(2, 1), Point(1, 2)))
+        assert classify(tri, Rect(0, 0, 5, 5)) is Egenhofer.INSIDE
+
+
+class TestMatrices:
+    def test_eight_realizable_patterns(self):
+        assert len(REALIZABLE_MATRICES) == 8
+        assert set(REALIZABLE_MATRICES.values()) == set(Egenhofer)
+
+    @pytest.mark.parametrize(
+        "relation", list(Egenhofer), ids=lambda r: r.value
+    )
+    def test_witness_matrix_matches_table(self, relation):
+        a, b = WITNESSES[relation]
+        m = four_intersection(a, b)
+        assert REALIZABLE_MATRICES[m.bits()] is relation
+
+    def test_transpose_matches_inverse(self):
+        for relation, (a, b) in WITNESSES.items():
+            m = four_intersection(a, b)
+            assert relation_of_matrix(m.transpose()) is relation.inverse
+
+    def test_unrealizable_pattern_rejected(self):
+        # Interiors disjoint but A's interior meets B's boundary: cannot
+        # happen for open discs.
+        bogus = FourIntersectionMatrix(False, True, False, False)
+        with pytest.raises(RegionError):
+            relation_of_matrix(bogus)
+
+    def test_inverse_involution(self):
+        for r in Egenhofer:
+            assert r.inverse.inverse is r
+
+    def test_symmetric_relations(self):
+        symmetric = {r for r in Egenhofer if r.symmetric}
+        assert symmetric == {
+            Egenhofer.DISJOINT,
+            Egenhofer.MEET,
+            Egenhofer.OVERLAP,
+            Egenhofer.EQUAL,
+        }
+
+
+class TestExhaustiveness:
+    """Any two discs stand in exactly one of the eight relations."""
+
+    def test_sweep_of_rect_pairs(self):
+        a = Rect(0, 0, 4, 4)
+        seen = set()
+        for x in range(-3, 12):
+            b = Rect(x, 1, x + 2, 3)
+            seen.add(classify(a, b))
+        # A horizontal sweep of a small rect across a big one realizes
+        # disjoint, meet, overlap, covers, and contains (relative to A).
+        assert {
+            Egenhofer.DISJOINT,
+            Egenhofer.MEET,
+            Egenhofer.OVERLAP,
+            Egenhofer.COVERS,
+            Egenhofer.CONTAINS,
+        } <= seen

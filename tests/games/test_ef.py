@@ -1,0 +1,81 @@
+"""Tests for EF games (Proposition 4.3's tool)."""
+
+from repro.games import distinguishing_rank, duplicator_wins
+from repro.relational import Database, DatabaseSchema
+
+
+def linear_order(n: int) -> Database:
+    schema = DatabaseSchema({"Less": ("x", "y")})
+    return Database(
+        schema,
+        {
+            "Less": {
+                (i, j) for i in range(n) for j in range(n) if i < j
+            }
+        },
+    )
+
+
+class TestLinearOrders:
+    """Classic EF facts on linear orders."""
+
+    def test_same_orders_equivalent(self):
+        assert duplicator_wins(linear_order(3), linear_order(3), 3)
+
+    def test_small_orders_distinguished_quickly(self):
+        # |2| vs |3| differ at quantifier rank 2 (exists x, y: x < y and
+        # exists z between? rank 2 suffices: orders of size 2 vs 3).
+        rank = distinguishing_rank(linear_order(2), linear_order(3))
+        assert rank == 2
+
+    def test_one_vs_two(self):
+        rank = distinguishing_rank(linear_order(1), linear_order(2))
+        assert rank == 1
+
+    def test_larger_orders_need_more_rounds(self):
+        # Orders of size 4 and 5 agree at rank 2.
+        assert duplicator_wins(linear_order(4), linear_order(5), 2)
+
+
+class TestThematicStructures:
+    """EF games on the paper's structures: the 4-intersection 'connect
+    graph' of Fig. 1a and 1b is identical, so no FO sentence over it
+    separates them — the region-quantified languages are needed."""
+
+    def _connect_db(self, inst):
+        from repro.fourint import Egenhofer, relation_table
+
+        schema = DatabaseSchema({"Overlaps": ("a", "b"), "Name": ("a",)})
+        table = relation_table(inst)
+        return Database(
+            schema,
+            {
+                "Overlaps": {
+                    pair
+                    for pair, rel in table.items()
+                    if rel is Egenhofer.OVERLAP
+                },
+                "Name": {(n,) for n in inst.names()},
+            },
+        )
+
+    def test_fig_1a_1b_connect_graphs_indistinguishable(self):
+        from repro.datasets.figures import fig_1a, fig_1b
+
+        a = self._connect_db(fig_1a())
+        b = self._connect_db(fig_1b())
+        assert duplicator_wins(a, b, 3)
+
+    def test_thematic_databases_distinguishable(self):
+        """Thematic structures expose differences the connect graph
+        hides: a lens has arrangement vertices, a single square has
+        none — Spoiler wins in one round."""
+        from repro.datasets.figures import fig_1c
+        from repro.invariant import thematic
+        from repro.regions import Rect, SpatialInstance
+
+        lens = thematic(fig_1c())
+        square = thematic(
+            SpatialInstance({"A": Rect(0, 0, 2, 2), "B": Rect(8, 8, 9, 9)})
+        )
+        assert distinguishing_rank(lens, square, max_rounds=1) == 1

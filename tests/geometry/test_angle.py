@@ -1,0 +1,89 @@
+"""Tests for the exact rotational ordering of directions."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.geometry import Point, ccw_sorted, direction_compare, pseudo_angle_class
+
+rationals = st.fractions(min_value=-20, max_value=20, max_denominator=16)
+nonzero_dirs = st.builds(Point, rationals, rationals).filter(
+    lambda p: p.x != 0 or p.y != 0
+)
+
+
+class TestPseudoAngleClass:
+    @pytest.mark.parametrize(
+        "d,cls",
+        [
+            (Point(1, 0), 0),
+            (Point(5, 0), 0),
+            (Point(1, 1), 1),
+            (Point(0, 1), 1),
+            (Point(-1, 1), 1),
+            (Point(-1, 0), 2),
+            (Point(-1, -1), 3),
+            (Point(0, -1), 3),
+            (Point(1, -1), 3),
+        ],
+    )
+    def test_classes(self, d, cls):
+        assert pseudo_angle_class(d) == cls
+
+    def test_zero_rejected(self):
+        with pytest.raises(ValueError):
+            pseudo_angle_class(Point(0, 0))
+
+
+class TestDirectionCompare:
+    def test_ccw_order_of_axes(self):
+        east, north, west, south = (
+            Point(1, 0),
+            Point(0, 1),
+            Point(-1, 0),
+            Point(0, -1),
+        )
+        assert direction_compare(east, north) < 0
+        assert direction_compare(north, west) < 0
+        assert direction_compare(west, south) < 0
+
+    def test_scaling_is_equal(self):
+        assert direction_compare(Point(1, 2), Point(2, 4)) == 0
+
+    def test_opposite_not_equal(self):
+        assert direction_compare(Point(1, 2), Point(-1, -2)) != 0
+
+    @given(nonzero_dirs, nonzero_dirs)
+    def test_antisymmetry(self, d1, d2):
+        assert direction_compare(d1, d2) == -direction_compare(d2, d1)
+
+    @given(nonzero_dirs, nonzero_dirs, nonzero_dirs)
+    def test_transitivity(self, a, b, c):
+        if direction_compare(a, b) <= 0 and direction_compare(b, c) <= 0:
+            assert direction_compare(a, c) <= 0
+
+
+class TestCcwSorted:
+    def test_eight_compass_directions(self):
+        dirs = [
+            Point(1, 0),
+            Point(1, 1),
+            Point(0, 1),
+            Point(-1, 1),
+            Point(-1, 0),
+            Point(-1, -1),
+            Point(0, -1),
+            Point(1, -1),
+        ]
+        import random
+
+        shuffled = dirs[:]
+        random.Random(7).shuffle(shuffled)
+        assert ccw_sorted(shuffled) == dirs
+
+    @given(st.lists(nonzero_dirs, min_size=1, max_size=10))
+    def test_sorted_is_permutation(self, dirs):
+        result = ccw_sorted(dirs)
+        assert sorted(result, key=lambda p: (p.x, p.y)) == sorted(
+            dirs, key=lambda p: (p.x, p.y)
+        )

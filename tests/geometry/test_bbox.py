@@ -1,0 +1,72 @@
+"""Tests for bounding boxes."""
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import GeometryError
+from repro.geometry import BBox, Point
+
+rationals = st.fractions(min_value=-50, max_value=50, max_denominator=16)
+points = st.builds(Point, rationals, rationals)
+
+
+def box(x1, y1, x2, y2):
+    return BBox(Fraction(x1), Fraction(y1), Fraction(x2), Fraction(y2))
+
+
+class TestConstruction:
+    def test_empty_rejected(self):
+        with pytest.raises(GeometryError):
+            box(2, 0, 0, 1)
+
+    def test_degenerate_allowed(self):
+        b = box(1, 1, 1, 1)
+        assert b.width == 0 and b.height == 0
+
+    @given(st.lists(points, min_size=1, max_size=10))
+    def test_of_points_contains_all(self, pts):
+        b = BBox.of_points(pts)
+        assert all(b.contains(p) for p in pts)
+
+    def test_of_points_empty_rejected(self):
+        with pytest.raises(GeometryError):
+            BBox.of_points([])
+
+
+class TestQueries:
+    def test_contains_boundary(self):
+        b = box(0, 0, 2, 2)
+        assert b.contains(Point(0, 1))
+        assert b.contains(Point(2, 2))
+        assert not b.contains(Point(3, 1))
+
+    def test_intersects(self):
+        assert box(0, 0, 2, 2).intersects(box(1, 1, 3, 3))
+        assert box(0, 0, 2, 2).intersects(box(2, 0, 4, 2))  # touching
+        assert not box(0, 0, 2, 2).intersects(box(3, 0, 4, 2))
+
+    def test_union(self):
+        u = box(0, 0, 1, 1).union(box(5, 5, 6, 6))
+        assert (u.xmin, u.ymin, u.xmax, u.ymax) == (0, 0, 6, 6)
+
+    def test_expanded(self):
+        e = box(0, 0, 2, 2).expanded(1)
+        assert (e.xmin, e.ymin, e.xmax, e.ymax) == (-1, -1, 3, 3)
+
+    def test_center(self):
+        assert box(0, 0, 4, 2).center() == Point(2, 1)
+
+    def test_corners_ccw(self):
+        c = box(0, 0, 2, 2).corners()
+        assert c == (
+            Point(0, 0), Point(2, 0), Point(2, 2), Point(0, 2)
+        )
+
+    @given(points, points)
+    def test_union_is_commutative(self, p, q):
+        a = BBox.of_points([p])
+        b = BBox.of_points([q])
+        assert a.union(b) == b.union(a)

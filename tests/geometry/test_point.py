@@ -1,0 +1,106 @@
+"""Tests for exact points and vectors."""
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.geometry import Point, Q, centroid, interpolate, midpoint
+
+rationals = st.fractions(
+    min_value=-100, max_value=100, max_denominator=64
+)
+points = st.builds(Point, rationals, rationals)
+
+
+class TestQ:
+    def test_int(self):
+        assert Q(3) == Fraction(3)
+
+    def test_float_uses_decimal_meaning(self):
+        assert Q(0.1) == Fraction(1, 10)
+
+    def test_string(self):
+        assert Q("2/7") == Fraction(2, 7)
+
+    def test_fraction_passthrough(self):
+        f = Fraction(5, 3)
+        assert Q(f) is f
+
+    def test_rejects_other_types(self):
+        with pytest.raises(TypeError):
+            Q(object())
+
+
+class TestPoint:
+    def test_coercion_in_constructor(self):
+        p = Point(0.5, "1/3")
+        assert p.x == Fraction(1, 2)
+        assert p.y == Fraction(1, 3)
+
+    def test_equality_and_hash(self):
+        assert Point(1, 2) == Point(Fraction(2, 2), 2)
+        assert hash(Point(1, 2)) == hash(Point(1, 2))
+
+    def test_add_sub(self):
+        assert Point(1, 2) + Point(3, 4) == Point(4, 6)
+        assert Point(3, 4) - Point(1, 2) == Point(2, 2)
+
+    def test_scalar_multiplication(self):
+        assert Point(1, 2) * 3 == Point(3, 6)
+        assert 3 * Point(1, 2) == Point(3, 6)
+
+    def test_cross_anticommutative(self):
+        a, b = Point(1, 2), Point(3, 4)
+        assert a.cross(b) == -b.cross(a)
+
+    def test_dot(self):
+        assert Point(1, 2).dot(Point(3, 4)) == 11
+
+    def test_lex_order(self):
+        assert Point(0, 5) < Point(1, 0)
+        assert Point(1, 0) < Point(1, 5)
+
+    def test_as_float(self):
+        assert Point(1, 2).as_float() == (1.0, 2.0)
+
+
+class TestDerivedPoints:
+    def test_midpoint(self):
+        assert midpoint(Point(0, 0), Point(2, 4)) == Point(1, 2)
+
+    def test_interpolate_endpoints(self):
+        a, b = Point(1, 1), Point(5, 9)
+        assert interpolate(a, b, 0) == a
+        assert interpolate(a, b, 1) == b
+
+    def test_interpolate_quarter(self):
+        assert interpolate(Point(0, 0), Point(4, 8), "1/4") == Point(1, 2)
+
+    def test_centroid(self):
+        pts = [Point(0, 0), Point(3, 0), Point(0, 3)]
+        assert centroid(pts) == Point(1, 1)
+
+    def test_centroid_empty_raises(self):
+        with pytest.raises(ValueError):
+            centroid([])
+
+
+class TestPointProperties:
+    @given(points, points)
+    def test_addition_commutes(self, p, q):
+        assert p + q == q + p
+
+    @given(points, points)
+    def test_cross_of_parallel_is_zero(self, p, q):
+        assert (2 * p).cross(p) == 0
+
+    @given(points, points)
+    def test_midpoint_is_halfway(self, p, q):
+        m = midpoint(p, q)
+        assert m - p == q - m
+
+    @given(points)
+    def test_norm2_nonnegative(self, p):
+        assert p.norm2() >= 0

@@ -1,0 +1,175 @@
+"""Tests for simple polygons: validity, area, point location."""
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import GeometryError
+from repro.geometry import (
+    Location,
+    Point,
+    SimplePolygon,
+    is_simple_chain,
+    signed_area2,
+)
+
+
+def square(side=2):
+    return SimplePolygon(
+        (Point(0, 0), Point(side, 0), Point(side, side), Point(0, side))
+    )
+
+
+def l_shape():
+    return SimplePolygon(
+        (
+            Point(0, 0),
+            Point(3, 0),
+            Point(3, 1),
+            Point(1, 1),
+            Point(1, 3),
+            Point(0, 3),
+        )
+    )
+
+
+class TestSimplicity:
+    def test_square_is_simple(self):
+        assert is_simple_chain(
+            (Point(0, 0), Point(1, 0), Point(1, 1), Point(0, 1))
+        )
+
+    def test_bowtie_is_not_simple(self):
+        assert not is_simple_chain(
+            (Point(0, 0), Point(2, 2), Point(2, 0), Point(0, 2))
+        )
+
+    def test_repeated_vertex_not_simple(self):
+        assert not is_simple_chain(
+            (Point(0, 0), Point(1, 0), Point(0, 0), Point(0, 1))
+        )
+
+    def test_too_few_vertices(self):
+        assert not is_simple_chain((Point(0, 0), Point(1, 0)))
+
+    def test_touching_edges_not_simple(self):
+        # Edge (2,0)-(2,2) touches vertex (2,1) of the chain.
+        chain = (
+            Point(0, 0),
+            Point(2, 0),
+            Point(2, 2),
+            Point(4, 2),
+            Point(4, 1),
+            Point(2, 1),
+            Point(0, 1),
+        )
+        assert not is_simple_chain(chain)
+
+    def test_constructor_validates(self):
+        with pytest.raises(GeometryError):
+            SimplePolygon((Point(0, 0), Point(2, 2), Point(2, 0), Point(0, 2)))
+
+    def test_collinear_straight_through_is_allowed(self):
+        poly = SimplePolygon(
+            (Point(0, 0), Point(1, 0), Point(2, 0), Point(2, 2), Point(0, 2))
+        )
+        assert len(poly) == 5
+
+
+class TestAreaAndOrientation:
+    def test_square_area(self):
+        assert square(2).area2() == 8
+
+    def test_orientation_normalized_to_ccw(self):
+        cw = (Point(0, 0), Point(0, 1), Point(1, 1), Point(1, 0))
+        poly = SimplePolygon(cw)
+        assert signed_area2(poly.vertices) > 0
+
+    def test_l_shape_area(self):
+        # 3x1 bar + 1x2 column = 5 area, doubled = 10.
+        assert l_shape().area2() == 10
+
+
+class TestPointLocation:
+    def test_interior(self):
+        assert square().locate(Point(1, 1)) is Location.INTERIOR
+
+    def test_boundary_edge(self):
+        assert square().locate(Point(1, 0)) is Location.BOUNDARY
+
+    def test_boundary_vertex(self):
+        assert square().locate(Point(0, 0)) is Location.BOUNDARY
+
+    def test_exterior(self):
+        assert square().locate(Point(5, 5)) is Location.EXTERIOR
+
+    def test_exterior_aligned_with_edge(self):
+        # On the line through the bottom edge but outside the square.
+        assert square().locate(Point(-1, 0)) is Location.EXTERIOR
+
+    def test_l_shape_notch_is_exterior(self):
+        assert l_shape().locate(Point(2, 2)) is Location.EXTERIOR
+
+    def test_l_shape_interior(self):
+        assert l_shape().locate(
+            Point(Fraction(1, 2), Fraction(1, 2))
+        ) is Location.INTERIOR
+
+    def test_ray_through_vertex_counts_correctly(self):
+        # Diamond: ray at the level of left/right vertices.
+        diamond = SimplePolygon(
+            (Point(0, -1), Point(1, 0), Point(0, 1), Point(-1, 0))
+        )
+        assert diamond.locate(Point(0, 0)) is Location.INTERIOR
+        assert diamond.locate(Point(2, 0)) is Location.EXTERIOR
+        assert diamond.locate(Point(1, 0)) is Location.BOUNDARY
+
+
+class TestInteriorPoint:
+    @pytest.mark.parametrize(
+        "poly_factory", [square, l_shape], ids=["square", "l-shape"]
+    )
+    def test_interior_point_is_interior(self, poly_factory):
+        poly = poly_factory()
+        assert poly.locate(poly.interior_point()) is Location.INTERIOR
+
+    def test_thin_triangle(self):
+        thin = SimplePolygon(
+            (Point(0, 0), Point(100, 1), Point(100, 0))
+        )
+        assert thin.locate(thin.interior_point()) is Location.INTERIOR
+
+    def test_spiky_nonconvex(self):
+        spiky = SimplePolygon(
+            (
+                Point(0, 0),
+                Point(10, 0),
+                Point(10, 10),
+                Point(5, 1),  # deep reflex spike
+                Point(0, 10),
+            )
+        )
+        assert spiky.locate(spiky.interior_point()) is Location.INTERIOR
+
+
+class TestPolygonProperties:
+    @given(
+        st.integers(min_value=3, max_value=12),
+        st.integers(min_value=1, max_value=20),
+    )
+    def test_regular_polygon_roundtrip(self, n, scale):
+        # A convex "staircase fan" polygon: points on a convex arc.
+        pts = [Point(k * scale, k * k * scale) for k in range(n)]
+        pts.append(Point(-1, n * n * scale))
+        poly = SimplePolygon(tuple(pts))
+        assert poly.area2() > 0
+        inner = poly.interior_point()
+        assert poly.locate(inner) is Location.INTERIOR
+
+    @given(st.integers(min_value=1, max_value=30))
+    def test_translation_preserves_area(self, d):
+        poly = l_shape()
+        moved = poly.translated(d, -d)
+        assert moved.area2() == poly.area2()

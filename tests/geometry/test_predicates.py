@@ -1,0 +1,154 @@
+"""Tests for the exact geometric predicates."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.geometry import (
+    Point,
+    collinear,
+    on_segment,
+    orientation,
+    segment_intersection,
+    segments_properly_intersect,
+    strictly_between,
+)
+
+rationals = st.fractions(min_value=-50, max_value=50, max_denominator=32)
+points = st.builds(Point, rationals, rationals)
+
+
+class TestOrientation:
+    def test_ccw(self):
+        assert orientation(Point(0, 0), Point(1, 0), Point(0, 1)) == 1
+
+    def test_cw(self):
+        assert orientation(Point(0, 0), Point(0, 1), Point(1, 0)) == -1
+
+    def test_collinear(self):
+        assert orientation(Point(0, 0), Point(1, 1), Point(2, 2)) == 0
+
+    @given(points, points, points)
+    def test_antisymmetry(self, a, b, c):
+        assert orientation(a, b, c) == -orientation(b, a, c)
+
+    @given(points, points, points)
+    def test_cyclic_invariance(self, a, b, c):
+        assert orientation(a, b, c) == orientation(b, c, a)
+
+
+class TestOnSegment:
+    def test_midpoint_on(self):
+        assert on_segment(Point(1, 1), Point(0, 0), Point(2, 2))
+
+    def test_endpoint_on(self):
+        assert on_segment(Point(0, 0), Point(0, 0), Point(2, 2))
+
+    def test_off_line(self):
+        assert not on_segment(Point(1, 0), Point(0, 0), Point(2, 2))
+
+    def test_on_line_outside_segment(self):
+        assert not on_segment(Point(3, 3), Point(0, 0), Point(2, 2))
+
+    def test_strictly_between_excludes_endpoints(self):
+        a, b = Point(0, 0), Point(2, 0)
+        assert strictly_between(Point(1, 0), a, b)
+        assert not strictly_between(a, a, b)
+        assert not strictly_between(b, a, b)
+
+
+class TestProperIntersection:
+    def test_crossing(self):
+        assert segments_properly_intersect(
+            Point(0, 0), Point(2, 2), Point(0, 2), Point(2, 0)
+        )
+
+    def test_shared_endpoint_not_proper(self):
+        assert not segments_properly_intersect(
+            Point(0, 0), Point(1, 1), Point(1, 1), Point(2, 0)
+        )
+
+    def test_t_junction_not_proper(self):
+        assert not segments_properly_intersect(
+            Point(0, 0), Point(2, 0), Point(1, 0), Point(1, 1)
+        )
+
+    def test_disjoint(self):
+        assert not segments_properly_intersect(
+            Point(0, 0), Point(1, 0), Point(0, 1), Point(1, 1)
+        )
+
+
+class TestSegmentIntersection:
+    def test_proper_crossing_point(self):
+        kind, p = segment_intersection(
+            Point(0, 0), Point(2, 2), Point(0, 2), Point(2, 0)
+        )
+        assert kind == "point"
+        assert p == Point(1, 1)
+
+    def test_endpoint_touch(self):
+        kind, p = segment_intersection(
+            Point(0, 0), Point(1, 1), Point(1, 1), Point(2, 0)
+        )
+        assert kind == "point"
+        assert p == Point(1, 1)
+
+    def test_disjoint_parallel(self):
+        kind, payload = segment_intersection(
+            Point(0, 0), Point(1, 0), Point(0, 1), Point(1, 1)
+        )
+        assert kind == "none"
+        assert payload is None
+
+    def test_collinear_disjoint(self):
+        kind, _ = segment_intersection(
+            Point(0, 0), Point(1, 0), Point(2, 0), Point(3, 0)
+        )
+        assert kind == "none"
+
+    def test_collinear_point_touch(self):
+        kind, p = segment_intersection(
+            Point(0, 0), Point(1, 0), Point(1, 0), Point(2, 0)
+        )
+        assert kind == "point"
+        assert p == Point(1, 0)
+
+    def test_collinear_overlap(self):
+        kind, (lo, hi) = segment_intersection(
+            Point(0, 0), Point(2, 0), Point(1, 0), Point(3, 0)
+        )
+        assert kind == "overlap"
+        assert (lo, hi) == (Point(1, 0), Point(2, 0))
+
+    def test_containment_overlap(self):
+        kind, (lo, hi) = segment_intersection(
+            Point(0, 0), Point(3, 0), Point(1, 0), Point(2, 0)
+        )
+        assert kind == "overlap"
+        assert (lo, hi) == (Point(1, 0), Point(2, 0))
+
+    @given(points, points, points, points)
+    def test_symmetry(self, a, b, c, d):
+        if a == b or c == d:
+            return
+        k1, p1 = segment_intersection(a, b, c, d)
+        k2, p2 = segment_intersection(c, d, a, b)
+        assert k1 == k2
+        if k1 == "point":
+            assert p1 == p2
+
+    @given(points, points)
+    def test_self_intersection_is_overlap(self, a, b):
+        if a == b:
+            return
+        kind, payload = segment_intersection(a, b, a, b)
+        assert kind == "overlap"
+        lo, hi = sorted((a, b), key=Point.lex_key)
+        assert payload == (lo, hi)
+
+
+class TestCollinear:
+    @given(points, points, st.fractions(min_value=-3, max_value=3, max_denominator=8))
+    def test_affine_combination_collinear(self, a, b, t):
+        c = Point(a.x + (b.x - a.x) * t, a.y + (b.y - a.y) * t)
+        assert collinear(a, b, c)

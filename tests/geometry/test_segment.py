@@ -1,0 +1,89 @@
+"""Tests for segments."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import GeometryError
+from repro.geometry import Point, Segment
+
+rationals = st.fractions(min_value=-30, max_value=30, max_denominator=16)
+points = st.builds(Point, rationals, rationals)
+
+
+class TestConstruction:
+    def test_degenerate_rejected(self):
+        with pytest.raises(GeometryError):
+            Segment(Point(1, 1), Point(1, 1))
+
+    def test_endpoint_normalization(self):
+        assert Segment(Point(1, 0), Point(0, 0)) == Segment(
+            Point(0, 0), Point(1, 0)
+        )
+
+    @given(points, points)
+    def test_unordered_equality(self, a, b):
+        if a == b:
+            return
+        assert Segment(a, b) == Segment(b, a)
+        assert hash(Segment(a, b)) == hash(Segment(b, a))
+
+
+class TestQueries:
+    def test_midpoint(self):
+        assert Segment(Point(0, 0), Point(2, 4)).midpoint() == Point(1, 2)
+
+    def test_contains(self):
+        s = Segment(Point(0, 0), Point(4, 0))
+        assert s.contains(Point(2, 0))
+        assert s.contains(Point(0, 0))
+        assert not s.contains(Point(5, 0))
+
+    def test_contains_interior(self):
+        s = Segment(Point(0, 0), Point(4, 0))
+        assert s.contains_interior(Point(2, 0))
+        assert not s.contains_interior(Point(0, 0))
+
+
+class TestSplit:
+    def test_split_at_interior_points(self):
+        s = Segment(Point(0, 0), Point(4, 0))
+        parts = s.split_at([Point(1, 0), Point(3, 0)])
+        assert parts == [
+            Segment(Point(0, 0), Point(1, 0)),
+            Segment(Point(1, 0), Point(3, 0)),
+            Segment(Point(3, 0), Point(4, 0)),
+        ]
+
+    def test_split_ignores_endpoints_and_outsiders(self):
+        s = Segment(Point(0, 0), Point(4, 0))
+        parts = s.split_at([Point(0, 0), Point(9, 9), Point(2, 1)])
+        assert parts == [s]
+
+    def test_split_dedupes(self):
+        s = Segment(Point(0, 0), Point(4, 0))
+        parts = s.split_at([Point(2, 0), Point(2, 0)])
+        assert len(parts) == 2
+
+    @given(
+        points,
+        points,
+        st.lists(
+            st.fractions(min_value=0, max_value=1, max_denominator=16),
+            max_size=5,
+        ),
+    )
+    def test_split_parts_chain_up(self, a, b, ts):
+        if a == b:
+            return
+        s = Segment(a, b)
+        cuts = [
+            Point(s.a.x + (s.b.x - s.a.x) * t, s.a.y + (s.b.y - s.a.y) * t)
+            for t in ts
+        ]
+        parts = s.split_at(cuts)
+        assert parts[0].contains(s.a)
+        assert parts[-1].contains(s.b)
+        for p1, p2 in zip(parts, parts[1:]):
+            shared = set(p1.endpoints()) & set(p2.endpoints())
+            assert len(shared) == 1

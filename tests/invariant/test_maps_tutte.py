@@ -1,0 +1,129 @@
+"""Unit tests for the realization substrates: combinatorial maps, block
+decomposition, and the Tutte block drawer."""
+
+import pytest
+
+from repro.datasets import fig_1c, fig_1d, fig_7b_adjacent
+from repro.invariant import invariant, validate_invariant
+from repro.invariant.maps import subdivided_component
+from repro.invariant.tutte import (
+    convex_positions,
+    draw_block,
+    trace_block_faces,
+)
+from repro.regions import Rect, RectUnion, SpatialInstance
+
+
+def component_map(inst, index=0):
+    t = invariant(inst)
+    w = validate_invariant(t)
+    return subdivided_component(t, w, index)
+
+
+class TestSubdivision:
+    def test_lens_structure(self):
+        smap = component_map(fig_1c())
+        # 2 original vertices + 2 subdivision nodes per edge x 4 edges.
+        assert len(smap.nodes) == 2 + 8
+        assert len(smap.edge_of_segment) == 12
+        # The subdivided graph is simple: each segment distinct.
+        assert len(set(smap.edge_of_segment)) == 12
+
+    def test_rotation_degree_matches(self):
+        smap = component_map(fig_1c())
+        for node, ring in smap.rotation.items():
+            if node.startswith("v"):
+                assert len(ring) == 4
+            else:
+                assert len(ring) == 2
+
+    def test_walks_cover_all_darts(self):
+        smap = component_map(fig_1c())
+        darts = {d for walk in smap.walks for d in walk}
+        assert len(darts) == 2 * len(smap.edge_of_segment)
+
+    def test_blocks_partition_segments(self):
+        smap = component_map(fig_7b_adjacent())
+        covered = set()
+        for block in smap.blocks:
+            assert not (covered & block)
+            covered |= block
+        assert covered == set(smap.edge_of_segment)
+
+    def test_cut_vertex_found(self):
+        smap = component_map(fig_7b_adjacent())
+        assert "v0" in smap.cut_nodes
+        assert len(smap.blocks) == 4
+
+    def test_biconnected_instance_single_block(self):
+        smap = component_map(fig_1d())
+        assert len(smap.blocks) == 1
+        assert not smap.cut_nodes
+
+    def test_slit_produces_bridge_blocks(self):
+        inst = SpatialInstance(
+            {
+                "U": RectUnion(
+                    [Rect(0, 0, 2, 2), Rect(2, 0, 4, 2), Rect(1, 1, 3, 2)]
+                )
+            }
+        )
+        smap = component_map(inst)
+        bridges = [b for b in smap.blocks if len(b) == 1]
+        assert len(bridges) == 3  # the slit chain: three K2 blocks
+
+
+class TestConvexPositions:
+    @pytest.mark.parametrize("n", [3, 4, 7, 12])
+    def test_points_in_convex_position(self, n):
+        pts = convex_positions(n)
+        assert len(pts) == n
+        m = len(pts)
+        for i in range(m):
+            a, b, c = pts[i], pts[(i + 1) % m], pts[(i + 2) % m]
+            assert (b - a).cross(c - b) > 0
+
+    def test_too_few_rejected(self):
+        from repro.errors import InvariantError
+
+        with pytest.raises(InvariantError):
+            convex_positions(2)
+
+
+class TestDrawBlock:
+    def test_lens_block_draws_planar(self):
+        smap = component_map(fig_1c())
+        (block,) = smap.blocks
+        nodes = {n for seg in block for n in seg}
+        cycles = trace_block_faces(nodes, smap.rotation, block)
+        # outer cycle: the one on the outer walk.
+        dart_walk = {}
+        for wi, walk in enumerate(smap.walks):
+            for d in walk:
+                dart_walk[d] = wi
+        outer_cycle = next(
+            c for c in cycles if dart_walk[c[0]] == smap.outer_walk
+        )
+        positions = draw_block(block, smap.rotation, outer_cycle)
+        assert set(positions) == nodes
+        # No two nodes coincide.
+        assert len({(p.x, p.y) for p in positions.values()}) == len(nodes)
+        # No two segments properly cross.
+        from repro.geometry import segments_properly_intersect
+
+        segs = [
+            (positions[u], positions[v]) for (u, v) in block
+        ]
+        for i in range(len(segs)):
+            for j in range(i + 1, len(segs)):
+                assert not segments_properly_intersect(
+                    segs[i][0], segs[i][1], segs[j][0], segs[j][1]
+                )
+
+    def test_face_count_euler(self):
+        smap = component_map(fig_1c())
+        (block,) = smap.blocks
+        nodes = {n for seg in block for n in seg}
+        cycles = trace_block_faces(nodes, smap.rotation, block)
+        # V - E + F = 2 on the sphere.
+        assert len(nodes) - len(block) + len(cycles) == 2

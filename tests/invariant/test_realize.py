@@ -1,0 +1,116 @@
+"""Tests for realization (Theorem 3.5): every invariant has a polygonal
+representative with the same invariant."""
+
+import pytest
+
+from repro.datasets.figures import all_figures
+from repro.geometry import Location
+from repro.invariant import (
+    are_isomorphic,
+    invariant,
+    realize,
+    validate_invariant,
+)
+from repro.regions import Poly, Rect, RectUnion, SpatialInstance
+
+
+def roundtrip(inst):
+    t = invariant(inst)
+    realized = realize(t)
+    return t, realized, invariant(realized)
+
+
+class TestRoundTripFigures:
+    @pytest.mark.parametrize("name", sorted(all_figures()))
+    def test_figure_roundtrip(self, name):
+        t, _realized, t2 = roundtrip(all_figures()[name])
+        assert are_isomorphic(t, t2)
+
+
+class TestRoundTripTopologies:
+    CASES = {
+        "single": {"A": Rect(0, 0, 2, 2)},
+        "meet_edge": {"A": Rect(0, 0, 2, 2), "B": Rect(2, 0, 4, 2)},
+        "corner_touch": {"A": Rect(0, 0, 2, 2), "B": Rect(2, 2, 4, 4)},
+        "equal": {"A": Rect(0, 0, 2, 2), "B": Rect(0, 0, 2, 2)},
+        "covers": {"A": Rect(0, 0, 4, 4), "B": Rect(0, 0, 2, 2)},
+        "nested3": {
+            "A": Rect(0, 0, 20, 20),
+            "B": Rect(2, 2, 18, 18),
+            "C": Rect(4, 4, 6, 6),
+        },
+        "nested_in_lens": {
+            "A": Rect(0, 0, 10, 10),
+            "B": Rect(5, 0, 15, 10),
+            "C": Rect(6, 4, 8, 6),
+        },
+        "chain4": {f"R{i}": Rect(3 * i, 0, 3 * i + 4, 4) for i in range(4)},
+    }
+
+    @pytest.mark.parametrize("name", sorted(CASES))
+    def test_case(self, name):
+        inst = SpatialInstance(self.CASES[name])
+        t, _realized, t2 = roundtrip(inst)
+        assert are_isomorphic(t, t2)
+
+    def test_slit_region(self):
+        inst = SpatialInstance(
+            {
+                "U": RectUnion(
+                    [Rect(0, 0, 2, 2), Rect(2, 0, 4, 2), Rect(1, 1, 3, 2)]
+                )
+            }
+        )
+        t, _realized, t2 = roundtrip(inst)
+        assert are_isomorphic(t, t2)
+
+
+class TestRealizedRegions:
+    def test_regions_are_usable(self):
+        t = invariant(SpatialInstance({"A": Rect(0, 0, 4, 4), "B": Rect(2, 2, 6, 6)}))
+        realized = realize(t)
+        assert set(realized.names()) == {"A", "B"}
+        for name in realized.names():
+            region = realized.ext(name)
+            p = region.interior_point()
+            assert region.classify(p) is Location.INTERIOR
+            box = region.bbox()
+            assert box.width > 0 and box.height > 0
+
+    def test_realized_instance_is_polygonal(self):
+        """Theorem 3.5: the representative is piecewise linear."""
+        t = invariant(all_figures()["fig_1a"])
+        realized = realize(t)
+        for name in realized.names():
+            for seg in realized.ext(name).boundary_segments():
+                assert seg.a != seg.b  # straight rational segments
+
+    def test_realize_accepts_precomputed_witness(self):
+        t = invariant(SpatialInstance({"A": Rect(0, 0, 1, 1)}))
+        w = validate_invariant(t)
+        realized = realize(t, w)
+        assert are_isomorphic(t, invariant(realized))
+
+
+class TestRealizeFromAbstractStructure:
+    def test_relabeled_invariant_realizes(self):
+        """Realization uses only the abstract structure, not geometry."""
+        t = invariant(
+            SpatialInstance({"A": Rect(0, 0, 4, 4), "B": Rect(2, 2, 6, 6)})
+        )
+        relabeled = t.relabeled(
+            {c: f"cell{i}" for i, c in enumerate(sorted(t.all_cells()))}
+        )
+        realized = realize(relabeled)
+        assert are_isomorphic(relabeled, invariant(realized))
+
+    def test_double_roundtrip_is_stable(self):
+        inst = SpatialInstance(
+            {"A": Rect(0, 0, 4, 4), "B": Rect(2, 2, 6, 6)}
+        )
+        t = invariant(inst)
+        r1 = realize(t)
+        t1 = invariant(r1)
+        r2 = realize(t1)
+        t2 = invariant(r2)
+        assert are_isomorphic(t1, t2)

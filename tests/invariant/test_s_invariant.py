@@ -1,0 +1,70 @@
+"""Tests for the S-invariant (Fig. 14 / Theorem 6.1 sketch)."""
+
+from repro.datasets.figures import fig_14_aligned, fig_14_diagonal
+from repro.invariant import (
+    s_equivalent,
+    s_invariant,
+    topologically_equivalent,
+)
+from repro.regions import Rect, RectUnion, SpatialInstance
+
+
+class TestFig14:
+    def test_pair_is_h_equivalent(self):
+        assert topologically_equivalent(fig_14_aligned(), fig_14_diagonal())
+
+    def test_pair_is_not_s_equivalent(self):
+        assert not s_equivalent(fig_14_aligned(), fig_14_diagonal())
+
+    def test_self_equivalence(self):
+        assert s_equivalent(fig_14_aligned(), fig_14_aligned())
+
+
+class TestSEquivalenceRespectsOrderStructure:
+    def test_stretching_preserves_s_equivalence(self):
+        """Monotone coordinate maps are symmetries."""
+        a = SpatialInstance(
+            {"A": Rect(0, 0, 2, 2), "B": Rect(4, 1, 6, 3)}
+        )
+        stretched = SpatialInstance(
+            {"A": Rect(0, 0, 20, 2), "B": Rect(40, 1, 61, 3)}
+        )
+        assert s_equivalent(a, stretched)
+
+    def test_vertical_vs_horizontal_alignment_differ(self):
+        horizontal = SpatialInstance(
+            {"A": Rect(0, 0, 2, 2), "B": Rect(4, 0, 6, 2)}
+        )
+        vertical = SpatialInstance(
+            {"A": Rect(0, 0, 2, 2), "B": Rect(0, 4, 2, 6)}
+        )
+        # The axis swap is itself a symmetry, so these ARE S-equivalent.
+        assert s_equivalent(horizontal, vertical)
+
+    def test_partial_vs_full_alignment(self):
+        partial = SpatialInstance(
+            {"A": Rect(0, 0, 2, 2), "B": Rect(4, 1, 6, 3)}
+        )
+        full = SpatialInstance(
+            {"A": Rect(0, 0, 2, 2), "B": Rect(4, 0, 6, 2)}
+        )
+        assert not s_equivalent(partial, full)
+
+    def test_names_must_match(self):
+        a = SpatialInstance({"A": Rect(0, 0, 1, 1)})
+        b = SpatialInstance({"B": Rect(0, 0, 1, 1)})
+        assert not s_equivalent(a, b)
+
+    def test_rectunion_instances(self):
+        l_shape = RectUnion([Rect(0, 0, 4, 2), Rect(0, 0, 2, 4)])
+        a = SpatialInstance({"A": l_shape})
+        b = SpatialInstance({"A": RectUnion([Rect(0, 0, 4, 2), Rect(0, 0, 2, 4)])})
+        assert s_equivalent(a, b)
+
+    def test_s_invariant_is_richer_than_t(self):
+        inst = fig_14_aligned()
+        from repro.invariant import invariant
+
+        t = invariant(inst)
+        s = s_invariant(inst)
+        assert len(s.all_cells()) > len(t.all_cells())

@@ -1,0 +1,121 @@
+"""Tests for the TopologicalInvariant structure itself."""
+
+import pytest
+
+from repro.datasets.figures import fig_1c, fig_7b_adjacent
+from repro.errors import InvariantError
+from repro.invariant import TopologicalInvariant, invariant
+from repro.regions import Rect, SpatialInstance
+
+
+def lens():
+    return invariant(fig_1c())
+
+
+class TestAccessors:
+    def test_counts_match_example_3_1(self):
+        assert lens().counts() == (2, 4, 4)
+
+    def test_dims(self):
+        t = lens()
+        v = next(iter(t.vertices))
+        e = next(iter(t.edges))
+        f = next(iter(t.faces))
+        assert (t.dim(v), t.dim(e), t.dim(f)) == (0, 1, 2)
+
+    def test_dim_unknown_cell(self):
+        with pytest.raises(InvariantError):
+            lens().dim("nope")
+
+    def test_exterior_label_all_exterior(self):
+        t = lens()
+        assert set(t.labels[t.exterior_face]) == {"e"}
+
+    def test_region_faces(self):
+        t = lens()
+        a_faces = t.region_faces("A")
+        b_faces = t.region_faces("B")
+        assert len(a_faces) == 2 and len(b_faces) == 2
+        assert len(a_faces & b_faces) == 1  # the lens
+
+    def test_edges_of_face_exterior(self):
+        t = lens()
+        # The exterior face is bounded by the two outer arcs.
+        assert len(t.edges_of_face(t.exterior_face)) == 2
+
+    def test_names_must_be_sorted(self):
+        t = lens()
+        with pytest.raises(InvariantError):
+            TopologicalInvariant(
+                names=("B", "A"),
+                vertices=t.vertices,
+                edges=t.edges,
+                faces=t.faces,
+                exterior_face=t.exterior_face,
+                labels=t.labels,
+                endpoints=t.endpoints,
+                incidences=t.incidences,
+                orientation=t.orientation,
+            )
+
+    def test_exterior_must_be_face(self):
+        t = lens()
+        with pytest.raises(InvariantError):
+            TopologicalInvariant(
+                names=t.names,
+                vertices=t.vertices,
+                edges=t.edges,
+                faces=t.faces,
+                exterior_face="bogus",
+                labels=t.labels,
+                endpoints=t.endpoints,
+                incidences=t.incidences,
+                orientation=t.orientation,
+            )
+
+
+class TestGermsAndDegrees:
+    def test_lens_vertex_degree(self):
+        t = lens()
+        for v in t.vertices:
+            assert t.vertex_degree(v) == 4
+
+    def test_loop_counts_twice(self):
+        t = invariant(fig_7b_adjacent())
+        (v,) = t.vertices
+        assert t.vertex_degree(v) == 8
+        for e in t.edges:
+            assert t.germ_count(v, e) == 2
+
+    def test_free_loop(self):
+        t = invariant(SpatialInstance({"A": Rect(0, 0, 1, 1)}))
+        assert t.free_loops() == t.edges
+        assert len(t.free_loops()) == 1
+
+
+class TestComponents:
+    def test_lens_connected(self):
+        assert lens().is_connected()
+
+    def test_disjoint_two_components(self):
+        t = invariant(
+            SpatialInstance(
+                {"A": Rect(0, 0, 1, 1), "B": Rect(5, 0, 6, 1)}
+            )
+        )
+        assert not t.is_connected()
+        assert len(t.skeleton_components()) == 2
+
+
+class TestRelabel:
+    def test_relabel_preserves_isomorphism(self):
+        from repro.invariant import are_isomorphic
+
+        t = lens()
+        mapping = {c: f"cell_{i}" for i, c in enumerate(sorted(t.all_cells()))}
+        assert are_isomorphic(t, t.relabeled(mapping))
+
+    def test_relabel_moves_exterior(self):
+        t = lens()
+        r = t.relabeled({t.exterior_face: "outer"})
+        assert r.exterior_face == "outer"

@@ -1,0 +1,171 @@
+"""Tests for the thematic mapping (Fig. 9 / Corollary 3.7)."""
+
+import pytest
+
+from repro.datasets.figures import fig_1c, fig_1d
+from repro.errors import InvariantError
+from repro.invariant import (
+    are_isomorphic,
+    database_to_invariant,
+    invariant,
+    invariant_to_database,
+    thematic,
+)
+from repro.relational import (
+    And,
+    Atom,
+    Const,
+    Exists,
+    Not,
+    Relation,
+    Var,
+)
+from repro.regions import Rect, SpatialInstance
+
+
+class TestThematicStructure:
+    """The thematic instance of Fig. 1c mirrors the paper's Fig. 9."""
+
+    def test_relation_sizes(self):
+        db = thematic(fig_1c())
+        assert len(db["Regions"]) == 2
+        assert len(db["Vertices"]) == 2
+        assert len(db["Edges"]) == 4
+        assert len(db["Faces"]) == 4
+        assert len(db["Exterior_Face"]) == 1
+        # 4 edges x 2 endpoints.
+        assert len(db["Endpoints"]) == 8
+        # Each edge borders 2 faces.
+        assert len(db["Face_Edges"]) == 8
+        # A: 2 faces, B: 2 faces.
+        assert len(db["Region_Faces"]) == 4
+        # 2 vertices x 4 consecutive pairs x 2 senses.
+        assert len(db["Orientation"]) == 16
+
+    def test_exterior_face_has_no_region(self):
+        db = thematic(fig_1c())
+        (ext,) = [f for (f,) in db["Exterior_Face"].tuples]
+        assert all(f != ext for (_n, f) in db["Region_Faces"].tuples)
+
+    def test_labels_complete(self):
+        db = thematic(fig_1c())
+        cells = (
+            db["Vertices"].column("cell")
+            | db["Edges"].column("cell")
+            | db["Faces"].column("cell")
+        )
+        labeled = {c for (c, _n, _s) in db["Cell_Labels"].tuples}
+        assert labeled == cells
+
+
+class TestRoundTrip:
+    def test_database_to_invariant_roundtrip(self):
+        t = invariant(fig_1c())
+        assert are_isomorphic(
+            t, database_to_invariant(invariant_to_database(t))
+        )
+
+    def test_roundtrip_preserves_distinctions(self):
+        t_c = database_to_invariant(thematic(fig_1c()))
+        t_d = database_to_invariant(thematic(fig_1d()))
+        assert not are_isomorphic(t_c, t_d)
+
+
+class TestDecodingErrors:
+    def _db(self):
+        return thematic(fig_1c())
+
+    def test_missing_exterior(self):
+        db = self._db().with_relation(
+            "Exterior_Face", Relation(("cell",), ())
+        )
+        with pytest.raises(InvariantError):
+            database_to_invariant(db)
+
+    def test_unknown_cell_in_endpoints(self):
+        db = self._db()
+        rows = set(db["Endpoints"].tuples) | {("ghost", "v0")}
+        db = db.with_relation("Endpoints", Relation(("edge", "vertex"), rows))
+        with pytest.raises(InvariantError):
+            database_to_invariant(db)
+
+    def test_region_faces_disagreement(self):
+        db = self._db()
+        rows = set(db["Region_Faces"].tuples)
+        rows.pop()
+        db = db.with_relation("Region_Faces", Relation(("name", "face"), rows))
+        with pytest.raises(InvariantError):
+            database_to_invariant(db)
+
+    def test_invalid_sign(self):
+        db = self._db()
+        (cell, name, _s), *_ = sorted(db["Cell_Labels"].tuples)
+        rows = {
+            (c, n, "x" if (c, n) == (cell, name) else s)
+            for (c, n, s) in db["Cell_Labels"].tuples
+        }
+        db = db.with_relation(
+            "Cell_Labels", Relation(("cell", "name", "sign"), rows)
+        )
+        with pytest.raises(InvariantError):
+            database_to_invariant(db)
+
+
+class TestThematicQueries:
+    """Corollary 3.7: topological queries answered relationally."""
+
+    def overlap_query(self):
+        # exists f: Face(f), (A, f) in Region_Faces, (B, f) in Region_Faces
+        return Exists(
+            "f",
+            And(
+                Atom("Faces", Var("f")),
+                Atom("Region_Faces", Const("A"), Var("f")),
+                Atom("Region_Faces", Const("B"), Var("f")),
+            ),
+        )
+
+    def test_interiors_intersect(self):
+        assert self.overlap_query().evaluate(thematic(fig_1c()))
+
+    def test_disjoint_regions(self):
+        db = thematic(
+            SpatialInstance({"A": Rect(0, 0, 1, 1), "B": Rect(5, 0, 6, 1)})
+        )
+        assert not self.overlap_query().evaluate(db)
+
+    def test_boundaries_share_a_vertex(self):
+        q = Exists(
+            "v",
+            And(
+                Atom("Vertices", Var("v")),
+                Atom("Cell_Labels", Var("v"), Const("A"), Const("b")),
+                Atom("Cell_Labels", Var("v"), Const("B"), Const("b")),
+            ),
+        )
+        assert q.evaluate(thematic(fig_1c()))
+
+    def test_count_connected_components_of_intersection(self):
+        """The lens (1c) has one shared face; the U-and-bar (1d) has two
+        shared faces that are not adjacent: a relational query separates
+        them (Example 2.1 answered thematically)."""
+        def shared_faces(db):
+            return {
+                f
+                for (n, f) in db["Region_Faces"].tuples
+                if ("A", f) in db["Region_Faces"]
+                and ("B", f) in db["Region_Faces"]
+            }
+
+        assert len(shared_faces(thematic(fig_1c()))) == 1
+        assert len(shared_faces(thematic(fig_1d()))) == 2
+
+    def test_nonexterior_face_exists(self):
+        q = Exists(
+            "f",
+            And(
+                Atom("Faces", Var("f")),
+                Not(Atom("Exterior_Face", Var("f"))),
+            ),
+        )
+        assert q.evaluate(thematic(fig_1c()))

@@ -1,0 +1,89 @@
+"""Tests for JSON serialization."""
+
+import pytest
+
+from repro.datasets import all_figures, fig_1c
+from repro.errors import ReproError
+from repro.invariant import are_isomorphic, invariant
+from repro.io import (
+    instance_from_json,
+    instance_to_json,
+    invariant_from_json,
+    invariant_to_json,
+)
+from repro.regions import AlgRegion, Poly, Rect, RectUnion, SpatialInstance
+from repro.geometry import Point
+
+
+class TestInstanceRoundTrip:
+    def test_rect(self):
+        inst = SpatialInstance({"A": Rect("1/3", 0, 2, "7/2")})
+        back = instance_from_json(instance_to_json(inst))
+        r = back.ext("A")
+        assert (r.x1, r.y1, r.x2, r.y2) == (
+            inst.ext("A").x1,
+            inst.ext("A").y1,
+            inst.ext("A").x2,
+            inst.ext("A").y2,
+        )
+
+    def test_poly(self):
+        inst = SpatialInstance(
+            {"T": Poly((Point(0, 0), Point("5/2", 0), Point(0, 3)))}
+        )
+        back = instance_from_json(instance_to_json(inst))
+        assert back.ext("T") == inst.ext("T")
+
+    def test_rect_union(self):
+        ru = RectUnion([Rect(0, 0, 2, 2), Rect(1, 1, 3, 3)])
+        back = instance_from_json(
+            instance_to_json(SpatialInstance({"U": ru}))
+        )
+        assert isinstance(back.ext("U"), RectUnion)
+        assert len(back.ext("U").rects) == 2
+
+    def test_alg_region(self):
+        c = AlgRegion.circle(0, 0, 2, n=8)
+        back = instance_from_json(
+            instance_to_json(SpatialInstance({"C": c}))
+        )
+        c2 = back.ext("C")
+        assert isinstance(c2, AlgRegion)
+        assert (
+            c2.boundary_polygon().vertices
+            == c.boundary_polygon().vertices
+        )
+        assert c2.definition == c.definition
+
+    def test_topology_preserved(self):
+        for name, inst in all_figures().items():
+            back = instance_from_json(instance_to_json(inst))
+            assert are_isomorphic(invariant(inst), invariant(back)), name
+
+    def test_unknown_type(self):
+        with pytest.raises(ReproError):
+            instance_from_json(
+                '{"regions": {"A": {"type": "blob"}}}'
+            )
+
+
+class TestInvariantRoundTrip:
+    def test_exact(self):
+        t = invariant(fig_1c())
+        back = invariant_from_json(invariant_to_json(t))
+        assert back.vertices == t.vertices
+        assert back.edges == t.edges
+        assert back.faces == t.faces
+        assert back.exterior_face == t.exterior_face
+        assert dict(back.labels) == dict(t.labels)
+        assert dict(back.endpoints) == dict(t.endpoints)
+        assert back.incidences == t.incidences
+        assert back.orientation == t.orientation
+
+    def test_roundtrip_realizes(self):
+        from repro.invariant import realize
+
+        t = invariant(fig_1c())
+        back = invariant_from_json(invariant_to_json(t))
+        realized = realize(back)
+        assert are_isomorphic(t, invariant(realized))

@@ -1,0 +1,126 @@
+"""Tests for the cell-semantics evaluator (Section 7 language)."""
+
+import pytest
+
+from repro.datasets.figures import fig_1a, fig_1b, fig_1c, fig_1d
+from repro.errors import QueryError
+from repro.logic import (
+    CellModel,
+    connected_intersection_query,
+    evaluate_cells,
+    parse,
+    triple_intersection_query,
+)
+from repro.regions import Rect, SpatialInstance
+
+
+class TestExample41:
+    """Example 4.1: the triple-intersection query separates 1a from 1b."""
+
+    def test_1a_satisfies(self):
+        assert evaluate_cells(triple_intersection_query(), fig_1a())
+
+    def test_1b_fails(self):
+        assert not evaluate_cells(triple_intersection_query(), fig_1b())
+
+
+class TestExample42:
+    """Example 4.2: connectedness of A∩B separates 1c from 1d."""
+
+    def test_1c_connected(self):
+        assert evaluate_cells(connected_intersection_query(), fig_1c())
+
+    def test_1d_disconnected(self):
+        assert not evaluate_cells(connected_intersection_query(), fig_1d())
+
+
+class TestBasicQueries:
+    def overlap(self):
+        return parse("exists r . subset(r, A) and subset(r, B)")
+
+    def test_overlap_true(self):
+        inst = SpatialInstance({"A": Rect(0, 0, 4, 4), "B": Rect(2, 2, 6, 6)})
+        assert evaluate_cells(self.overlap(), inst)
+
+    def test_overlap_false_for_disjoint(self):
+        inst = SpatialInstance({"A": Rect(0, 0, 2, 2), "B": Rect(5, 0, 7, 2)})
+        assert not evaluate_cells(self.overlap(), inst)
+
+    def test_meet_atom(self):
+        inst = SpatialInstance({"A": Rect(0, 0, 2, 2), "B": Rect(2, 0, 4, 2)})
+        assert evaluate_cells(parse("meet(A, B)"), inst)
+        assert not evaluate_cells(parse("overlap(A, B)"), inst)
+
+    def test_contains_inside(self):
+        inst = SpatialInstance({"A": Rect(0, 0, 9, 9), "B": Rect(2, 2, 4, 4)})
+        assert evaluate_cells(parse("contains(A, B)"), inst)
+        assert evaluate_cells(parse("inside(B, A)"), inst)
+
+    def test_name_quantifiers(self):
+        inst = SpatialInstance({"A": Rect(0, 0, 9, 9), "B": Rect(2, 2, 4, 4)})
+        q = parse("exists name a, b . not (a = b) and contains(a, b)")
+        assert evaluate_cells(q, inst)
+
+    def test_forall_name(self):
+        inst = SpatialInstance({"A": Rect(0, 0, 9, 9), "B": Rect(2, 2, 4, 4)})
+        q = parse("forall name a . connect(a, A)")
+        assert evaluate_cells(q, inst)
+
+    def test_free_variable_rejected(self):
+        from repro.logic import RegionVar, Rel, region
+
+        open_formula = Rel("subset", RegionVar("r"), region("A"))
+        with pytest.raises(QueryError):
+            evaluate_cells(
+                open_formula, SpatialInstance({"A": Rect(0, 0, 1, 1)})
+            )
+
+
+class TestDiscEnumeration:
+    def test_named_region_value(self):
+        inst = SpatialInstance({"A": Rect(0, 0, 4, 4), "B": Rect(2, 2, 6, 6)})
+        model = CellModel(inst)
+        a = model.named_region("A")
+        assert a.interior and a.boundary
+        assert not (a.interior & a.boundary)
+
+    def test_all_regions_are_discs(self):
+        inst = SpatialInstance({"A": Rect(0, 0, 4, 4), "B": Rect(2, 2, 6, 6)})
+        model = CellModel(inst)
+        regions = model.all_disc_regions()
+        assert regions
+        for value in regions:
+            faces = frozenset(
+                c for c in value.interior
+                if model.complex.cells[c].dim == 2
+            )
+            assert model.is_disc(faces)
+
+    def test_ring_of_faces_is_not_a_disc(self):
+        # Nested squares: the annulus face + inner square face do not
+        # include the shared boundary, so unions across it are fine, but
+        # the full set of all faces including the exterior is the plane.
+        inst = SpatialInstance({"A": Rect(0, 0, 10, 10), "B": Rect(2, 2, 4, 4)})
+        model = CellModel(inst)
+        all_faces = frozenset(c.id for c in model.complex.faces)
+        assert model.is_disc(all_faces)  # whole plane is a disc
+        # Annulus + exterior but not the inner square: complement is the
+        # inner square, isolated from infinity -> not simply connected.
+        inner = {
+            c.id
+            for c in model.complex.faces
+            if model.complex.cells[c.id].label == ("o", "o")
+        }
+        assert not model.is_disc(all_faces - inner)
+
+    def test_budget_cap_raises(self):
+        inst = SpatialInstance({"A": Rect(0, 0, 4, 4), "B": Rect(2, 2, 6, 6)})
+        model = CellModel(inst, refinement=1, max_regions=10)
+        with pytest.raises(QueryError):
+            model.all_disc_regions()
+
+    def test_max_faces_cap(self):
+        inst = SpatialInstance({"A": Rect(0, 0, 4, 4), "B": Rect(2, 2, 6, 6)})
+        small = CellModel(inst, max_faces=1)
+        large = CellModel(inst)
+        assert len(small.all_disc_regions()) <= len(large.all_disc_regions())

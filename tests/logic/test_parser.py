@@ -1,0 +1,123 @@
+"""Tests for the query parser."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.logic import (
+    And,
+    ExistsName,
+    ExistsRegion,
+    Ext,
+    ForAllRegion,
+    Implies,
+    NameConst,
+    NameEq,
+    NameVar,
+    Not,
+    Or,
+    RegionVar,
+    Rel,
+    parse,
+)
+
+
+class TestBasicParsing:
+    def test_atom_with_constants(self):
+        f = parse("overlap(A, B)")
+        assert f == Rel("overlap", Ext(NameConst("A")), Ext(NameConst("B")))
+
+    def test_exists_region(self):
+        f = parse("exists r . connect(r, A)")
+        assert isinstance(f, ExistsRegion)
+        assert f.variable == "r"
+        assert f.body == Rel("connect", RegionVar("r"), Ext(NameConst("A")))
+
+    def test_multi_variable_quantifier(self):
+        f = parse("exists r, s . disjoint(r, s)")
+        assert isinstance(f, ExistsRegion)
+        assert isinstance(f.body, ExistsRegion)
+
+    def test_name_quantifier(self):
+        f = parse("exists name a . a = A")
+        assert isinstance(f, ExistsName)
+        assert f.body == NameEq(NameVar("a"), NameConst("A"))
+
+    def test_ext_syntax(self):
+        f = parse("connect(ext(A), ext(B))")
+        assert f == Rel("connect", Ext(NameConst("A")), Ext(NameConst("B")))
+
+    def test_bound_vs_free_identifiers(self):
+        f = parse("exists r . connect(r, s)")
+        # s is unbound -> a name constant used as a region.
+        assert f.body == Rel("connect", RegionVar("r"), Ext(NameConst("s")))
+
+
+class TestConnectivesAndPrecedence:
+    def test_and_or_precedence(self):
+        f = parse("disjoint(A, B) or meet(A, B) and overlap(A, B)")
+        assert isinstance(f, Or)
+        assert isinstance(f.parts[1], And)
+
+    def test_implication_lowest(self):
+        f = parse("connect(A, B) -> meet(A, B) or overlap(A, B)")
+        assert isinstance(f, Implies)
+        assert isinstance(f.consequent, Or)
+
+    def test_not_binds_tightly(self):
+        f = parse("not disjoint(A, B) and meet(A, B)")
+        assert isinstance(f, And)
+        assert isinstance(f.parts[0], Not)
+
+    def test_parentheses(self):
+        f = parse("not (disjoint(A, B) and meet(A, B))")
+        assert isinstance(f, Not)
+        assert isinstance(f.inner, And)
+
+    def test_quantifier_scope_extends_right(self):
+        f = parse("exists r . connect(r, A) and connect(r, B)")
+        assert isinstance(f, ExistsRegion)
+        assert isinstance(f.body, And)
+
+    def test_nested_quantifiers_in_parens(self):
+        f = parse(
+            "forall r . (exists s . connect(r, s)) -> connect(r, A)"
+        )
+        assert isinstance(f, ForAllRegion)
+        assert isinstance(f.body, Implies)
+
+
+class TestErrors:
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "",
+            "exists r",
+            "exists . connect(A, B)",
+            "connect(A)",
+            "connect(A, B",
+            "bogusrel(A, B)",
+            "exists r . connect(r, A) trailing",
+            "not",
+            "(connect(A, B)",
+            "A =",
+        ],
+    )
+    def test_rejected(self, text):
+        with pytest.raises(ParseError):
+            parse(text)
+
+    def test_region_var_in_name_position(self):
+        with pytest.raises(ParseError):
+            parse("exists r . r = A")
+
+
+class TestRoundTripWithEvaluation:
+    def test_paper_examples_parse_and_evaluate(self):
+        from repro.datasets.figures import fig_1a, fig_1b
+        from repro.logic import evaluate_cells
+
+        q = parse(
+            "exists r . subset(r, A) and subset(r, B) and subset(r, C)"
+        )
+        assert evaluate_cells(q, fig_1a())
+        assert not evaluate_cells(q, fig_1b())

@@ -1,0 +1,103 @@
+"""Tests for disjoint-connection queries (Fig. 7 separations)."""
+
+import pytest
+
+from repro.datasets.figures import (
+    fig_7a,
+    fig_7a_mirrored,
+    fig_7b_adjacent,
+    fig_7b_interleaved,
+)
+from repro.errors import QueryError
+from repro.logic import FIG_7A_SEPARATING_PAIRS, disjoint_connections
+from repro.regions import Rect, SpatialInstance
+
+
+class TestFig7b:
+    """Adjacent pairs around the touch point link; interleaved do not."""
+
+    def test_adjacent_links(self):
+        assert disjoint_connections(
+            fig_7b_adjacent(), [("A", "B"), ("C", "D")]
+        )
+
+    def test_interleaved_does_not_link(self):
+        assert not disjoint_connections(
+            fig_7b_interleaved(), [("A", "B"), ("C", "D")]
+        )
+
+
+class TestFig7a:
+    """The three-path linkage flips with the chirality of one flower."""
+
+    def test_separating_pairs_link_on_same_chirality(self):
+        assert disjoint_connections(fig_7a(), FIG_7A_SEPARATING_PAIRS)
+
+    def test_separating_pairs_fail_on_mirrored(self):
+        assert not disjoint_connections(
+            fig_7a_mirrored(), FIG_7A_SEPARATING_PAIRS
+        )
+
+    def test_exactly_one_pairing_links(self):
+        import itertools
+
+        count = 0
+        for perm in itertools.permutations("DEF"):
+            pairs = list(zip("ABC", perm))
+            if disjoint_connections(fig_7a(), pairs):
+                count += 1
+        assert count == 1
+
+
+class TestSimpleConfigurations:
+    def test_two_far_pairs_link(self):
+        inst = SpatialInstance(
+            {
+                "A": Rect(0, 0, 2, 2),
+                "B": Rect(8, 0, 10, 2),
+                "C": Rect(0, 8, 2, 10),
+                "D": Rect(8, 8, 10, 10),
+            }
+        )
+        assert disjoint_connections(inst, [("A", "B"), ("C", "D")])
+
+    def test_single_pair_always_links_in_free_space(self):
+        inst = SpatialInstance(
+            {"A": Rect(0, 0, 2, 2), "B": Rect(8, 0, 10, 2)}
+        )
+        assert disjoint_connections(inst, [("A", "B")])
+
+    def test_blocked_by_enclosure(self):
+        # B sits inside a courtyard with its only opening capped by C's
+        # presence being avoided: A cannot reach B without touching the
+        # enclosing region C.
+        from repro.regions import RectUnion
+
+        ring_gap_filled = SpatialInstance(
+            {
+                "A": Rect(20, 0, 22, 2),
+                "B": Rect(5, 5, 7, 7),
+                # C encloses B completely (a square annulus is not a
+                # disc, so use a C-shape plus a cap that together leave
+                # no usable corridor).
+                "C": RectUnion(
+                    [
+                        Rect(2, 2, 10, 4),
+                        Rect(2, 2, 4, 10),
+                        Rect(2, 8, 10, 10),
+                        Rect(8, 2, 10, 10),
+                    ],
+                    validate=False,
+                ),
+            }
+        )
+        assert not disjoint_connections(
+            ring_gap_filled, [("A", "B"), ("A", "C")]
+        )
+
+    def test_budget_error(self):
+        inst = SpatialInstance(
+            {"A": Rect(0, 0, 2, 2), "B": Rect(8, 0, 10, 2)}
+        )
+        with pytest.raises(QueryError):
+            disjoint_connections(inst, [("A", "B")], node_budget=1)

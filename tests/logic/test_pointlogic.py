@@ -1,0 +1,152 @@
+"""Tests for the point-based logics and the translations of Section 5."""
+
+import pytest
+
+from repro.errors import QueryError
+from repro.logic import (
+    AndF,
+    PLessX,
+    PointExists,
+    PointVar,
+    PRegion,
+    RealExists,
+    RealVar,
+    RLess,
+    RRegion,
+    evaluate_point,
+    evaluate_real,
+    evaluate_real_via_points,
+    evaluate_rect,
+    parse,
+    real_to_point,
+    rect_to_point,
+    shift_to_quadrant,
+)
+from repro.regions import Rect, SpatialInstance
+
+
+def x(name="x"):
+    return RealVar(name)
+
+
+def quadrant_single():
+    return SpatialInstance({"A": Rect(1, -3, 3, -1)})
+
+
+def quadrant_disjoint():
+    return SpatialInstance(
+        {"A": Rect(1, -3, 3, -1), "B": Rect(5, -3, 7, -1)}
+    )
+
+
+class TestDirectEvaluation:
+    def test_point_region_atom(self):
+        q = PointExists("p", PRegion("A", PointVar("p")))
+        assert evaluate_point(q, quadrant_single())
+
+    def test_point_order_atom(self):
+        q = PointExists(
+            "p",
+            PointExists(
+                "q",
+                AndF(
+                    PRegion("A", PointVar("p")),
+                    PRegion("B", PointVar("q")),
+                    PLessX(PointVar("p"), PointVar("q")),
+                ),
+            ),
+        )
+        assert evaluate_point(q, quadrant_disjoint())
+
+    def test_real_region_atom(self):
+        q = RealExists(
+            "x", RealExists("y", RRegion("A", x("x"), x("y")))
+        )
+        assert evaluate_real(q, quadrant_single())
+
+    def test_diagonal_query(self):
+        """The paper's example: 'does A intersect the diagonal?' is
+        expressible in FO(R, <) but not M-generic."""
+        q = RealExists("x", RRegion("A", x("x"), x("x")))
+        on_diag = SpatialInstance({"A": Rect(-1, -1, 1, 1)})
+        off_diag = SpatialInstance({"A": Rect(5, -3, 7, -1)})
+        assert evaluate_real(q, on_diag)
+        assert not evaluate_real(q, off_diag)
+
+
+class TestProposition57:
+    """FO_M(R, <) = FO(P, <x, <y): the translation preserves answers on
+    M-generic queries over quadrant instances."""
+
+    def _nonempty(self):
+        return RealExists(
+            "x", RealExists("y", RRegion("A", x("x"), x("y")))
+        )
+
+    def _ordered(self):
+        return RealExists(
+            "x",
+            RealExists(
+                "y",
+                AndF(
+                    RLess(x("x"), x("y")),
+                    RRegion("A", x("y"), x("x")),
+                ),
+            ),
+        )
+
+    @pytest.mark.parametrize("factory", ["_nonempty", "_ordered"])
+    def test_translation_agreement(self, factory):
+        q = getattr(self, factory)()
+        for inst in [quadrant_single(), quadrant_disjoint()]:
+            direct = evaluate_real(q, inst)
+            translated = evaluate_real_via_points(q, inst)
+            assert direct == translated
+
+    def test_quadrant_precondition_enforced(self):
+        q = self._nonempty()
+        bad = SpatialInstance({"A": Rect(-5, 1, -3, 3)})
+        with pytest.raises(QueryError):
+            evaluate_real_via_points(q, bad)
+
+    def test_shift_to_quadrant(self):
+        inst = SpatialInstance({"A": Rect(-5, 1, -3, 3)})
+        shifted = shift_to_quadrant(inst)
+        box = shifted.bbox()
+        assert box.xmin > 0 and box.ymax < 0
+
+    def test_translated_formula_structure(self):
+        q = self._nonempty()
+        translated = real_to_point(q)
+        assert isinstance(translated, PointExists)
+
+
+class TestTheorem58:
+    """FO(Rect, ·) = FO_S(P, <x, <y, ·): translated rectangle queries
+    give the same answers."""
+
+    WORKLOADS = [
+        SpatialInstance({"A": Rect(0, 0, 4, 4), "B": Rect(2, 2, 6, 6)}),
+        SpatialInstance({"A": Rect(0, 0, 2, 2), "B": Rect(5, 0, 7, 2)}),
+        SpatialInstance({"A": Rect(0, 0, 9, 9), "B": Rect(2, 2, 4, 4)}),
+    ]
+
+    QUERIES = [
+        "exists r . subset(r, A) and subset(r, B)",
+        "exists r . subset(r, A) and not connect(r, B)",
+        "exists r, s . subset(r, A) and subset(s, B) and disjoint(r, s)",
+    ]
+
+    @pytest.mark.parametrize("query", QUERIES)
+    def test_agreement(self, query):
+        q = parse(query)
+        translated = rect_to_point(q)
+        for inst in self.WORKLOADS:
+            assert evaluate_rect(q, inst) == evaluate_point(
+                translated, inst
+            ), (query, inst)
+
+    def test_untranslatable_fragment_reported(self):
+        q = parse("exists r . covers(r, A)")
+        with pytest.raises(QueryError):
+            rect_to_point(q)

@@ -1,0 +1,88 @@
+"""E12 — Proposition 4.5 (SO(Rect) = FO(Rect*)) and Theorem 4.4's
+encoding predicates."""
+
+import pytest
+
+from repro.errors import QueryError, RegionError
+from repro.logic import parse
+from repro.logic.rectstar import (
+    corner_predicate,
+    edge_predicate,
+    evaluate_rectstar,
+    is_rectangle_predicate,
+)
+from repro.regions import Rect, RectUnion, SpatialInstance
+
+
+class TestRectStarQuantifiers:
+    """FO(Rect*): quantified regions are disc-shaped rectangle unions —
+    Proposition 4.5's identification of SO(Rect) with FO(Rect*)."""
+
+    def test_l_shaped_witness_needed(self):
+        """An L-shaped region equals no single rectangle, but a union of
+        two does: ∃r. equal(r, A) holds in FO(Rect*) and fails in
+        FO(Rect)."""
+        from repro.logic import evaluate_rect
+
+        l_shape = RectUnion([Rect(0, 0, 4, 2), Rect(0, 0, 2, 4)])
+        inst = SpatialInstance({"A": l_shape})
+        q = parse("exists r . equal(r, A)")
+        assert not evaluate_rect(q, inst)
+        assert evaluate_rectstar(q, inst, max_rects=2)
+
+    def test_union_values_must_be_discs(self):
+        """Disconnected unions are not legal values: an unsatisfiable
+        query exhausts the whole (disc-only) candidate space."""
+        inst = SpatialInstance({"A": Rect(0, 0, 2, 2)})
+        # equal(r, A) implies connect(r, A): no disc witness can have
+        # one without the other.
+        q = parse("exists r . equal(r, A) and not connect(r, A)")
+        assert not evaluate_rectstar(q, inst, max_rects=2)
+
+    def test_budget_reported(self):
+        inst = SpatialInstance({"A": Rect(0, 0, 2, 2)})
+        q = parse("exists r . equal(r, A)")
+        with pytest.raises(QueryError):
+            evaluate_rectstar(q, inst, budget=0)
+
+    def test_set_of_rects_is_disc_check(self):
+        """RectUnion's validation is the paper's isDisc(∪X)."""
+        RectUnion([Rect(0, 0, 2, 2), Rect(1, 1, 3, 3)])  # disc: fine
+        with pytest.raises(RegionError):
+            RectUnion([Rect(0, 0, 1, 1), Rect(5, 5, 6, 6)])  # not a disc
+
+
+class TestEdgeCornerPredicates:
+    """Theorem 4.4's proof predicates distinguish the two kinds of
+    meeting."""
+
+    def test_edge_meeting(self):
+        a, b = Rect(0, 0, 2, 2), Rect(2, 0, 4, 2)
+        assert edge_predicate(a, b)
+        assert not corner_predicate(a, b)
+
+    def test_corner_meeting(self):
+        a, b = Rect(0, 0, 2, 2), Rect(2, 2, 4, 4)
+        assert not edge_predicate(a, b)
+        assert corner_predicate(a, b)
+
+    def test_partial_edge_meeting(self):
+        a, b = Rect(0, 0, 2, 2), Rect(2, 1, 4, 3)
+        assert edge_predicate(a, b)
+
+    def test_non_meeting_pairs(self):
+        assert not edge_predicate(Rect(0, 0, 2, 2), Rect(5, 0, 7, 2))
+        assert not edge_predicate(Rect(0, 0, 4, 4), Rect(1, 1, 3, 3))
+
+
+class TestIsRectangle:
+    def test_rectangle(self):
+        assert is_rectangle_predicate(Rect(0, 0, 3, 1))
+
+    def test_l_shape(self):
+        l_shape = RectUnion([Rect(0, 0, 4, 2), Rect(0, 0, 2, 4)])
+        assert not is_rectangle_predicate(l_shape)
+
+    def test_union_that_is_secretly_a_rectangle(self):
+        merged = RectUnion([Rect(0, 0, 2, 2), Rect(1, 0, 4, 2)])
+        assert is_rectangle_predicate(merged)

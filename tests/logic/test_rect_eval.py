@@ -1,0 +1,107 @@
+"""Tests for the rectangle order-abstraction evaluator (Theorem 6.4)."""
+
+import pytest
+
+from repro.errors import QueryError
+from repro.logic import (
+    evaluate_rect,
+    parse,
+    rectilinear_relation,
+)
+from repro.regions import Rect, RectUnion, SpatialInstance
+
+
+def overlap_instance():
+    return SpatialInstance({"A": Rect(0, 0, 4, 4), "B": Rect(2, 2, 6, 6)})
+
+
+def disjoint_instance():
+    return SpatialInstance({"A": Rect(0, 0, 2, 2), "B": Rect(5, 0, 7, 2)})
+
+
+class TestRectilinearRelation:
+    def test_all_eight_relations(self):
+        from repro.fourint import Egenhofer
+
+        cases = {
+            Egenhofer.DISJOINT: (Rect(0, 0, 2, 2), Rect(5, 0, 7, 2)),
+            Egenhofer.MEET: (Rect(0, 0, 2, 2), Rect(2, 0, 4, 2)),
+            Egenhofer.OVERLAP: (Rect(0, 0, 4, 4), Rect(2, 2, 6, 6)),
+            Egenhofer.EQUAL: (Rect(0, 0, 2, 2), Rect(0, 0, 2, 2)),
+            Egenhofer.INSIDE: (Rect(2, 2, 4, 4), Rect(0, 0, 9, 9)),
+            Egenhofer.CONTAINS: (Rect(0, 0, 9, 9), Rect(2, 2, 4, 4)),
+            Egenhofer.COVERED_BY: (Rect(0, 0, 2, 2), Rect(0, 0, 4, 4)),
+            Egenhofer.COVERS: (Rect(0, 0, 4, 4), Rect(0, 0, 2, 2)),
+        }
+        for expected, (a, b) in cases.items():
+            assert rectilinear_relation(a, b) == expected.value
+
+    def test_agrees_with_arrangement_classifier(self):
+        from repro.fourint import classify
+
+        pairs = [
+            (Rect(0, 0, 4, 4), Rect(2, 2, 6, 6)),
+            (Rect(0, 0, 2, 2), Rect(2, 2, 4, 4)),
+            (
+                RectUnion([Rect(0, 0, 4, 2), Rect(0, 0, 2, 4)]),
+                Rect(1, 1, 3, 3),
+            ),
+        ]
+        for a, b in pairs:
+            assert rectilinear_relation(a, b) == classify(a, b).value
+
+
+class TestQuantifierEvaluation:
+    def test_overlap_witness(self):
+        q = parse("exists r . subset(r, A) and subset(r, B)")
+        assert evaluate_rect(q, overlap_instance())
+        assert not evaluate_rect(q, disjoint_instance())
+
+    def test_forall(self):
+        q = parse("forall r . subset(r, A) -> connect(r, A)")
+        assert evaluate_rect(q, overlap_instance())
+
+    def test_forall_counterexample(self):
+        # Not every rectangle inside A touches B.
+        q = parse("forall r . subset(r, A) -> connect(r, B)")
+        assert not evaluate_rect(q, overlap_instance())
+
+    def test_q_rect_query(self):
+        """Theorem 4.4's QRegion idea: 'is A a rectangle?'."""
+        q = parse("exists r . equal(r, A)")
+        assert evaluate_rect(
+            q, SpatialInstance({"A": Rect(0, 0, 4, 4)})
+        )
+        l_shape = RectUnion([Rect(0, 0, 4, 2), Rect(0, 0, 2, 4)])
+        assert not evaluate_rect(q, SpatialInstance({"A": l_shape}))
+
+    def test_name_quantifier(self):
+        q = parse("exists name a . exists r . equal(r, a)")
+        assert evaluate_rect(q, overlap_instance())
+
+    def test_budget_cap(self):
+        q = parse(
+            "exists r . exists s . exists t . disjoint(r, s) "
+            "and disjoint(s, t) and disjoint(r, t)"
+        )
+        with pytest.raises(QueryError):
+            evaluate_rect(q, overlap_instance(), max_assignments=100)
+
+    def test_s_genericity(self):
+        """Answers are invariant under symmetries (stretching)."""
+        from repro.transforms import PiecewiseMonotone, Symmetry
+
+        q = parse("exists r . subset(r, A) and subset(r, B)")
+        inst = overlap_instance()
+        rho = PiecewiseMonotone([(0, 0), (2, 10), (6, 12)])
+        sym = Symmetry(rho, rho)
+        moved = SpatialInstance(
+            {
+                name: Rect(
+                    rho(region.x1), rho(region.y1),
+                    rho(region.x2), rho(region.y2),
+                )
+                for name, region in inst.items()
+            }
+        )
+        assert evaluate_rect(q, inst) == evaluate_rect(q, moved)

@@ -1,0 +1,107 @@
+"""Tests for defining sentences and the normal form (Prop 5.1, Thm 5.6)."""
+
+import pytest
+
+from repro.datasets.figures import (
+    all_figures,
+    fig_1a,
+    fig_1b,
+    fig_1c,
+    fig_1d,
+)
+from repro.errors import QueryError
+from repro.invariant import invariant
+from repro.logic import (
+    RecursiveTopologicalProperty,
+    build_phi,
+    normal_form,
+    parse,
+    phi_holds,
+    reverse_engineer,
+)
+from repro.regions import Rect, SpatialInstance
+
+
+class TestReverseEngineering:
+    @pytest.mark.parametrize("name", sorted(all_figures()))
+    def test_exact_roundtrip(self, name):
+        t = invariant(all_figures()[name])
+        t2 = reverse_engineer(build_phi(t))
+        assert t2.vertices == t.vertices
+        assert t2.edges == t.edges
+        assert t2.faces == t.faces
+        assert t2.exterior_face == t.exterior_face
+        assert dict(t2.endpoints) == dict(t.endpoints)
+        assert t2.incidences == t.incidences
+        assert t2.orientation == t.orientation
+        assert dict(t2.labels) == dict(t.labels)
+
+    def test_non_canonical_sentence_rejected(self):
+        with pytest.raises(QueryError):
+            reverse_engineer(parse("overlap(A, B)"))
+
+
+class TestDefiningSentences:
+    """Theorem 5.2: I |= phi_T iff T_I isomorphic to T."""
+
+    def test_self_satisfaction(self):
+        for name, inst in all_figures().items():
+            assert phi_holds(normal_form(inst), inst), name
+
+    def test_phi_separates_homeomorphism_classes(self):
+        phi_c = normal_form(fig_1c())
+        assert phi_holds(phi_c, fig_1c())
+        assert not phi_holds(phi_c, fig_1d())
+
+    def test_phi_closed_under_homeomorphism(self):
+        from repro.transforms import AffineMap
+
+        inst = fig_1c().polygonalized()
+        phi = normal_form(inst)
+        moved = AffineMap.shear("1/2").apply_to_instance(inst)
+        assert phi_holds(phi, moved)
+
+    def test_phi_respects_names(self):
+        phi = normal_form(SpatialInstance({"A": Rect(0, 0, 1, 1)}))
+        other_names = SpatialInstance({"B": Rect(0, 0, 1, 1)})
+        assert not phi_holds(phi, other_names)
+
+    def test_phi_is_a_sentence(self):
+        phi = normal_form(fig_1c())
+        assert phi.is_sentence()
+
+
+class TestNormalForm:
+    """Theorem 5.6: I |= tau iff f(I) in F_tau."""
+
+    def _tau(self):
+        def predicate(t):
+            shared = t.region_faces("A") & t.region_faces("B")
+            return bool(shared)
+
+        return RecursiveTopologicalProperty("A-meets-B-interior", predicate)
+
+    def test_factoring(self):
+        tau = self._tau()
+        for inst in [
+            fig_1c(),
+            fig_1d(),
+            SpatialInstance({"A": Rect(0, 0, 1, 1), "B": Rect(5, 0, 6, 1)}),
+        ]:
+            assert tau.holds_on(inst) == tau.contains(normal_form(inst))
+
+    def test_membership_rejects_garbage(self):
+        tau = self._tau()
+        assert not tau.contains(parse("overlap(A, B)"))
+
+    def test_1a_vs_1b_through_normal_form(self):
+        def triple(t):
+            return bool(
+                t.region_faces("A")
+                & t.region_faces("B")
+                & t.region_faces("C")
+            )
+
+        tau = RecursiveTopologicalProperty("triple-intersection", triple)
+        assert tau.contains(normal_form(fig_1a()))
+        assert not tau.contains(normal_form(fig_1b()))

@@ -1,0 +1,89 @@
+"""Tests for SpatialInstance."""
+
+import pytest
+
+from repro.errors import InstanceError
+from repro.geometry import Point
+from repro.regions import AlgRegion, Rect, RectUnion, SpatialInstance
+
+
+def two_region_instance():
+    return SpatialInstance({"A": Rect(0, 0, 4, 4), "B": Rect(2, 2, 6, 6)})
+
+
+class TestConstruction:
+    def test_names_in_insertion_order(self):
+        inst = two_region_instance()
+        assert inst.names() == ("A", "B")
+
+    def test_duplicate_name_rejected(self):
+        inst = SpatialInstance({"A": Rect(0, 0, 1, 1)})
+        with pytest.raises(InstanceError):
+            inst.add("A", Rect(1, 1, 2, 2))
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(InstanceError):
+            SpatialInstance({"": Rect(0, 0, 1, 1)})
+
+    def test_non_region_rejected(self):
+        with pytest.raises(InstanceError):
+            SpatialInstance({"A": "not a region"})
+
+    def test_ext_unknown_name(self):
+        with pytest.raises(InstanceError):
+            two_region_instance().ext("Z")
+
+    def test_container_protocol(self):
+        inst = two_region_instance()
+        assert len(inst) == 2
+        assert "A" in inst
+        assert list(inst) == ["A", "B"]
+
+
+class TestDerived:
+    def test_bbox_union(self):
+        box = two_region_instance().bbox()
+        assert (box.xmin, box.ymin, box.xmax, box.ymax) == (0, 0, 6, 6)
+
+    def test_bbox_empty_instance(self):
+        with pytest.raises(InstanceError):
+            SpatialInstance().bbox()
+
+    def test_label_of_overlap_point(self):
+        inst = two_region_instance()
+        assert inst.label_of(Point(3, 3)) == ("o", "o")
+
+    def test_label_of_boundary_point(self):
+        inst = two_region_instance()
+        assert inst.label_of(Point(4, 3)) == ("b", "o")
+
+    def test_label_of_exterior_point(self):
+        inst = two_region_instance()
+        assert inst.label_of(Point(10, 10)) == ("e", "e")
+
+    def test_same_names_order_insensitive(self):
+        a = two_region_instance()
+        b = SpatialInstance({"B": Rect(0, 0, 1, 1), "A": Rect(2, 2, 3, 3)})
+        assert a.same_names(b)
+
+    def test_polygonalized_converts_alg(self):
+        inst = SpatialInstance({"C": AlgRegion.circle(0, 0, 1, n=8)})
+        out = inst.polygonalized()
+        from repro.regions import Poly
+
+        assert isinstance(out.ext("C"), Poly)
+
+    def test_polygonalized_keeps_nonsimple_rectunion(self):
+        ru = RectUnion(
+            [Rect(0, 0, 2, 2), Rect(2, 0, 4, 2), Rect(1, 1, 3, 2)]
+        )
+        inst = SpatialInstance({"U": ru})
+        out = inst.polygonalized()
+        assert isinstance(out.ext("U"), RectUnion)
+
+    def test_map_regions(self):
+        inst = two_region_instance()
+        moved = inst.map_regions(
+            lambda _n, r: Rect(r.x1 + 10, r.y1, r.x2 + 10, r.y2)
+        )
+        assert moved.ext("A").x1 == 10

@@ -1,0 +1,140 @@
+"""Tests for Poly and AlgRegion."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.errors import RegionError
+from repro.geometry import Location, Point
+from repro.regions import AlgRegion, Poly, Polynomial2
+
+
+def triangle():
+    return Poly((Point(0, 0), Point(4, 0), Point(0, 4)))
+
+
+class TestPoly:
+    def test_simple_polygon_accepted(self):
+        assert len(triangle().vertices) == 3
+
+    def test_self_intersecting_rejected(self):
+        with pytest.raises(RegionError):
+            Poly((Point(0, 0), Point(2, 2), Point(2, 0), Point(0, 2)))
+
+    def test_classification(self):
+        t = triangle()
+        assert t.classify(Point(1, 1)) is Location.INTERIOR
+        assert t.classify(Point(2, 0)) is Location.BOUNDARY
+        assert t.classify(Point(4, 4)) is Location.EXTERIOR
+
+    def test_cyclic_equality(self):
+        a = Poly((Point(0, 0), Point(1, 0), Point(1, 1)))
+        b = Poly((Point(1, 0), Point(1, 1), Point(0, 0)))
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_orientation_insensitive_equality(self):
+        a = Poly((Point(0, 0), Point(1, 0), Point(1, 1)))
+        b = Poly((Point(1, 1), Point(1, 0), Point(0, 0)))
+        assert a == b
+
+    def test_inequality(self):
+        a = Poly((Point(0, 0), Point(1, 0), Point(1, 1)))
+        b = Poly((Point(0, 0), Point(2, 0), Point(2, 2)))
+        assert a != b
+
+
+class TestPolynomial2:
+    def test_evaluation(self):
+        # p = x^2 + 2y - 3
+        p = Polynomial2({(2, 0): 1, (0, 1): 2, (0, 0): -3})
+        assert p(Point(2, 1)) == 3
+
+    def test_zero_coefficients_dropped(self):
+        p = Polynomial2({(1, 0): 0, (0, 0): 5})
+        assert p.coeffs == (((0, 0), Fraction(5)),)
+
+    def test_arithmetic(self):
+        x, y = Polynomial2.x(), Polynomial2.y()
+        p = x * x + y * y - Polynomial2.constant(1)
+        assert p(Point(1, 0)) == 0
+        assert p(Point(0, 0)) == -1
+        assert (x - y)(Point(3, 1)) == 2
+
+    def test_sign_at(self):
+        circle = Polynomial2.circle(0, 0, 5)
+        assert circle.sign_at(Point(0, 0)) == 1
+        assert circle.sign_at(Point(5, 0)) == 0
+        assert circle.sign_at(Point(6, 0)) == -1
+
+    def test_degree(self):
+        assert Polynomial2.circle(1, 2, 3).degree() == 2
+        assert Polynomial2.constant(7).degree() == 0
+
+
+class TestAlgRegion:
+    def test_circle_vertices_lie_on_circle(self):
+        c = AlgRegion.circle(0, 0, 2, n=12)
+        poly = Polynomial2.circle(0, 0, 2)
+        for v in c.boundary_polygon().vertices:
+            assert poly(v) == 0
+
+    def test_circle_classification(self):
+        c = AlgRegion.circle(0, 0, 2, n=16)
+        assert c.classify(Point(0, 0)) is Location.INTERIOR
+        assert c.classify(Point(5, 0)) is Location.EXTERIOR
+
+    def test_algebraic_interior_test(self):
+        c = AlgRegion.circle(0, 0, 2, n=8)
+        assert c.algebraic_classify_interior(Point(0, 0))
+        assert not c.algebraic_classify_interior(Point(3, 0))
+
+    def test_min_vertices(self):
+        with pytest.raises(RegionError):
+            AlgRegion.circle(0, 0, 1, n=2)
+
+    def test_bad_radius(self):
+        with pytest.raises(RegionError):
+            AlgRegion.circle(0, 0, 0)
+
+    def test_ellipse_vertices_on_curve(self):
+        e = AlgRegion.ellipse(1, 1, 3, 2, n=12)
+        (conj,) = e.definition
+        (poly,) = conj
+        for v in e.boundary_polygon().vertices:
+            assert poly(v) == 0
+
+    def test_from_convex_polygon_halfplanes(self):
+        a = AlgRegion.from_polygon(
+            (Point(0, 0), Point(4, 0), Point(0, 4))
+        )
+        assert a.algebraic_classify_interior(Point(1, 1))
+        assert not a.algebraic_classify_interior(Point(4, 4))
+        assert not a.algebraic_classify_interior(Point(2, 0))  # boundary
+
+    def test_from_nonconvex_polygon_has_no_formula(self):
+        a = AlgRegion.from_polygon(
+            (
+                Point(0, 0),
+                Point(4, 0),
+                Point(4, 4),
+                Point(2, 1),
+                Point(0, 4),
+            )
+        )
+        assert a.definition == ()
+        assert a.classify(Point(1, 1)) is Location.INTERIOR
+
+    def test_polygonalize(self):
+        c = AlgRegion.circle(0, 0, 1, n=8)
+        p = c.polygonalize()
+        assert isinstance(p, Poly)
+        assert len(p.vertices) == len(c.boundary_polygon().vertices)
+
+    def test_circle_polygon_is_convex_ccw(self):
+        c = AlgRegion.circle(3, -2, 5, n=24)
+        verts = c.boundary_polygon().vertices
+        n = len(verts)
+        for i in range(n):
+            a, b, cc = verts[i], verts[(i + 1) % n], verts[(i + 2) % n]
+            assert (b - a).cross(cc - b) > 0

@@ -1,0 +1,85 @@
+"""Tests for Rect regions."""
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import RegionError
+from repro.geometry import BBox, Location, Point
+from repro.regions import Rect
+
+coords = st.fractions(min_value=-50, max_value=50, max_denominator=16)
+
+
+@st.composite
+def rects(draw):
+    x1 = draw(coords)
+    y1 = draw(coords)
+    w = draw(st.fractions(min_value="1/16", max_value=20, max_denominator=16))
+    h = draw(st.fractions(min_value="1/16", max_value=20, max_denominator=16))
+    return Rect(x1, y1, x1 + w, y1 + h)
+
+
+class TestConstruction:
+    def test_basic(self):
+        r = Rect(0, 0, 2, 3)
+        assert r.width() == 2
+        assert r.height() == 3
+
+    @pytest.mark.parametrize("args", [(2, 0, 0, 3), (0, 3, 2, 0), (0, 0, 0, 1)])
+    def test_invalid_rejected(self, args):
+        with pytest.raises(RegionError):
+            Rect(*args)
+
+    def test_from_bbox(self):
+        r = Rect.from_bbox(BBox(Fraction(0), Fraction(1), Fraction(2), Fraction(3)))
+        assert (r.x1, r.y1, r.x2, r.y2) == (0, 1, 2, 3)
+
+
+class TestClassification:
+    def test_interior(self):
+        assert Rect(0, 0, 2, 2).classify(Point(1, 1)) is Location.INTERIOR
+
+    def test_open_edges_are_boundary(self):
+        r = Rect(0, 0, 2, 2)
+        assert r.classify(Point(0, 1)) is Location.BOUNDARY
+        assert r.classify(Point(1, 2)) is Location.BOUNDARY
+        assert r.classify(Point(0, 0)) is Location.BOUNDARY
+
+    def test_exterior(self):
+        assert Rect(0, 0, 2, 2).classify(Point(3, 1)) is Location.EXTERIOR
+
+    @given(rects())
+    def test_interior_point_is_interior(self, r):
+        assert r.classify(r.interior_point()) is Location.INTERIOR
+
+    @given(rects())
+    def test_agreement_with_polygon_classification(self, r):
+        samples = [
+            r.interior_point(),
+            Point(r.x1, r.y1),
+            Point(r.x2, r.y2),
+            Point(r.x1 - 1, r.y1),
+            Point((r.x1 + r.x2) / 2, r.y2),
+        ]
+        poly = r.boundary_polygon()
+        for p in samples:
+            assert r.classify(p) is poly.locate(p)
+
+
+class TestGeometryAccessors:
+    def test_boundary_polygon_is_square(self):
+        assert len(Rect(0, 0, 1, 1).boundary_polygon()) == 4
+
+    def test_bbox_roundtrip(self):
+        r = Rect(1, 2, 3, 4)
+        box = r.bbox()
+        assert (box.xmin, box.ymin, box.xmax, box.ymax) == (1, 2, 3, 4)
+
+    def test_area(self):
+        assert Rect(0, 0, 3, 2).area2() == 12
+
+    def test_boundary_segments_count(self):
+        assert len(Rect(0, 0, 1, 1).boundary_segments()) == 4

@@ -1,0 +1,150 @@
+"""Tests for RectUnion (the paper's Rect*): disc validation and boundary."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.errors import RegionError
+from repro.geometry import Location, Point
+from repro.regions import Rect, RectUnion
+
+
+def overlapping_pair():
+    return RectUnion([Rect(0, 0, 2, 2), Rect(1, 1, 3, 3)])
+
+
+class TestValidation:
+    def test_single_rect_ok(self):
+        ru = RectUnion([Rect(0, 0, 1, 1)])
+        assert len(ru.rects) == 1
+
+    def test_empty_rejected(self):
+        with pytest.raises(RegionError):
+            RectUnion([])
+
+    def test_overlapping_ok(self):
+        overlapping_pair()
+
+    def test_edge_touching_open_rects_disconnected(self):
+        # Open rectangles sharing only an edge have a disconnected union.
+        with pytest.raises(RegionError, match="not connected"):
+            RectUnion([Rect(0, 0, 1, 1), Rect(1, 0, 2, 1)])
+
+    def test_corner_touching_disconnected(self):
+        with pytest.raises(RegionError, match="not connected"):
+            RectUnion([Rect(0, 0, 1, 1), Rect(1, 1, 2, 2)])
+
+    def test_far_apart_disconnected(self):
+        with pytest.raises(RegionError, match="not connected"):
+            RectUnion([Rect(0, 0, 1, 1), Rect(5, 5, 6, 6)])
+
+    def test_ring_with_hole_rejected(self):
+        # Four overlapping bars around a central hole.
+        with pytest.raises(RegionError, match="simply connected"):
+            RectUnion(
+                [
+                    Rect(0, 0, 4, 1),  # bottom
+                    Rect(0, 3, 4, 4),  # top
+                    Rect(0, 0, 1, 4),  # left
+                    Rect(3, 0, 4, 4),  # right
+                ]
+            )
+
+    def test_interior_slit_rejected(self):
+        # Left half covers x in (0,2), right half (2,4); connectors cross
+        # x=2 near the top and bottom only, leaving the closed slit
+        # {x=2, 1 <= y <= 3} uncovered strictly inside the union.  A loop
+        # around the slit cannot contract: not simply connected.
+        with pytest.raises(RegionError, match="simply connected"):
+            RectUnion(
+                [
+                    Rect(0, 0, 2, 4),
+                    Rect(2, 0, 4, 4),
+                    Rect(1, 0, 3, 1),
+                    Rect(1, 3, 3, 4),
+                ]
+            )
+
+    def test_boundary_slit_is_a_valid_disc(self):
+        # A slit reaching the outer boundary keeps the union simply
+        # connected (a disc with non-simple boundary).
+        ru = RectUnion(
+            [
+                Rect(0, 0, 2, 2),
+                Rect(2, 0, 4, 2),
+                Rect(1, 1, 3, 2),
+            ],
+            validate=True,
+        )
+        # The slit {x=2, 0 <= y < 1} is on the boundary.
+        assert ru.classify(Point(2, Fraction(1, 2))) is Location.BOUNDARY
+        assert not ru.is_simple_boundary()
+
+
+class TestClassification:
+    def test_interior_of_each_rect(self):
+        ru = overlapping_pair()
+        assert ru.classify(Point("1/2", "1/2")) is Location.INTERIOR
+        assert ru.classify(Point("5/2", "5/2")) is Location.INTERIOR
+
+    def test_overlap_zone_interior(self):
+        ru = overlapping_pair()
+        assert ru.classify(Point("3/2", "3/2")) is Location.INTERIOR
+
+    def test_covered_inner_edge_is_interior(self):
+        # The edge x=2 of the first rect, inside the second rect.
+        ru = overlapping_pair()
+        assert ru.classify(Point(2, "3/2")) is Location.INTERIOR
+
+    def test_outer_boundary(self):
+        ru = overlapping_pair()
+        assert ru.classify(Point(0, 1)) is Location.BOUNDARY
+        assert ru.classify(Point(2, "1/2")) is Location.BOUNDARY
+
+    def test_exterior(self):
+        ru = overlapping_pair()
+        assert ru.classify(Point(5, 5)) is Location.EXTERIOR
+        # The notch corner region outside both rects.
+        assert ru.classify(Point("5/2", "1/2")) is Location.EXTERIOR
+
+    def test_reentrant_corner_boundary(self):
+        ru = overlapping_pair()
+        assert ru.classify(Point(2, 1)) is Location.BOUNDARY
+
+
+class TestBoundary:
+    def test_single_rect_boundary_polygon(self):
+        ru = RectUnion([Rect(0, 0, 2, 2)])
+        assert ru.is_simple_boundary()
+        assert len(ru.boundary_polygon()) == 4
+        assert ru.boundary_polygon().area2() == 8
+
+    def test_staircase_boundary_polygon(self):
+        ru = overlapping_pair()
+        assert ru.is_simple_boundary()
+        poly = ru.boundary_polygon()
+        # Staircase of two overlapping squares: 8 corners.
+        assert len(poly) == 8
+        # area = 4 + 4 - 1 = 7, doubled 14.
+        assert poly.area2() == 14
+
+    def test_boundary_segments_cover_reentrant_corner(self):
+        ru = overlapping_pair()
+        pts = {p for s in ru.boundary_segments() for p in s.endpoints()}
+        assert Point(2, 1) in pts
+        assert Point(1, 2) in pts
+
+    def test_nonsimple_boundary_polygon_raises(self):
+        ru = RectUnion(
+            [Rect(0, 0, 2, 2), Rect(2, 0, 4, 2), Rect(1, 1, 3, 2)]
+        )
+        with pytest.raises(RegionError):
+            ru.boundary_polygon()
+
+    def test_interior_point(self):
+        ru = overlapping_pair()
+        assert ru.classify(ru.interior_point()) is Location.INTERIOR
+
+    def test_bbox(self):
+        box = overlapping_pair().bbox()
+        assert (box.xmin, box.ymin, box.xmax, box.ymax) == (0, 0, 3, 3)

@@ -1,0 +1,178 @@
+"""Tests for the relational engine."""
+
+import pytest
+
+from repro.errors import SchemaError
+from repro.relational import (
+    And,
+    Atom,
+    Const,
+    Database,
+    DatabaseSchema,
+    Eq,
+    Exists,
+    ForAll,
+    Implies,
+    Not,
+    Or,
+    Relation,
+    Schema,
+    Var,
+    difference,
+    intersection,
+    natural_join,
+    product,
+    project,
+    rename,
+    select,
+    union,
+)
+
+
+def people() -> Relation:
+    return Relation(
+        ("name", "city"),
+        [("ann", "paris"), ("bob", "rome"), ("eve", "paris")],
+    )
+
+
+class TestSchema:
+    def test_duplicate_attributes(self):
+        with pytest.raises(SchemaError):
+            Schema(("a", "a"))
+
+    def test_index_of(self):
+        s = Schema(("a", "b"))
+        assert s.index_of("b") == 1
+        with pytest.raises(SchemaError):
+            s.index_of("z")
+
+    def test_rename(self):
+        assert Schema(("a", "b")).rename({"a": "x"}).attributes == ("x", "b")
+
+    def test_database_schema_lookup(self):
+        db = DatabaseSchema({"R": ("a",)})
+        assert db["R"].arity == 1
+        with pytest.raises(SchemaError):
+            db["S"]
+
+
+class TestRelation:
+    def test_arity_check(self):
+        with pytest.raises(SchemaError):
+            Relation(("a",), [(1, 2)])
+
+    def test_set_semantics(self):
+        r = Relation(("a",), [(1,), (1,), (2,)])
+        assert len(r) == 2
+
+    def test_column(self):
+        assert people().column("city") == {"paris", "rome"}
+
+    def test_contains(self):
+        assert ("ann", "paris") in people()
+
+
+class TestAlgebra:
+    def test_select(self):
+        r = select(people(), lambda t: t["city"] == "paris")
+        assert len(r) == 2
+
+    def test_project(self):
+        r = project(people(), ["city"])
+        assert r.tuples == {("paris",), ("rome",)}
+
+    def test_rename(self):
+        r = rename(people(), {"name": "person"})
+        assert "person" in r.schema
+
+    def test_union_difference_intersection(self):
+        a = Relation(("x",), [(1,), (2,)])
+        b = Relation(("x",), [(2,), (3,)])
+        assert union(a, b).tuples == {(1,), (2,), (3,)}
+        assert difference(a, b).tuples == {(1,)}
+        assert intersection(a, b).tuples == {(2,)}
+
+    def test_union_schema_mismatch(self):
+        with pytest.raises(SchemaError):
+            union(Relation(("x",), ()), Relation(("y",), ()))
+
+    def test_product_disjointness(self):
+        a = Relation(("x",), [(1,)])
+        with pytest.raises(SchemaError):
+            product(a, a)
+
+    def test_product(self):
+        a = Relation(("x",), [(1,), (2,)])
+        b = Relation(("y",), [(9,)])
+        assert product(a, b).tuples == {(1, 9), (2, 9)}
+
+    def test_natural_join(self):
+        cities = Relation(
+            ("city", "country"),
+            [("paris", "fr"), ("rome", "it")],
+        )
+        joined = natural_join(people(), cities)
+        assert ("ann", "paris", "fr") in joined
+        assert len(joined) == 3
+
+
+class TestDatabase:
+    def _db(self):
+        schema = DatabaseSchema({"P": ("name", "city"), "Q": ("city",)})
+        return Database(schema, {"P": people().tuples})
+
+    def test_missing_relations_empty(self):
+        db = self._db()
+        assert len(db["Q"]) == 0
+
+    def test_unknown_relation_rejected(self):
+        schema = DatabaseSchema({"P": ("a",)})
+        with pytest.raises(SchemaError):
+            Database(schema, {"Z": [(1,)]})
+
+    def test_active_domain(self):
+        assert "paris" in self._db().active_domain()
+
+    def test_with_relation(self):
+        db = self._db().with_relation("Q", Relation(("city",), [("oslo",)]))
+        assert ("oslo",) in db["Q"]
+
+
+class TestFOQueries:
+    def _db(self):
+        schema = DatabaseSchema({"P": ("name", "city")})
+        return Database(schema, {"P": people().tuples})
+
+    def test_exists(self):
+        q = Exists(
+            "x", Atom("P", Var("x"), Const("paris"))
+        )
+        assert q.evaluate(self._db())
+
+    def test_forall_false(self):
+        q = ForAll(
+            "x", Exists("y", Atom("P", Var("x"), Var("y")))
+        )
+        # Cities are in the domain too and are not first components.
+        assert not q.evaluate(self._db())
+
+    def test_connectives(self):
+        db = self._db()
+        yes = Atom("P", Const("ann"), Const("paris"))
+        no = Atom("P", Const("ann"), Const("rome"))
+        assert And(yes, Not(no)).evaluate(db)
+        assert Or(no, yes).evaluate(db)
+        assert Implies(no, yes).evaluate(db)
+        assert Eq(Const(1), Const(1)).evaluate(db)
+
+    def test_answers(self):
+        q = Atom("P", Var("x"), Const("paris"))
+        names = {row["x"] for row in q.answers(self._db())}
+        assert names == {"ann", "eve"}
+
+    def test_free_variable_sentence_check(self):
+        from repro.errors import QueryError
+
+        with pytest.raises(QueryError):
+            Atom("P", Var("x"), Const("paris")).evaluate(self._db())

@@ -1,0 +1,129 @@
+"""Tests for string graphs and the Σ1(Rect*, ∅) connection."""
+
+import pytest
+
+from repro.errors import QueryError, ReproError
+from repro.stringgraph import (
+    Graph,
+    conjunctive_sigma1_satisfiable,
+    full_subdivision,
+    graph_to_sigma1,
+    is_string_graph,
+    realize_string_graph,
+    sigma1_satisfiable,
+    sigma1_to_graph,
+    verify_realization,
+)
+
+
+def k33():
+    return Graph(6, [(i, j + 3) for i in range(3) for j in range(3)])
+
+
+class TestGraph:
+    def test_families(self):
+        assert len(Graph.path(5).edges) == 4
+        assert len(Graph.cycle(5).edges) == 5
+        assert len(Graph.complete(5).edges) == 10
+        assert Graph.star(4).degree(0) == 4
+
+    def test_bad_edge(self):
+        with pytest.raises(ReproError):
+            Graph(2, [(0, 5)])
+
+    def test_complement(self):
+        g = Graph.path(3)
+        assert g.complement().edges == Graph(3, [(0, 2)]).edges
+
+    def test_full_subdivision(self):
+        g = full_subdivision(Graph.complete(3))
+        assert g.n == 6
+        assert len(g.edges) == 6
+
+
+class TestRealizability:
+    @pytest.mark.parametrize(
+        "g",
+        [
+            Graph.path(4),
+            Graph.cycle(5),
+            Graph.star(5),
+            Graph.complete(4),
+            Graph.matching(3),
+            Graph(3, []),
+        ],
+        ids=["path", "cycle", "star", "K4", "matching", "independent"],
+    )
+    def test_planar_realizations_verified(self, g):
+        realization = realize_string_graph(g)
+        assert realization is not None
+        assert verify_realization(g, realization)
+
+    def test_k5_realized_as_pencil(self):
+        g = Graph.complete(5)
+        realization = realize_string_graph(g)
+        assert realization is not None
+        assert verify_realization(g, realization)
+
+    def test_subdivided_k5_rejected(self):
+        assert is_string_graph(full_subdivision(Graph.complete(5))) is False
+
+    def test_subdivided_k33_rejected(self):
+        assert is_string_graph(full_subdivision(k33())) is False
+
+    def test_subdivided_planar_accepted(self):
+        assert is_string_graph(full_subdivision(Graph.complete(4))) is True
+
+    def test_verification_rejects_wrong_realization(self):
+        g = Graph.path(3)
+        realization = realize_string_graph(g)
+        # Claim it realizes the complete graph instead: must fail.
+        assert not verify_realization(Graph.complete(3), realization)
+
+
+class TestSigma1:
+    def test_roundtrip(self):
+        g = Graph.cycle(5)
+        assert sigma1_to_graph(graph_to_sigma1(g)).edges == g.edges
+
+    def test_satisfiable_cases(self):
+        assert conjunctive_sigma1_satisfiable(
+            graph_to_sigma1(Graph.cycle(4))
+        )
+        assert (
+            conjunctive_sigma1_satisfiable(
+                graph_to_sigma1(full_subdivision(Graph.complete(5)))
+            )
+            is False
+        )
+
+    def test_malformed_sentence_rejected(self):
+        from repro.logic import parse
+
+        with pytest.raises(QueryError):
+            sigma1_to_graph(parse("overlap(A, B)"))
+
+    def test_incomplete_specification_rejected(self):
+        from repro.logic.ast import And, ExistsRegion, RegionVar, Rel
+
+        partial = ExistsRegion(
+            "r0",
+            ExistsRegion(
+                "r1",
+                ExistsRegion(
+                    "r2",
+                    And(
+                        Rel("connect", RegionVar("r0"), RegionVar("r1"))
+                    ),
+                ),
+            ),
+        )
+        with pytest.raises(QueryError):
+            sigma1_to_graph(partial)
+
+    def test_partial_sigma1_search(self):
+        # 3 variables, one required connection, rest free: satisfiable.
+        assert sigma1_satisfiable(3, {(0, 1)}, set())
+
+    def test_partial_sigma1_contradiction(self):
+        assert sigma1_satisfiable(2, {(0, 1)}, {(0, 1)}) is False

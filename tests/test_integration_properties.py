@@ -1,0 +1,119 @@
+"""Cross-module property-based tests: the paper's theorems as
+invariants over random instances."""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.datasets import random_rectangles
+from repro.invariant import (
+    are_isomorphic,
+    invariant,
+    realize,
+    topologically_equivalent,
+    validate_invariant,
+)
+from repro.io import instance_from_json, instance_to_json
+from repro.regions import Rect, SpatialInstance
+from repro.transforms import AffineMap
+
+_SLOW = settings(
+    max_examples=8,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+seeds = st.integers(min_value=0, max_value=10_000)
+sizes = st.integers(min_value=1, max_value=5)
+
+
+class TestTheorem34Properties:
+    """Invariant isomorphism is a congruence for homeomorphisms."""
+
+    @_SLOW
+    @given(seeds, sizes)
+    def test_affine_images_equivalent(self, seed, n):
+        inst = random_rectangles(n, seed=seed).polygonalized()
+        moved = AffineMap(2, 1, 3, 0, 1, -7).apply_to_instance(inst)
+        assert topologically_equivalent(inst, moved)
+
+    @_SLOW
+    @given(seeds, sizes)
+    def test_reflection_images_equivalent(self, seed, n):
+        inst = random_rectangles(n, seed=seed).polygonalized()
+        mirrored = AffineMap.reflection_x().apply_to_instance(inst)
+        assert topologically_equivalent(inst, mirrored)
+
+    @_SLOW
+    @given(seeds, sizes)
+    def test_self_equivalence(self, seed, n):
+        inst = random_rectangles(n, seed=seed)
+        assert topologically_equivalent(inst, inst)
+
+
+class TestTheorem35Properties:
+    """Every computed invariant validates and realizes."""
+
+    @_SLOW
+    @given(seeds, st.integers(min_value=1, max_value=4))
+    def test_validate_and_realize(self, seed, n):
+        inst = random_rectangles(n, seed=seed)
+        t = invariant(inst)
+        validate_invariant(t)
+        rebuilt = realize(t)
+        assert are_isomorphic(t, invariant(rebuilt))
+
+
+class TestEulerProperty:
+    """Euler's relation holds per skeleton component of every invariant
+    (with free loops counted through their virtual vertex)."""
+
+    @_SLOW
+    @given(seeds, st.integers(min_value=1, max_value=5))
+    def test_euler(self, seed, n):
+        t = invariant(random_rectangles(n, seed=seed))
+        components = t.skeleton_components()
+        vs = len(t.vertices) + len(t.free_loops())
+        es = len(t.edges)
+        fs = len(t.faces)
+        assert vs - es + fs == 1 + len(components)
+
+
+class TestSerializationProperty:
+    @_SLOW
+    @given(seeds, sizes)
+    def test_json_preserves_topology(self, seed, n):
+        inst = random_rectangles(n, seed=seed)
+        back = instance_from_json(instance_to_json(inst))
+        assert topologically_equivalent(inst, back)
+
+
+class TestFourIntersectionCoherence:
+    """The relation table is never finer than homeomorphism: equivalent
+    instances have equal tables."""
+
+    @_SLOW
+    @given(seeds, st.integers(min_value=2, max_value=4))
+    def test_h_equivalence_implies_table_equality(self, seed, n):
+        from repro.fourint import relation_table
+
+        inst = random_rectangles(n, seed=seed).polygonalized()
+        moved = AffineMap(1, 0, 100, 0, 1, 100).apply_to_instance(inst)
+        assert relation_table(inst) == relation_table(moved)
+
+
+class TestExactnessProperty:
+    """Scaling by huge and tiny rational factors never changes the
+    invariant: exact arithmetic has no magnitude cliffs."""
+
+    @pytest.mark.parametrize(
+        "factor", ["1000000000000", "1/1000000000000"]
+    )
+    def test_extreme_scaling(self, factor):
+        inst = SpatialInstance(
+            {"A": Rect(0, 0, 4, 4), "B": Rect(2, 2, 6, 6)}
+        )
+        scaled = AffineMap.scaling(factor, factor).apply_to_instance(
+            inst.polygonalized()
+        )
+        assert topologically_equivalent(inst, scaled)

@@ -1,0 +1,222 @@
+"""Tests for the transformation groups."""
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import GeometryError
+from repro.geometry import Point
+from repro.regions import Poly, Rect
+from repro.transforms import (
+    AffineMap,
+    ComposedTransform,
+    CubicMonotone,
+    PiecewiseMonotone,
+    Symmetry,
+    TwoPieceLinear,
+)
+
+rationals = st.fractions(min_value=-20, max_value=20, max_denominator=8)
+points = st.builds(Point, rationals, rationals)
+
+
+class TestAffineMap:
+    def test_identity(self):
+        assert AffineMap.identity()(Point(3, 4)) == Point(3, 4)
+
+    def test_translation(self):
+        assert AffineMap.translation(1, -2)(Point(0, 0)) == Point(1, -2)
+
+    def test_rotation90(self):
+        assert AffineMap.rotation90()(Point(1, 0)) == Point(0, 1)
+
+    def test_singular_rejected(self):
+        with pytest.raises(GeometryError):
+            AffineMap(1, 2, 0, 2, 4, 0)
+
+    @given(points)
+    def test_inverse_roundtrip(self, p):
+        m = AffineMap(2, 1, 3, 1, 1, -5)
+        assert m.inverse()(m(p)) == p
+
+    @given(points)
+    def test_composition(self, p):
+        m1 = AffineMap.shear("1/2")
+        m2 = AffineMap.translation(3, 4)
+        assert m1.compose(m2)(p) == m1(m2(p))
+
+    def test_orientation(self):
+        assert AffineMap.shear(1).is_orientation_preserving()
+        assert not AffineMap.reflection_x().is_orientation_preserving()
+
+    def test_apply_to_region_shear(self):
+        img = AffineMap.shear(1).apply_to_region(Rect(0, 0, 1, 1))
+        assert Point(2, 1) in img.vertices
+
+
+class TestTwoPieceLinear:
+    def test_continuity_required(self):
+        with pytest.raises(GeometryError):
+            TwoPieceLinear(
+                0, AffineMap.identity(), AffineMap.translation(0, 1)
+            )
+
+    def test_orientation_agreement_required(self):
+        left = AffineMap.identity()
+        # Reflect across x = 0 line: agrees on the seam but flips
+        # orientation.
+        right = AffineMap(-1, 0, 0, 0, 1, 0)
+        with pytest.raises(GeometryError):
+            TwoPieceLinear(0, left, right)
+
+    def test_bend_is_identity_left_of_seam(self):
+        t = TwoPieceLinear.bend(2, 1)
+        assert t(Point(1, 1)) == Point(1, 1)
+        assert t(Point(3, 0)) == Point(3, 1)
+
+    def test_bend_continuous_at_seam(self):
+        t = TwoPieceLinear.bend(2, 5)
+        assert t(Point(2, 7)) == Point(2, 7)
+
+    def test_subdivision_at_seam(self):
+        t = TwoPieceLinear.bend(2, 1)
+        cuts = t.subdivide_segment(Point(0, 0), Point(4, 0))
+        assert cuts == [Point(2, 0)]
+
+    def test_polygon_gets_bent_vertex(self):
+        t = TwoPieceLinear.bend(2, 1)
+        img = t.apply_to_region(Rect(0, 0, 4, 1))
+        # The bottom edge picks up a vertex at the seam.
+        assert Point(2, 0) in img.vertices
+
+    @given(points)
+    def test_inverse_roundtrip(self, p):
+        t = TwoPieceLinear.bend(1, 2)
+        assert t.inverse()(t(p)) == p
+
+
+class TestPiecewiseMonotone:
+    def test_interpolation(self):
+        rho = PiecewiseMonotone([(0, 0), (2, 10)])
+        assert rho(Fraction(1)) == 5
+
+    def test_extension_beyond_anchors(self):
+        rho = PiecewiseMonotone([(0, 0), (1, 2)])
+        assert rho(Fraction(5)) == 10
+        assert rho(Fraction(-1)) == -2
+
+    def test_decreasing(self):
+        rho = PiecewiseMonotone([(0, 10), (1, 5)])
+        assert not rho.increasing
+        assert rho(Fraction(2)) == 0
+
+    def test_non_monotone_rejected(self):
+        with pytest.raises(GeometryError):
+            PiecewiseMonotone([(0, 0), (1, 5), (2, 3)])
+
+    @given(st.fractions(min_value=-30, max_value=30, max_denominator=16))
+    def test_inverse_roundtrip(self, x):
+        rho = PiecewiseMonotone([(0, 1), (2, 4), (5, 20)])
+        assert rho.inverse()(rho(x)) == x
+
+
+class TestSymmetry:
+    def test_axis_swap(self):
+        s = Symmetry(swap_axes=True)
+        assert s(Point(1, 2)) == Point(2, 1)
+
+    def test_rect_stays_rect(self):
+        from repro.transforms import is_rect_polygon
+
+        rho = PiecewiseMonotone([(0, 0), (1, 3), (5, 6)])
+        s = Symmetry(rho, rho)
+        img = s.apply_to_region(Rect(0, 0, 2, 2))
+        assert is_rect_polygon(img)
+
+    def test_cubic_bends_diagonals(self):
+        s = Symmetry(CubicMonotone(), None)
+        assert s.bends_segment(Point(1, 1), Point(2, 2))
+
+    def test_cubic_keeps_axis_parallel_straight(self):
+        s = Symmetry(CubicMonotone(), None)
+        assert not s.bends_segment(Point(1, 0), Point(2, 0))
+        assert not s.bends_segment(Point(1, 0), Point(1, 7))
+
+    @given(points)
+    def test_inverse_roundtrip(self, p):
+        rho = PiecewiseMonotone([(0, 0), (1, 2), (3, 9)])
+        s = Symmetry(rho, rho.inverse(), swap_axes=True)
+        assert s.inverse()(s(p)) == p
+
+
+class TestComposedTransform:
+    @given(points)
+    def test_application_order(self, p):
+        t = ComposedTransform(
+            AffineMap.translation(1, 0), AffineMap.scaling(2, 2)
+        )
+        # Rightmost applies first.
+        assert t(p) == AffineMap.translation(1, 0)(AffineMap.scaling(2, 2)(p))
+
+    @given(points)
+    def test_inverse(self, p):
+        t = ComposedTransform(
+            AffineMap.shear(1), TwoPieceLinear.bend(0, 1)
+        )
+        assert t.inverse()(t(p)) == p
+
+    def test_polygon_through_two_seams(self):
+        t = ComposedTransform(
+            TwoPieceLinear.bend(1, 1), TwoPieceLinear.bend(3, -1)
+        )
+        img = t.apply_to_region(Rect(0, 0, 4, 1))
+        # Both seams leave vertices on the bottom edge.
+        xs = {v.x for v in img.vertices}
+        assert Fraction(1) in xs and Fraction(3) in xs
+
+    def test_empty_composition_rejected(self):
+        with pytest.raises(GeometryError):
+            ComposedTransform()
+
+
+class TestTopologyPreservation:
+    """Group elements are homeomorphisms: invariants must not change."""
+
+    @pytest.mark.parametrize(
+        "transform",
+        [
+            AffineMap.shear("1/3"),
+            AffineMap.reflection_x(),
+            TwoPieceLinear.bend(2, 1),
+            Symmetry(PiecewiseMonotone([(0, 0), (3, 1), (6, 12)]), None),
+        ],
+        ids=["shear", "reflect", "bend", "symmetry"],
+    )
+    def test_fig_1c_topology_preserved(self, transform):
+        from repro.datasets.figures import fig_1c
+        from repro.invariant import topologically_equivalent
+
+        inst = fig_1c().polygonalized()
+        assert topologically_equivalent(
+            inst, transform.apply_to_instance(inst)
+        )
+
+
+class TestFig4:
+    def test_table_regenerates(self):
+        from repro.transforms import EXPECTED_FIG4, regenerate_fig4
+
+        results = regenerate_fig4()
+        for key, result in results.items():
+            assert result.invariant == EXPECTED_FIG4[key], key
+
+    def test_analytic_cells_marked(self):
+        from repro.transforms import regenerate_fig4
+
+        results = regenerate_fig4()
+        assert not results[("Alg", "S")].verified
+        assert not results[("Alg", "H")].verified
+        machine_checked = sum(1 for r in results.values() if r.verified)
+        assert machine_checked == 13
