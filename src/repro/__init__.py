@@ -43,6 +43,7 @@ from .errors import (
     InstanceError,
     InvariantError,
     ParseError,
+    PipelineError,
     QueryError,
     RegionError,
     ReproError,
@@ -54,7 +55,10 @@ from .geometry import Location, Point, Q, Segment, SimplePolygon
 from .invariant import (
     TopologicalInvariant,
     are_isomorphic,
+    canonical_form,
+    canonical_hash,
     find_isomorphism,
+    instance_key,
     invariant,
     realize,
     s_equivalent,
@@ -65,6 +69,12 @@ from .invariant import (
     validate_invariant,
 )
 from .logic import evaluate_cells, evaluate_rect, parse
+from .pipeline import (
+    InvariantCache,
+    InvariantPipeline,
+    PipelineStats,
+    topologically_equivalent_batch,
+)
 from .regions import (
     AlgRegion,
     Poly,
@@ -83,9 +93,13 @@ __all__ = [
     "EncodingError",
     "GeometryError",
     "InstanceError",
+    "InvariantCache",
     "InvariantError",
+    "InvariantPipeline",
     "Location",
     "ParseError",
+    "PipelineError",
+    "PipelineStats",
     "Point",
     "Poly",
     "Q",
@@ -103,11 +117,14 @@ __all__ = [
     "ValidationError",
     "__version__",
     "are_isomorphic",
+    "canonical_form",
+    "canonical_hash",
     "classify",
     "evaluate_cells",
     "evaluate_rect",
     "find_isomorphism",
     "four_intersection_equivalent",
+    "instance_key",
     "invariant",
     "parse",
     "realize",
@@ -115,6 +132,7 @@ __all__ = [
     "s_invariant",
     "thematic",
     "topologically_equivalent",
+    "topologically_equivalent_batch",
     "validate_database",
     "validate_invariant",
 ]

@@ -28,6 +28,7 @@ from typing import Iterable
 
 from ..errors import ArrangementError
 from ..geometry import Point, Segment
+from ..instrument import stage
 from ..regions import SpatialInstance
 from .builder import planarize
 from .dcel import Subdivision
@@ -140,10 +141,14 @@ def build_complex(instance: SpatialInstance) -> CellComplex:
     segments: list[Segment] = []
     for _name, region in instance.items():
         segments.extend(region.boundary_segments())
-    pieces = planarize(segments)
-    sub = Subdivision(pieces)
-    labels = compute_labels(instance, sub)
-    return _reduce(sub, labels)
+    with stage("arrangement.planarize"):
+        pieces = planarize(segments)
+    with stage("arrangement.subdivision"):
+        sub = Subdivision(pieces)
+    with stage("arrangement.labeling"):
+        labels = compute_labels(instance, sub)
+    with stage("arrangement.reduce"):
+        return _reduce(sub, labels)
 
 
 def _reduce(sub: Subdivision, labels: LabelMap) -> CellComplex:

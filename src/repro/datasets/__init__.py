@@ -17,6 +17,7 @@ from .figures import (
 from .generators import (
     circle_chain,
     grid_of_squares,
+    mixed_corpus,
     nested_rings,
     overlap_chain,
     petal_count_flower,
@@ -38,6 +39,7 @@ __all__ = [
     "fig_7b_adjacent",
     "fig_7b_interleaved",
     "grid_of_squares",
+    "mixed_corpus",
     "nested_rings",
     "overlap_chain",
     "petal_count_flower",

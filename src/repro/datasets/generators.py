@@ -19,6 +19,7 @@ __all__ = [
     "random_rectangles",
     "petal_count_flower",
     "circle_chain",
+    "mixed_corpus",
 ]
 
 
@@ -99,6 +100,58 @@ def petal_count_flower(petals: int) -> SpatialInstance:
             continue
         inst.add(f"P{k:02d}", Poly((apex, apex + d1, apex + d2)))
     return inst
+
+
+def mixed_corpus(
+    n: int,
+    seed: int = 0,
+    dup_rate: float = 0.4,
+    shift_rate: float = 0.3,
+) -> list[SpatialInstance]:
+    """A corpus of *n* instances mixing every workload family.
+
+    The load-test input for the batch pipeline.  With probability
+    *dup_rate* an instance repeats an earlier one's exact geometry
+    (exercising content-addressed cache hits inside a single batch);
+    with probability *shift_rate* it is a translated copy instead —
+    different geometry, same topology (exercising hash-bucketed
+    equivalence grouping).  The remainder are fresh draws across the
+    generator families.  Deterministic given (n, seed, rates).
+    """
+    rng = random.Random(seed)
+    fresh = [
+        lambda: overlap_chain(rng.randrange(2, 5)),
+        lambda: nested_rings(rng.randrange(2, 5)),
+        lambda: grid_of_squares(rng.randrange(1, 3), rng.randrange(1, 4)),
+        lambda: random_rectangles(
+            rng.randrange(2, 5), seed=rng.randrange(10_000)
+        ),
+        lambda: circle_chain(rng.randrange(1, 3), vertices=8),
+    ]
+    corpus: list[SpatialInstance] = []
+    for _ in range(n):
+        roll = rng.random()
+        if corpus and roll < dup_rate:
+            donor = corpus[rng.randrange(len(corpus))]
+            corpus.append(donor.map_regions(lambda _n, r: r))
+        elif corpus and roll < dup_rate + shift_rate:
+            donor = corpus[rng.randrange(len(corpus))]
+            dx, dy = rng.randrange(1, 50), rng.randrange(1, 50)
+            corpus.append(_translated(donor, dx, dy))
+        else:
+            corpus.append(rng.choice(fresh)())
+    return corpus
+
+
+def _translated(
+    instance: SpatialInstance, dx: int, dy: int
+) -> SpatialInstance:
+    """A polygonal copy of *instance* shifted by (dx, dy)."""
+    from ..transforms import AffineMap
+
+    return AffineMap.translation(dx, dy).apply_to_instance(
+        instance.polygonalized()
+    )
 
 
 def circle_chain(n: int, vertices: int = 12) -> SpatialInstance:

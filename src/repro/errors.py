@@ -75,3 +75,9 @@ class ParseError(QueryError):
 
 class EncodingError(ReproError):
     """An arithmetic-encoding construction received invalid parameters."""
+
+
+class PipelineError(ReproError):
+    """The batch pipeline was misconfigured or reached an inconsistent
+    state (e.g. a canonical-hash bucket whose members fail the
+    isomorphism verification)."""

@@ -1,0 +1,69 @@
+"""Lightweight stage instrumentation for the hot paths.
+
+The arrangement builder, the invariant canonizer, and the isomorphism
+search wrap their phases in :func:`stage`.  With no collector installed
+the wrapper is a no-op apart from one truthiness check, so library users
+pay nothing; the batch pipeline installs a collector around its work and
+aggregates the timings into its :class:`~repro.pipeline.PipelineStats`.
+
+Collectors are plain callables ``(stage_name, seconds) -> None`` held in
+a module-level registry guarded by a lock (the threads backend records
+from worker threads).  Process-pool workers run in separate interpreters
+and are therefore not observed — the pipeline documents this.
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+from time import perf_counter
+from typing import Callable, Iterator
+
+__all__ = ["stage", "add_collector", "remove_collector", "collecting"]
+
+Collector = Callable[[str, float], None]
+
+_lock = threading.Lock()
+_collectors: list[Collector] = []
+
+
+def add_collector(collector: Collector) -> None:
+    """Register a ``(stage_name, seconds)`` callback."""
+    with _lock:
+        _collectors.append(collector)
+
+
+def remove_collector(collector: Collector) -> None:
+    """Unregister a callback previously added (no error if absent)."""
+    with _lock:
+        try:
+            _collectors.remove(collector)
+        except ValueError:
+            pass
+
+
+@contextmanager
+def collecting(collector: Collector) -> Iterator[None]:
+    """Scoped registration: install *collector* for the block."""
+    add_collector(collector)
+    try:
+        yield
+    finally:
+        remove_collector(collector)
+
+
+@contextmanager
+def stage(name: str) -> Iterator[None]:
+    """Time the block as *name* if any collector is installed."""
+    if not _collectors:
+        yield
+        return
+    t0 = perf_counter()
+    try:
+        yield
+    finally:
+        dt = perf_counter() - t0
+        with _lock:
+            active = list(_collectors)
+        for collector in active:
+            collector(name, dt)

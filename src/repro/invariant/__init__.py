@@ -1,6 +1,7 @@
 """The topological invariant of Section 3 of the paper: computation,
 isomorphism, validation, realization, and the thematic bridge."""
 
+from .canonical import canonical_form, canonical_hash, instance_key
 from .compute import invariant, topologically_equivalent
 from .isomorphism import are_isomorphic, find_isomorphism, verify_isomorphism
 from .realize import RealizedRegion, realize
@@ -22,9 +23,12 @@ __all__ = [
     "TopologicalInvariant",
     "ValidationWitness",
     "are_isomorphic",
+    "canonical_form",
+    "canonical_hash",
     "database_to_invariant",
     "extract_rotation_system",
     "find_isomorphism",
+    "instance_key",
     "invariant",
     "invariant_to_database",
     "realize",

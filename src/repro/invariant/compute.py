@@ -8,20 +8,39 @@ H-equivalence through invariant isomorphism (Theorem 3.4).
 from __future__ import annotations
 
 from ..arrangement import build_complex
+from ..instrument import stage
 from ..regions import SpatialInstance
 from .structure import TopologicalInvariant
 
 __all__ = ["invariant", "topologically_equivalent"]
 
 
-def invariant(instance: SpatialInstance) -> TopologicalInvariant:
+def invariant(
+    instance: SpatialInstance, *, cache=None
+) -> TopologicalInvariant:
     """The topological invariant ``T_I`` of *instance*.
 
     The instance may contain any mix of region classes; semi-algebraic
     regions take part through their polygonalized boundaries (see the
     substitution note in DESIGN.md).
+
+    *cache*, when given, is any object with ``get(key)`` / ``put(key,
+    invariant)`` keyed by geometry content — typically a
+    :class:`repro.pipeline.InvariantCache`; the lookup key is
+    :func:`repro.invariant.canonical.instance_key`.
     """
-    return TopologicalInvariant.from_complex(build_complex(instance))
+    if cache is not None:
+        from .canonical import instance_key
+
+        key = instance_key(instance)
+        hit = cache.get(key)
+        if hit is not None:
+            return hit
+    with stage("invariant.build"):
+        t = TopologicalInvariant.from_complex(build_complex(instance))
+    if cache is not None:
+        cache.put(key, t)
+    return t
 
 
 def topologically_equivalent(

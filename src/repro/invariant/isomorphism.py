@@ -20,6 +20,7 @@ from __future__ import annotations
 from collections import Counter, defaultdict
 from typing import Mapping
 
+from ..instrument import stage
 from .structure import CCW, CW, TopologicalInvariant
 
 __all__ = ["find_isomorphism", "are_isomorphic", "verify_isomorphism"]
@@ -59,15 +60,16 @@ def find_isomorphism(
     if len(t1.incidences) != len(t2.incidences):
         return None
     flips = (False, True) if use_orientation else (False,)
-    for flip in flips:
-        mapping = _Search(
-            t1, t2, flip,
-            use_orientation=use_orientation,
-            use_exterior=use_exterior,
-        ).run()
-        if mapping is not None:
-            return mapping
-    return None
+    with stage("invariant.isomorphism"):
+        for flip in flips:
+            mapping = _Search(
+                t1, t2, flip,
+                use_orientation=use_orientation,
+                use_exterior=use_exterior,
+            ).run()
+            if mapping is not None:
+                return mapping
+        return None
 
 
 def verify_isomorphism(

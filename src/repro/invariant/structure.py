@@ -24,13 +24,16 @@ CCW = "ccw"
 Label = tuple[str, ...]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, eq=False)
 class TopologicalInvariant:
     """The paper's invariant as an immutable relational structure.
 
-    All relations use opaque string cell ids; two invariants are compared
-    through :func:`repro.invariant.isomorphism.find_isomorphism`, never by
-    id equality.
+    All relations use opaque string cell ids, so ``==`` and ``hash()``
+    are defined through the *canonical form* (see
+    :mod:`repro.invariant.canonical`): two invariants are equal iff they
+    are isomorphic in the sense of Theorem 3.4, which makes invariants
+    usable as cache keys and set members.  Witness mappings still come
+    from :func:`repro.invariant.isomorphism.find_isomorphism`.
     """
 
     names: tuple[str, ...]
@@ -203,6 +206,24 @@ class TopologicalInvariant:
                 for (s, v, e1, e2) in self.orientation
             ),
         )
+
+    # -- equality and hashing ---------------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        """Equality is isomorphism (identity on names, global flip
+        allowed) — decided by comparing canonical forms."""
+        if other is self:
+            return True
+        if not isinstance(other, TopologicalInvariant):
+            return NotImplemented
+        from .canonical import canonical_form
+
+        return canonical_form(self) == canonical_form(other)
+
+    def __hash__(self) -> int:
+        from .canonical import canonical_form
+
+        return hash(canonical_form(self))
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         v, e, f = self.counts()

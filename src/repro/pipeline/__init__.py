@@ -1,0 +1,29 @@
+"""Batch invariant computation: caching, worker pools, bucketed
+equivalence (the production-scale serving layer over Section 3).
+
+Quickstart::
+
+    from repro.datasets import mixed_corpus
+    from repro.pipeline import InvariantPipeline
+
+    pipe = InvariantPipeline(backend="processes", workers=4)
+    invariants = pipe.compute_batch(mixed_corpus(100, seed=1))
+    groups = pipe.equivalence_groups(mixed_corpus(100, seed=1))
+    print(pipe.stats.summary())
+"""
+
+from .cache import InvariantCache
+from .engine import (
+    BACKENDS,
+    InvariantPipeline,
+    topologically_equivalent_batch,
+)
+from .stats import PipelineStats
+
+__all__ = [
+    "BACKENDS",
+    "InvariantCache",
+    "InvariantPipeline",
+    "PipelineStats",
+    "topologically_equivalent_batch",
+]

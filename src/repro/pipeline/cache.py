@@ -1,0 +1,135 @@
+"""Content-addressed invariant caches.
+
+Keys are :func:`repro.invariant.canonical.instance_key` digests — a pure
+function of instance geometry — so a cache can never serve a wrong
+invariant: equal keys imply identical regions, and the invariant is a
+function of the regions.
+
+Two layers compose:
+
+* an in-memory **LRU** (an ``OrderedDict`` under a lock), bounded by
+  ``maxsize`` entries;
+* an optional **on-disk** layer: one JSON file per key (written
+  atomically via rename), so warm corpora survive process restarts and
+  benchmark runs skip recomputation entirely.
+
+Invalidation needs no timestamps: a key changes whenever the geometry
+changes, and stale entries for geometries never seen again simply age
+out of the LRU (disk entries are inert files that may be deleted at any
+time).
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from collections import OrderedDict
+from pathlib import Path
+
+from ..invariant import TopologicalInvariant
+
+__all__ = ["InvariantCache"]
+
+
+class InvariantCache:
+    """LRU + optional disk cache mapping instance keys to invariants."""
+
+    def __init__(
+        self,
+        maxsize: int = 1024,
+        disk_dir: str | os.PathLike | None = None,
+    ):
+        if maxsize < 1:
+            raise ValueError("cache maxsize must be positive")
+        self.maxsize = maxsize
+        self.disk_dir = Path(disk_dir) if disk_dir is not None else None
+        if self.disk_dir is not None:
+            self.disk_dir.mkdir(parents=True, exist_ok=True)
+        self._lock = threading.Lock()
+        self._memory: OrderedDict[str, TopologicalInvariant] = (
+            OrderedDict()
+        )
+        self.hits = 0
+        self.misses = 0
+        self.disk_hits = 0
+        self.evictions = 0
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._memory)
+
+    def get(self, key: str) -> TopologicalInvariant | None:
+        """The cached invariant for *key*, or None.
+
+        Memory first; on a disk hit the entry is promoted into memory.
+        """
+        with self._lock:
+            hit = self._memory.get(key)
+            if hit is not None:
+                self._memory.move_to_end(key)
+                self.hits += 1
+                return hit
+        loaded = self._load_disk(key)
+        with self._lock:
+            if loaded is not None:
+                self.hits += 1
+                self.disk_hits += 1
+                self._store_memory(key, loaded)
+            else:
+                self.misses += 1
+        return loaded
+
+    def put(self, key: str, invariant: TopologicalInvariant) -> None:
+        with self._lock:
+            self._store_memory(key, invariant)
+        if self.disk_dir is not None:
+            self._store_disk(key, invariant)
+
+    def clear(self, disk: bool = False) -> None:
+        """Drop the memory layer (and the disk layer when *disk*)."""
+        with self._lock:
+            self._memory.clear()
+        if disk and self.disk_dir is not None:
+            for path in self.disk_dir.glob("*.json"):
+                path.unlink(missing_ok=True)
+
+    # -- internals ----------------------------------------------------------
+
+    def _store_memory(
+        self, key: str, invariant: TopologicalInvariant
+    ) -> None:
+        self._memory[key] = invariant
+        self._memory.move_to_end(key)
+        while len(self._memory) > self.maxsize:
+            self._memory.popitem(last=False)
+            self.evictions += 1
+
+    def _path(self, key: str) -> Path:
+        assert self.disk_dir is not None
+        return self.disk_dir / f"{key}.json"
+
+    def _load_disk(self, key: str) -> TopologicalInvariant | None:
+        if self.disk_dir is None:
+            return None
+        path = self._path(key)
+        try:
+            text = path.read_text()
+        except OSError:
+            return None
+        from ..io import invariant_from_json
+
+        try:
+            return invariant_from_json(text)
+        except Exception:
+            # A torn or foreign file is treated as a miss, not an error.
+            return None
+
+    def _store_disk(
+        self, key: str, invariant: TopologicalInvariant
+    ) -> None:
+        from ..io import invariant_to_json
+
+        path = self._path(key)
+        tmp = path.with_suffix(f".tmp-{os.getpid()}-{threading.get_ident()}")
+        tmp.write_text(invariant_to_json(invariant))
+        os.replace(tmp, path)

@@ -1,0 +1,92 @@
+"""Pipeline instrumentation: stage timings and cache counters.
+
+A :class:`PipelineStats` is owned by an
+:class:`~repro.pipeline.engine.InvariantPipeline` and filled from two
+sides: the stage collector (per-phase wall time for arrangement build,
+canonicalization, isomorphism — see :mod:`repro.instrument`) and the
+cache (hit/miss counters).  All mutation is lock-guarded so the threads
+backend can record concurrently.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import defaultdict
+
+__all__ = ["PipelineStats"]
+
+
+class PipelineStats:
+    """Aggregated timings and counters for one pipeline."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.stage_seconds: dict[str, float] = defaultdict(float)
+        self.stage_calls: dict[str, int] = defaultdict(int)
+        self.cache_hits = 0
+        self.cache_misses = 0
+        self.disk_hits = 0
+        self.instances_seen = 0
+        self.invariants_computed = 0
+        self.buckets = 0
+        self.isomorphism_calls = 0
+
+    # -- recording (collector-compatible) ----------------------------------
+
+    def record_stage(self, name: str, seconds: float) -> None:
+        """The :mod:`repro.instrument` collector entry point."""
+        with self._lock:
+            self.stage_seconds[name] += seconds
+            self.stage_calls[name] += 1
+
+    def count(self, counter: str, delta: int = 1) -> None:
+        with self._lock:
+            setattr(self, counter, getattr(self, counter) + delta)
+
+    # -- reporting ----------------------------------------------------------
+
+    def as_dict(self) -> dict:
+        with self._lock:
+            return {
+                "stages": {
+                    name: {
+                        "seconds": self.stage_seconds[name],
+                        "calls": self.stage_calls[name],
+                    }
+                    for name in sorted(self.stage_seconds)
+                },
+                "cache_hits": self.cache_hits,
+                "cache_misses": self.cache_misses,
+                "disk_hits": self.disk_hits,
+                "instances_seen": self.instances_seen,
+                "invariants_computed": self.invariants_computed,
+                "buckets": self.buckets,
+                "isomorphism_calls": self.isomorphism_calls,
+            }
+
+    def hit_rate(self) -> float:
+        """Cache hit fraction over all lookups (0.0 when none)."""
+        total = self.cache_hits + self.cache_misses
+        return self.cache_hits / total if total else 0.0
+
+    def summary(self) -> str:
+        """A compact human-readable report (benchmarks print this)."""
+        data = self.as_dict()
+        lines = [
+            f"instances={data['instances_seen']} "
+            f"computed={data['invariants_computed']} "
+            f"cache: {data['cache_hits']} hits / "
+            f"{data['cache_misses']} misses "
+            f"({self.hit_rate():.0%} hit rate, "
+            f"{data['disk_hits']} from disk)",
+            f"equivalence: {data['buckets']} buckets, "
+            f"{data['isomorphism_calls']} isomorphism searches",
+        ]
+        for name, cell in data["stages"].items():
+            lines.append(
+                f"  {name}: {cell['seconds']:.3f}s / {cell['calls']} calls"
+            )
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"PipelineStats({self.as_dict()!r})"

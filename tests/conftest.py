@@ -1,0 +1,24 @@
+"""Shared test configuration: pinned hypothesis profiles.
+
+The default profile is fully derandomized (fixed example seed) with the
+deadline disabled, so every run — local tier-1, CI matrix — sees the
+same examples and exact-arithmetic outliers never trip time limits.
+Set ``HYPOTHESIS_PROFILE=dev`` for randomized exploration.
+"""
+
+import os
+
+from hypothesis import HealthCheck, settings
+
+settings.register_profile(
+    "repro",
+    derandomize=True,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.register_profile(
+    "dev",
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "repro"))

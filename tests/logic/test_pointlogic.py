@@ -95,6 +95,7 @@ class TestProposition57:
             ),
         )
 
+    @pytest.mark.slow
     @pytest.mark.parametrize("factory", ["_nonempty", "_ordered"])
     def test_translation_agreement(self, factory):
         q = getattr(self, factory)()
@@ -137,6 +138,7 @@ class TestTheorem58:
         "exists r, s . subset(r, A) and subset(s, B) and disjoint(r, s)",
     ]
 
+    @pytest.mark.slow
     @pytest.mark.parametrize("query", QUERIES)
     def test_agreement(self, query):
         q = parse(query)

@@ -1,0 +1,83 @@
+"""The two-layer invariant cache: LRU behaviour and disk persistence."""
+
+import pytest
+
+from repro import Rect, SpatialInstance, invariant
+from repro.datasets import fig_1c
+from repro.invariant import instance_key
+from repro.pipeline import InvariantCache
+
+
+def _inst(i: int) -> SpatialInstance:
+    return SpatialInstance({"A": Rect(0, 0, 4 + i, 4)})
+
+
+class TestMemoryLayer:
+    def test_miss_then_hit(self):
+        cache = InvariantCache(maxsize=4)
+        key = instance_key(fig_1c())
+        assert cache.get(key) is None
+        t = invariant(fig_1c())
+        cache.put(key, t)
+        assert cache.get(key) is t
+        assert cache.hits == 1
+        assert cache.misses == 1
+
+    def test_lru_eviction_order(self):
+        cache = InvariantCache(maxsize=2)
+        keys = [instance_key(_inst(i)) for i in range(3)]
+        t = invariant(fig_1c())
+        cache.put(keys[0], t)
+        cache.put(keys[1], t)
+        cache.get(keys[0])  # refresh 0; 1 becomes least recent
+        cache.put(keys[2], t)
+        assert cache.get(keys[0]) is t
+        assert cache.get(keys[1]) is None
+        assert cache.evictions == 1
+        assert len(cache) == 2
+
+    def test_maxsize_validated(self):
+        with pytest.raises(ValueError):
+            InvariantCache(maxsize=0)
+
+    def test_clear(self):
+        cache = InvariantCache()
+        key = instance_key(fig_1c())
+        cache.put(key, invariant(fig_1c()))
+        cache.clear()
+        assert cache.get(key) is None
+
+
+class TestDiskLayer:
+    def test_persists_across_cache_objects(self, tmp_path):
+        key = instance_key(fig_1c())
+        t = invariant(fig_1c())
+        InvariantCache(disk_dir=tmp_path).put(key, t)
+        fresh = InvariantCache(disk_dir=tmp_path)
+        loaded = fresh.get(key)
+        assert loaded is not None
+        assert loaded == t
+        assert fresh.disk_hits == 1
+
+    def test_disk_promotes_to_memory(self, tmp_path):
+        key = instance_key(fig_1c())
+        InvariantCache(disk_dir=tmp_path).put(key, invariant(fig_1c()))
+        cache = InvariantCache(disk_dir=tmp_path)
+        cache.get(key)
+        cache.get(key)
+        assert cache.disk_hits == 1  # second hit served from memory
+        assert cache.hits == 2
+
+    def test_torn_file_is_a_miss(self, tmp_path):
+        key = instance_key(fig_1c())
+        (tmp_path / f"{key}.json").write_text("{ not json")
+        cache = InvariantCache(disk_dir=tmp_path)
+        assert cache.get(key) is None
+
+    def test_clear_disk(self, tmp_path):
+        key = instance_key(fig_1c())
+        cache = InvariantCache(disk_dir=tmp_path)
+        cache.put(key, invariant(fig_1c()))
+        cache.clear(disk=True)
+        assert cache.get(key) is None
+        assert list(tmp_path.glob("*.json")) == []

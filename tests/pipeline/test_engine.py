@@ -1,0 +1,112 @@
+"""The batch engine: backends, batch dedup, equivalence grouping,
+stats plumbing."""
+
+import pytest
+
+from repro import PipelineError, invariant, topologically_equivalent
+from repro.datasets import (
+    fig_1a,
+    fig_1b,
+    fig_1c,
+    fig_1d,
+    mixed_corpus,
+)
+from repro.pipeline import (
+    InvariantCache,
+    InvariantPipeline,
+    topologically_equivalent_batch,
+)
+from repro.transforms import AffineMap
+
+
+def _translated(instance, dx, dy):
+    return AffineMap.translation(dx, dy).apply_to_instance(
+        instance.polygonalized()
+    )
+
+
+class TestComputeBatch:
+    def test_matches_direct_computation(self):
+        corpus = mixed_corpus(8, seed=11)
+        results = InvariantPipeline().compute_batch(corpus)
+        assert len(results) == len(corpus)
+        for inst, t in zip(corpus, results):
+            assert t == invariant(inst)
+
+    def test_duplicates_computed_once(self):
+        pipe = InvariantPipeline()
+        batch = [fig_1c(), fig_1c(), fig_1c()]
+        results = pipe.compute_batch(batch)
+        assert pipe.stats.invariants_computed == 1
+        assert pipe.stats.cache_hits == 2
+        assert results[0] is results[1] is results[2]
+
+    def test_warm_batch_computes_nothing(self):
+        pipe = InvariantPipeline()
+        corpus = mixed_corpus(6, seed=3)
+        pipe.compute_batch(corpus)
+        computed_cold = pipe.stats.invariants_computed
+        pipe.compute_batch(corpus)
+        assert pipe.stats.invariants_computed == computed_cold
+
+    @pytest.mark.parametrize("backend", ["threads", "processes"])
+    def test_parallel_backends_agree_with_serial(self, backend):
+        corpus = mixed_corpus(6, seed=5)
+        serial = InvariantPipeline().compute_batch(corpus)
+        parallel = InvariantPipeline(
+            backend=backend, workers=2
+        ).compute_batch(corpus)
+        assert all(a == b for a, b in zip(serial, parallel))
+
+    def test_shared_cache_across_pipelines(self):
+        cache = InvariantCache()
+        corpus = mixed_corpus(5, seed=9)
+        InvariantPipeline(cache=cache).compute_batch(corpus)
+        second = InvariantPipeline(cache=cache)
+        second.compute_batch(corpus)
+        assert second.stats.invariants_computed == 0
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(PipelineError):
+            InvariantPipeline(backend="gpu")
+
+
+class TestEquivalenceGroups:
+    def test_figure_pairs_separate(self):
+        """Fig. 1: (a, b) and (c, d) are 4-intersection equivalent but
+        topologically distinct — grouping must keep all four apart while
+        merging exact and translated copies."""
+        corpus = [
+            fig_1a(),
+            fig_1b(),
+            fig_1c(),
+            fig_1d(),
+            fig_1c(),
+            _translated(fig_1a(), 100, 50),
+        ]
+        groups = topologically_equivalent_batch(corpus)
+        partition = sorted(sorted(g) for g in groups)
+        assert partition == [[0, 5], [1], [2, 4], [3]]
+
+    def test_agrees_with_pairwise(self):
+        corpus = mixed_corpus(10, seed=2)
+        pipe = InvariantPipeline()
+        groups = pipe.equivalence_groups(corpus)
+        group_of = {
+            i: g for g, members in enumerate(groups) for i in members
+        }
+        for i in range(len(corpus)):
+            for j in range(i + 1, len(corpus)):
+                expected = topologically_equivalent(corpus[i], corpus[j])
+                assert (group_of[i] == group_of[j]) == expected
+
+    def test_stats_filled(self):
+        pipe = InvariantPipeline()
+        corpus = mixed_corpus(10, seed=4)
+        pipe.equivalence_groups(corpus)
+        stats = pipe.stats.as_dict()
+        assert stats["instances_seen"] == 10
+        assert stats["buckets"] >= 1
+        assert "invariant.build" in stats["stages"]
+        assert "invariant.canonicalize" in stats["stages"]
+        assert pipe.stats.summary()  # renders without error
