@@ -43,6 +43,10 @@ def test_warm_cache_at_least_5x(bench):
         f"({cold / warm:.0f}x), hit rate {pipe.stats.hit_rate():.0%}"
     )
     print(pipe.stats.summary())
+    # The cold batch ran the fast geometry kernel; its filter counters
+    # must have landed in the pipeline stats.
+    assert any(name.startswith("kernel.") for name in pipe.stats.counters)
+    print(f"kernel filter hit rate: {pipe.stats.kernel_filter_rate():.0%}")
     assert all(a == b for a, b in zip(cold_result, warm_result))
     assert cold >= 5 * warm, (
         f"warm cache not 5x faster: cold={cold:.3f}s warm={warm:.3f}s"

@@ -1,11 +1,22 @@
 """Planar arrangement engine: planarization, DCEL, labeling, and the
 reduced cell complex — the library's stand-in for the Kozen–Yap cell
-decomposition of the paper."""
+decomposition of the paper.  The default geometry path runs the
+float-filtered exact kernel (:mod:`repro.geometry.fastkernel`), the
+sweep planarizer, and indexed labeling; the seed all-pairs/scan path is
+kept as an output-identical A/B reference."""
 
-from .builder import planarize
+from .builder import planarize, planarize_allpairs
 from .complex import CCW, CW, Cell, CellComplex, build_complex
 from .dcel import Face, Subdivision, locate_in_closed_walk
-from .labeling import BOUNDARY, EXTERIOR, INTERIOR, LabelMap, compute_labels
+from .labeling import (
+    BOUNDARY,
+    EXTERIOR,
+    INTERIOR,
+    LabelMap,
+    RegionIndex,
+    compute_labels,
+    compute_labels_reference,
+)
 
 __all__ = [
     "BOUNDARY",
@@ -17,9 +28,12 @@ __all__ = [
     "Face",
     "INTERIOR",
     "LabelMap",
+    "RegionIndex",
     "Subdivision",
     "build_complex",
     "compute_labels",
+    "compute_labels_reference",
     "locate_in_closed_walk",
     "planarize",
+    "planarize_allpairs",
 ]

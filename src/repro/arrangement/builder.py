@@ -6,10 +6,23 @@ meet only at shared endpoints.  The pieces are the edges of the fine
 arrangement from which the cell complex (and ultimately the topological
 invariant) is built.
 
-The algorithm is the quadratic all-pairs method: exact, simple, and
-entirely sufficient for the instance sizes the paper's constructions
-need.  Collinear overlaps are handled by cutting both segments at the
-overlap endpoints, after which identical pieces deduplicate.
+Two algorithms are provided with identical output:
+
+* :func:`planarize` (the default) — an x-interval sweep: segments are
+  processed in order of their left endpoint while an active set holds
+  the segments whose x-interval is still open, and only candidates whose
+  y-intervals also overlap reach the exact intersection test.  Pairs
+  separated in x never meet at all; the rest are mostly rejected by the
+  cheap y comparison.  Worst-case quadratic (everything overlapping),
+  but near-linear in tested pairs on real corpora.
+* :func:`planarize_allpairs` — the seed quadratic all-pairs method:
+  exact, simple, and the reference the sweep is tested against.
+
+Both record the same cut points per input segment, so the outputs agree
+segment-for-segment: pieces are deduplicated and returned in the same
+deterministic lexicographic order.  Collinear overlaps are handled by
+cutting both segments at the overlap endpoints, after which identical
+pieces deduplicate.
 """
 
 from __future__ import annotations
@@ -17,35 +30,96 @@ from __future__ import annotations
 from typing import Iterable, Sequence
 
 from ..geometry import Point, Segment
+from ..geometry.fastkernel import counters
 
-__all__ = ["planarize"]
+__all__ = ["planarize", "planarize_allpairs"]
+
+
+def _pieces_from_cuts(
+    segs: list[Segment], cuts: list[set[Point]]
+) -> list[Segment]:
+    pieces: set[Segment] = set()
+    for seg, cut in zip(segs, cuts):
+        # Every cut point is an intersection computed *on* the segment,
+        # so the containment filter of Segment.split_at reduces to
+        # dropping the endpoints; lexicographic order equals the order
+        # along the segment because endpoints are lex-sorted.
+        interior = sorted(
+            (p for p in cut if p != seg.a and p != seg.b),
+            key=Point.lex_key,
+        )
+        stops = [seg.a, *interior, seg.b]
+        pieces.update(Segment(p, q) for p, q in zip(stops, stops[1:]))
+    return sorted(pieces, key=lambda s: (s.a.lex_key(), s.b.lex_key()))
+
+
+def _record(cuts: list[set[Point]], i: int, j: int, kind: str, payload) -> None:
+    if kind == "point":
+        cuts[i].add(payload)
+        cuts[j].add(payload)
+    elif kind == "overlap":
+        lo, hi = payload
+        cuts[i].update((lo, hi))
+        cuts[j].update((lo, hi))
 
 
 def planarize(segments: Iterable[Segment]) -> list[Segment]:
-    """Split *segments* into interior-disjoint pieces.
+    """Split *segments* into interior-disjoint pieces (x-interval sweep).
 
     Returns the pieces sorted lexicographically (a deterministic order
     helps reproducibility downstream).  The output satisfies:
 
     * every input point covered by some segment is covered by some piece;
     * two distinct pieces share at most endpoints.
+
+    Output is identical to :func:`planarize_allpairs`: the sweep only
+    prunes pairs whose bounding boxes are disjoint, which cannot
+    intersect and contribute no cuts.
+    """
+    segs: list[Segment] = list(dict.fromkeys(segments))
+    cuts: list[set[Point]] = [set() for _ in segs]
+    # Endpoints are stored in lexicographic order, so a.x is the left
+    # x-bound and b.x the right one.
+    order = sorted(range(len(segs)), key=lambda i: segs[i].a.lex_key())
+    active: list[int] = []
+    for i in order:
+        s = segs[i]
+        s_xmin = s.a.x
+        if s.a.y <= s.b.y:
+            s_ymin, s_ymax = s.a.y, s.b.y
+        else:
+            s_ymin, s_ymax = s.b.y, s.a.y
+        still: list[int] = []
+        for j in active:
+            t = segs[j]
+            if t.b.x < s_xmin:
+                continue  # x-interval closed: never overlaps anything later
+            still.append(j)
+            if max(t.a.y, t.b.y) < s_ymin or s_ymax < min(t.a.y, t.b.y):
+                counters.planarize_pairs_pruned += 1
+                continue
+            counters.planarize_pairs_tested += 1
+            kind, payload = s.intersect(t)
+            _record(cuts, i, j, kind, payload)
+        still.append(i)
+        active = still
+    return _pieces_from_cuts(segs, cuts)
+
+
+def planarize_allpairs(segments: Iterable[Segment]) -> list[Segment]:
+    """Split *segments* into interior-disjoint pieces (seed all-pairs).
+
+    The quadratic reference implementation: every pair goes through the
+    exact intersection test.  Kept as the A/B baseline for the sweep —
+    the kernel-equivalence tests assert both produce identical pieces.
     """
     segs: list[Segment] = list(dict.fromkeys(segments))
     cuts: list[set[Point]] = [set() for _ in segs]
     for i in range(len(segs)):
         for j in range(i + 1, len(segs)):
             kind, payload = segs[i].intersect(segs[j])
-            if kind == "point":
-                cuts[i].add(payload)
-                cuts[j].add(payload)
-            elif kind == "overlap":
-                lo, hi = payload
-                cuts[i].update((lo, hi))
-                cuts[j].update((lo, hi))
-    pieces: set[Segment] = set()
-    for seg, cut in zip(segs, cuts):
-        pieces.update(seg.split_at(sorted(cut, key=Point.lex_key)))
-    return sorted(pieces, key=lambda s: (s.a.lex_key(), s.b.lex_key()))
+            _record(cuts, i, j, kind, payload)
+    return _pieces_from_cuts(segs, cuts)
 
 
 def endpoints_of(pieces: Sequence[Segment]) -> list[Point]:

@@ -28,11 +28,17 @@ from typing import Iterable
 
 from ..errors import ArrangementError
 from ..geometry import Point, Segment
+from ..geometry.fastkernel import exact_mode
 from ..instrument import stage
 from ..regions import SpatialInstance
-from .builder import planarize
+from .builder import planarize, planarize_allpairs
 from .dcel import Subdivision
-from .labeling import BOUNDARY, LabelMap, compute_labels
+from .labeling import (
+    BOUNDARY,
+    LabelMap,
+    compute_labels,
+    compute_labels_reference,
+)
 
 __all__ = ["Cell", "CellComplex", "build_complex", "CW", "CCW"]
 
@@ -85,14 +91,27 @@ class CellComplex:
     vertex_points: dict[str, Point] = field(default_factory=dict)
     edge_polylines: dict[str, list[Point]] = field(default_factory=dict)
     face_samples: dict[str, Point] = field(default_factory=dict)
+    # Lazy accessor caches (derived data, excluded from equality/repr).
+    _cells_by_dim: dict[int, list[Cell]] | None = field(
+        default=None, init=False, repr=False, compare=False
+    )
+    _face_edge_map: dict[str, list[str]] | None = field(
+        default=None, init=False, repr=False, compare=False
+    )
+    _interior_faces_by_name: dict[str, list[str]] | None = field(
+        default=None, init=False, repr=False, compare=False
+    )
 
     # -- convenience accessors -------------------------------------------------
 
     def cells_of_dim(self, dim: int) -> list[Cell]:
-        return sorted(
-            (c for c in self.cells.values() if c.dim == dim),
-            key=lambda c: c.id,
-        )
+        if self._cells_by_dim is None:
+            by_dim: dict[int, list[Cell]] = {0: [], 1: [], 2: []}
+            for cid in sorted(self.cells):
+                cell = self.cells[cid]
+                by_dim.setdefault(cell.dim, []).append(cell)
+            self._cells_by_dim = by_dim
+        return self._cells_by_dim.get(dim, [])
 
     @property
     def vertices(self) -> list[Cell]:
@@ -115,38 +134,69 @@ class CellComplex:
 
     def region_interior_faces(self, name: str) -> list[str]:
         """Face ids whose label is interior ('o') for *name*."""
-        i = self.names.index(name)
-        return [
-            c.id for c in self.faces if c.label[i] == "o"
-        ]
+        if self._interior_faces_by_name is None:
+            by_name: dict[str, list[str]] = {n: [] for n in self.names}
+            for c in self.faces:
+                for i, n in enumerate(self.names):
+                    if c.label[i] == "o":
+                        by_name[n].append(c.id)
+            self._interior_faces_by_name = by_name
+        try:
+            return self._interior_faces_by_name[name]
+        except KeyError:
+            # Preserve the seed behaviour for unknown names.
+            raise ValueError(f"{name!r} is not in tuple") from None
 
     def face_edges(self, face_id: str) -> list[str]:
         """Edges on the boundary of the given face."""
-        return sorted(
-            a
-            for (a, b) in self.incidences
-            if b == face_id and self.cells[a].dim == 1
-        )
+        if self._face_edge_map is None:
+            edge_map: dict[str, list[str]] = {f.id: [] for f in self.faces}
+            for (a, b) in self.incidences:
+                if self.cells[a].dim == 1 and b in edge_map:
+                    edge_map[b].append(a)
+            for edges in edge_map.values():
+                edges.sort()
+            self._face_edge_map = edge_map
+        return self._face_edge_map.get(face_id, [])
 
 
-def build_complex(instance: SpatialInstance) -> CellComplex:
+def build_complex(
+    instance: SpatialInstance, kernel: str = "fast"
+) -> CellComplex:
     """Compute the reduced cell complex of *instance*.
 
     This is the geometric heart of the reproduction: it plays the role of
     the Kozen–Yap cell decomposition in the paper (see DESIGN.md for the
     substitution argument).
+
+    *kernel* selects the geometry path: ``"fast"`` (default) uses the
+    float-filtered predicates, the sweep planarizer, and indexed
+    labeling; ``"seed"`` runs the original all-pairs planarizer and the
+    unindexed labeling scan with the float filter disabled.  Both paths
+    produce identical complexes — the equivalence suite asserts it on
+    the whole figure corpus — so ``"seed"`` exists purely as the A/B
+    reference.
     """
+    if kernel not in ("fast", "seed"):
+        raise ArrangementError(f"unknown geometry kernel {kernel!r}")
     if len(instance) == 0:
         raise ArrangementError("cannot build a complex for an empty instance")
+    if kernel == "seed":
+        with exact_mode():
+            return _build(instance, planarize_allpairs, compute_labels_reference)
+    return _build(instance, planarize, compute_labels)
+
+
+def _build(instance: SpatialInstance, planarize_fn, labels_fn) -> CellComplex:
     segments: list[Segment] = []
     for _name, region in instance.items():
         segments.extend(region.boundary_segments())
     with stage("arrangement.planarize"):
-        pieces = planarize(segments)
+        pieces = planarize_fn(segments)
     with stage("arrangement.subdivision"):
         sub = Subdivision(pieces)
     with stage("arrangement.labeling"):
-        labels = compute_labels(instance, sub)
+        labels = labels_fn(instance, sub)
     with stage("arrangement.reduce"):
         return _reduce(sub, labels)
 

@@ -281,15 +281,27 @@ class Subdivision:
         """A point in the open face immediately left of dart *d*.
 
         Shoots a ray from the dart's midpoint along its left normal and
-        stops halfway to the first obstacle.
+        stops halfway to the first obstacle.  Only the pieces on the
+        face's own cycles (outer boundary and holes) are tested: the ray
+        starts on the boundary, travels through the open face, and can
+        first meet the 1-skeleton only where it leaves the face — a
+        point of the face's boundary.  The minimum over those pieces
+        therefore equals the minimum over all pieces exactly.
         """
         tail, head = self.dart_points(d)
         m = Point((tail.x + head.x) * _HALF, (tail.y + head.y) * _HALF)
         direction = head - tail
         normal = Point(-direction.y, direction.x)  # left of the dart
+        face = self.faces[self.face_of_dart(d)]
+        boundary_cycles = list(face.hole_cycles)
+        if face.outer_cycle is not None:
+            boundary_cycles.append(face.outer_cycle)
+        candidates = {
+            dd // 2 for c in boundary_cycles for dd in self.cycles[c]
+        }
         t_min: Fraction | None = None
-        for seg in self.pieces:
-            t = _ray_segment_param(m, normal, seg)
+        for k in sorted(candidates):
+            t = _ray_segment_param(m, normal, self.pieces[k])
             if t is not None and t > 0 and (t_min is None or t < t_min):
                 t_min = t
         if t_min is None:

@@ -11,15 +11,37 @@ therefore decides the label of the cell:
 
 Labels are tuples aligned to the *sorted* region names, which is the
 canonical name order used throughout the invariant pipeline.
+
+:func:`compute_labels` is the indexed fast path: it classifies
+region-major (one region against all samples) so per-region state is
+hoisted out of the sample loop, rejects samples outside a region's
+bounding box without calling ``classify`` at all, and for segment-rich
+regions consults a uniform grid over the boundary segments — a sample
+falling in a grid cell that no boundary segment's bbox touches shares
+the (cached) location of every other point of that cell, because a
+connected set disjoint from the boundary lies entirely in the interior
+or entirely in the exterior.  All shortcuts are exact, so the output is
+identical to the seed scan, which survives as
+:func:`compute_labels_reference` for A/B testing.
 """
 
 from __future__ import annotations
 
-from ..geometry import Location, Point
-from ..regions import SpatialInstance
+from math import floor
+
+from ..geometry import BBox, Location, Point
+from ..regions import Region, SpatialInstance
 from .dcel import Subdivision
 
-__all__ = ["LabelMap", "compute_labels", "INTERIOR", "BOUNDARY", "EXTERIOR"]
+__all__ = [
+    "LabelMap",
+    "compute_labels",
+    "compute_labels_reference",
+    "RegionIndex",
+    "INTERIOR",
+    "BOUNDARY",
+    "EXTERIOR",
+]
 
 INTERIOR = "o"
 BOUNDARY = "b"
@@ -32,6 +54,11 @@ _CODES = {
 }
 
 Label = tuple[str, ...]
+
+# Regions with at least this many boundary segments get a grid index;
+# below it the plain classify walk is already cheap.
+_GRID_MIN_SEGMENTS = 12
+_GRID_MAX_SIDE = 32
 
 
 class LabelMap:
@@ -50,16 +77,145 @@ class LabelMap:
         self.face_labels = face_labels
 
 
+class RegionIndex:
+    """Exact spatial pruning for one region's ``classify``.
+
+    Two layers, both conservative and therefore exact:
+
+    * the region's bounding box — a point strictly outside the closure's
+      bbox is EXTERIOR, full stop;
+    * for segment-rich regions, a uniform grid over the bbox where each
+      cell knows whether any boundary segment's bbox touches it.  Clean
+      (untouched) closed cells contain no boundary point, so the whole
+      cell is one location class, cached from a single ``classify`` of
+      its first queried point.
+
+    Anything else falls through to ``region.classify`` unchanged.
+    """
+
+    __slots__ = (
+        "region",
+        "box",
+        "_nx",
+        "_ny",
+        "_inv_w",
+        "_inv_h",
+        "_dirty",
+        "_clean_cache",
+    )
+
+    def __init__(self, region: Region):
+        self.region = region
+        self.box: BBox = region.bbox()
+        self._nx = 0  # grid disabled until _build_grid
+        segments = region.boundary_segments()
+        if len(segments) >= _GRID_MIN_SEGMENTS:
+            self._build_grid(segments)
+
+    def _build_grid(self, segments) -> None:
+        box = self.box
+        if box.width == 0 or box.height == 0:
+            return
+        side = min(_GRID_MAX_SIDE, max(2, int(len(segments) ** 0.5) + 1))
+        self._nx = self._ny = side
+        self._inv_w = side / box.width
+        self._inv_h = side / box.height
+        dirty = bytearray(side * side)
+        for seg in segments:
+            x_lo, x_hi = seg.a.x, seg.b.x  # endpoints lex-sorted
+            if seg.a.y <= seg.b.y:
+                y_lo, y_hi = seg.a.y, seg.b.y
+            else:
+                y_lo, y_hi = seg.b.y, seg.a.y
+            ix0 = self._clamp(floor((x_lo - box.xmin) * self._inv_w), side)
+            ix1 = self._clamp(floor((x_hi - box.xmin) * self._inv_w), side)
+            iy0 = self._clamp(floor((y_lo - box.ymin) * self._inv_h), side)
+            iy1 = self._clamp(floor((y_hi - box.ymin) * self._inv_h), side)
+            # Mark one ring beyond the bbox cells: a point on a shared
+            # cell edge belongs to the closed cells on both sides, so
+            # cleanliness must hold for the closed neighbourhood too.
+            for ix in range(max(0, ix0 - 1), min(side, ix1 + 2)):
+                row = ix * side
+                for iy in range(max(0, iy0 - 1), min(side, iy1 + 2)):
+                    dirty[row + iy] = 1
+        self._dirty = dirty
+        self._clean_cache: dict[int, Location] = {}
+
+    @staticmethod
+    def _clamp(index: int, side: int) -> int:
+        if index < 0:
+            return 0
+        if index >= side:
+            return side - 1
+        return index
+
+    def classify(self, p: Point) -> Location:
+        box = self.box
+        if not (
+            box.xmin <= p.x <= box.xmax and box.ymin <= p.y <= box.ymax
+        ):
+            return Location.EXTERIOR
+        if self._nx:
+            cell = self._clamp(
+                floor((p.x - box.xmin) * self._inv_w), self._nx
+            ) * self._ny + self._clamp(
+                floor((p.y - box.ymin) * self._inv_h), self._ny
+            )
+            if not self._dirty[cell]:
+                cached = self._clean_cache.get(cell)
+                if cached is None:
+                    cached = self.region.classify(p)
+                    self._clean_cache[cell] = cached
+                return cached
+        return self.region.classify(p)
+
+
 def _label_at(
     instance: SpatialInstance, names: tuple[str, ...], p: Point
 ) -> Label:
     return tuple(_CODES[instance.ext(n).classify(p)] for n in names)
 
 
+def _samples_of(subdivision: Subdivision) -> list[Point]:
+    """All sample points, in vertex / piece / face order."""
+    samples = list(subdivision.vertices)
+    samples.extend(seg.midpoint() for seg in subdivision.pieces)
+    samples.extend(
+        subdivision.face_sample(f.index) for f in subdivision.faces
+    )
+    return samples
+
+
 def compute_labels(
     instance: SpatialInstance, subdivision: Subdivision
 ) -> LabelMap:
-    """Label all cells of *subdivision* against *instance*."""
+    """Label all cells of *subdivision* against *instance* (indexed)."""
+    names = tuple(sorted(instance.names()))
+    samples = _samples_of(subdivision)
+    columns: list[list[str]] = []
+    for name in names:
+        index = RegionIndex(instance.ext(name))
+        classify = index.classify
+        columns.append([_CODES[classify(p)] for p in samples])
+    labels = [tuple(col[k] for col in columns) for k in range(len(samples))]
+    n_v = len(subdivision.vertices)
+    n_p = len(subdivision.pieces)
+    return LabelMap(
+        names,
+        labels[:n_v],
+        labels[n_v : n_v + n_p],
+        labels[n_v + n_p :],
+    )
+
+
+def compute_labels_reference(
+    instance: SpatialInstance, subdivision: Subdivision
+) -> LabelMap:
+    """The seed sample-major scan, with no spatial pruning.
+
+    Output-identical to :func:`compute_labels`; kept as the reference
+    side of the kernel-equivalence tests.
+    """
     names = tuple(sorted(instance.names()))
     vertex_labels = [
         _label_at(instance, names, p) for p in subdivision.vertices

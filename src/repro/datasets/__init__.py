@@ -16,6 +16,7 @@ from .figures import (
 )
 from .generators import (
     circle_chain,
+    grid_instance,
     grid_of_squares,
     mixed_corpus,
     nested_rings,
@@ -38,6 +39,7 @@ __all__ = [
     "fig_7a_mirrored",
     "fig_7b_adjacent",
     "fig_7b_interleaved",
+    "grid_instance",
     "grid_of_squares",
     "mixed_corpus",
     "nested_rings",

@@ -16,6 +16,7 @@ __all__ = [
     "overlap_chain",
     "nested_rings",
     "grid_of_squares",
+    "grid_instance",
     "random_rectangles",
     "petal_count_flower",
     "circle_chain",
@@ -59,6 +60,34 @@ def grid_of_squares(rows: int, cols: int, gap: int = 2) -> SpatialInstance:
             x = c * (4 + gap)
             y = r * (4 + gap)
             inst.add(f"G{r:02d}_{c:02d}", Rect(x, y, x + 4, y + 4))
+    return inst
+
+
+def grid_instance(k: int) -> SpatialInstance:
+    """k x k staggered overlapping squares — the arrangement scaling
+    workload.
+
+    Each square overlaps its four grid neighbours, and the fractional
+    stagger keeps every boundary off every other square's support lines,
+    so the arrangement consists purely of proper crossings and per-square
+    vertex contacts (the non-degenerate regime the float filter
+    certifies).  Non-degeneracy argument: vertical support lines sit at
+    ``21*i + (j mod 4)`` and ``21*i + (j mod 4) + 28`` in units of 1/7;
+    two of them coincide only when ``21*di + dr`` is 0 or ±28 with
+    ``|dr| <= 3``, which forces ``di = dr = 0`` — same column with
+    ``j ≡ j' (mod 4)``, and those rows are at least 12 apart vertically,
+    far beyond the square size.  Horizontal lines are symmetric.
+    Boundary segments grow as ``4k²`` and intersections as ``Θ(k²)``,
+    which makes the all-pairs planarizer's quadratic candidate schedule
+    visible while the sweep stays near-linear — ``mixed_corpus`` tops
+    out far too small to show that separation.
+    """
+    inst = SpatialInstance()
+    for i in range(k):
+        for j in range(k):
+            x = 3 * i + Fraction(j % 4, 7)
+            y = 3 * j + Fraction(i % 4, 7)
+            inst.add(f"Q{i:02d}_{j:02d}", Rect(x, y, x + 4, y + 4))
     return inst
 
 

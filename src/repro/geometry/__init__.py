@@ -5,6 +5,7 @@ computes over :class:`fractions.Fraction` coordinates, so all predicates
 are exact.  See :mod:`repro.geometry.point` for the coercion rules.
 """
 
+from . import fastkernel
 from .angle import ccw_sorted, direction_compare, pseudo_angle_class
 from .bbox import BBox
 from .point import Point, Q, centroid, interpolate, midpoint
@@ -30,6 +31,7 @@ __all__ = [
     "centroid",
     "collinear",
     "direction_compare",
+    "fastkernel",
     "interpolate",
     "is_simple_chain",
     "midpoint",

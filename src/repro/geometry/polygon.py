@@ -15,10 +15,13 @@ from fractions import Fraction
 from typing import Iterable, Sequence
 
 from ..errors import GeometryError
+# on_segment comes from the filtered kernel: point location scans every
+# edge for boundary contact, and the filter rejects the non-collinear
+# common case without rational arithmetic (results are identical).
+from .fastkernel import on_segment
 from .point import Point, midpoint
 from .predicates import (
     collinear,
-    on_segment,
     orientation,
     segments_properly_intersect,
     strictly_between,

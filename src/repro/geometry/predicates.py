@@ -99,6 +99,15 @@ def segment_intersection(
         is the ``(Point, Point)`` pair of that subsegment's endpoints in
         lexicographic order.
     """
+    # Disjoint bounding boxes admit no contact of any kind; the exact
+    # coordinate comparisons are far cheaper than the cross products.
+    if (
+        max(a.x, b.x) < min(c.x, d.x)
+        or max(c.x, d.x) < min(a.x, b.x)
+        or max(a.y, b.y) < min(c.y, d.y)
+        or max(c.y, d.y) < min(a.y, b.y)
+    ):
+        return ("none", None)
     r = b - a
     s = d - c
     denom = r.cross(s)
@@ -106,11 +115,11 @@ def segment_intersection(
         # Parallel.  Collinear overlap is the only possible contact.
         if orientation(a, b, c) != 0:
             return ("none", None)
-        lo1, hi1 = sorted((a, b), key=Point.lex_key)
-        lo2, hi2 = sorted((c, d), key=Point.lex_key)
-        lo = max(lo1, lo2, key=Point.lex_key)
-        hi = min(hi1, hi2, key=Point.lex_key)
-        if lo.lex_key() > hi.lex_key():
+        lo1, hi1 = (a, b) if a <= b else (b, a)
+        lo2, hi2 = (c, d) if c <= d else (d, c)
+        lo = lo1 if lo2 <= lo1 else lo2
+        hi = hi1 if hi1 <= hi2 else hi2
+        if hi < lo:
             return ("none", None)
         if lo == hi:
             return ("point", lo)

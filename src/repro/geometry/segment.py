@@ -5,8 +5,11 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from ..errors import GeometryError
+# The filtered kernel is a drop-in exact equivalent of the seed
+# predicates (see repro.geometry.fastkernel); segments are on the
+# arrangement hot path, so they use it directly.
+from .fastkernel import on_segment, segment_intersection
 from .point import Point, midpoint
-from .predicates import on_segment, segment_intersection
 
 __all__ = ["Segment"]
 

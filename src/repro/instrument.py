@@ -10,6 +10,13 @@ Collectors are plain callables ``(stage_name, seconds) -> None`` held in
 a module-level registry guarded by a lock (the threads backend records
 from worker threads).  Process-pool workers run in separate interpreters
 and are therefore not observed — the pipeline documents this.
+
+Alongside the stage timers this module aggregates *counter sources*:
+zero-argument callables returning a ``{name: int}`` snapshot of
+monotonically increasing counters (the fast geometry kernel registers
+its filter-hit/exact-fallback counters here at import).  Consumers take
+a :func:`counter_snapshot` before and after a unit of work and diff the
+two — that keeps the hot paths free of any per-call indirection.
 """
 
 from __future__ import annotations
@@ -19,12 +26,48 @@ from contextlib import contextmanager
 from time import perf_counter
 from typing import Callable, Iterator
 
-__all__ = ["stage", "add_collector", "remove_collector", "collecting"]
+__all__ = [
+    "stage",
+    "add_collector",
+    "remove_collector",
+    "collecting",
+    "add_counter_source",
+    "counter_snapshot",
+    "counter_delta",
+]
 
 Collector = Callable[[str, float], None]
+CounterSource = Callable[[], dict[str, int]]
 
 _lock = threading.Lock()
 _collectors: list[Collector] = []
+_counter_sources: list[CounterSource] = []
+
+
+def add_counter_source(source: CounterSource) -> None:
+    """Register a ``() -> {name: int}`` snapshot callable."""
+    with _lock:
+        _counter_sources.append(source)
+
+
+def counter_snapshot() -> dict[str, int]:
+    """Merged snapshot of every registered counter source."""
+    with _lock:
+        sources = list(_counter_sources)
+    merged: dict[str, int] = {}
+    for source in sources:
+        merged.update(source())
+    return merged
+
+
+def counter_delta(
+    before: dict[str, int], after: dict[str, int]
+) -> dict[str, int]:
+    """Per-counter increase between two snapshots (new counters count
+    from zero; nothing is ever negative for monotone counters)."""
+    return {
+        name: value - before.get(name, 0) for name, value in after.items()
+    }
 
 
 def add_collector(collector: Collector) -> None:

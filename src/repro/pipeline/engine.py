@@ -32,7 +32,7 @@ from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from typing import Iterable, Sequence
 
 from ..errors import PipelineError
-from ..instrument import collecting
+from ..instrument import collecting, counter_delta, counter_snapshot
 from ..invariant import (
     TopologicalInvariant,
     find_isomorphism,
@@ -117,28 +117,38 @@ class InvariantPipeline:
         """
         instances = list(instances)
         self.stats.count("instances_seen", len(instances))
-        with collecting(self.stats.record_stage):
-            keys = [instance_key(inst) for inst in instances]
-            resolved: dict[str, TopologicalInvariant] = {}
-            misses: dict[str, SpatialInstance] = {}
-            for key, inst in zip(keys, instances):
-                if key in resolved or key in misses:
-                    self.stats.count("cache_hits")
-                    continue
-                hit = self.cache.get(key)
-                if hit is not None:
-                    self.stats.count("cache_hits")
-                    resolved[key] = hit
-                else:
-                    self.stats.count("cache_misses")
-                    misses[key] = inst
-            if misses:
-                computed = self._map_invariants(list(misses.values()))
-                self.stats.count("invariants_computed", len(computed))
-                for key, t in zip(misses, computed):
-                    self.cache.put(key, t)
-                    resolved[key] = t
-            self.stats.disk_hits = self.cache.disk_hits
+        # Kernel counters (filter hits / exact fallbacks / planarize
+        # pruning) are monotone module globals; the batch records its
+        # increase.  Threads-backend increments land here too; process
+        # workers count in their own interpreters, same caveat as stages.
+        kernel_before = counter_snapshot()
+        try:
+            with collecting(self.stats.record_stage):
+                keys = [instance_key(inst) for inst in instances]
+                resolved: dict[str, TopologicalInvariant] = {}
+                misses: dict[str, SpatialInstance] = {}
+                for key, inst in zip(keys, instances):
+                    if key in resolved or key in misses:
+                        self.stats.count("cache_hits")
+                        continue
+                    hit = self.cache.get(key)
+                    if hit is not None:
+                        self.stats.count("cache_hits")
+                        resolved[key] = hit
+                    else:
+                        self.stats.count("cache_misses")
+                        misses[key] = inst
+                if misses:
+                    computed = self._map_invariants(list(misses.values()))
+                    self.stats.count("invariants_computed", len(computed))
+                    for key, t in zip(misses, computed):
+                        self.cache.put(key, t)
+                        resolved[key] = t
+                self.stats.disk_hits = self.cache.disk_hits
+        finally:
+            self.stats.record_counters(
+                counter_delta(kernel_before, counter_snapshot())
+            )
         return [resolved[key] for key in keys]
 
     def _map_invariants(

@@ -23,6 +23,7 @@ class PipelineStats:
         self._lock = threading.Lock()
         self.stage_seconds: dict[str, float] = defaultdict(float)
         self.stage_calls: dict[str, int] = defaultdict(int)
+        self.counters: dict[str, int] = defaultdict(int)
         self.cache_hits = 0
         self.cache_misses = 0
         self.disk_hits = 0
@@ -38,6 +39,19 @@ class PipelineStats:
         with self._lock:
             self.stage_seconds[name] += seconds
             self.stage_calls[name] += 1
+
+    def record_counters(self, deltas: dict[str, int]) -> None:
+        """Merge a :func:`repro.instrument.counter_delta` into the stats.
+
+        The engine snapshots the kernel counters (filter hits vs exact
+        fallbacks, planarize candidate pruning) around each batch and
+        records the increase here.  Process-pool workers mutate their
+        own interpreters' counters and are not observed, same as stages.
+        """
+        with self._lock:
+            for name, delta in deltas.items():
+                if delta:
+                    self.counters[name] += delta
 
     def count(self, counter: str, delta: int = 1) -> None:
         with self._lock:
@@ -55,6 +69,10 @@ class PipelineStats:
                     }
                     for name in sorted(self.stage_seconds)
                 },
+                "counters": {
+                    name: self.counters[name]
+                    for name in sorted(self.counters)
+                },
                 "cache_hits": self.cache_hits,
                 "cache_misses": self.cache_misses,
                 "disk_hits": self.disk_hits,
@@ -69,6 +87,22 @@ class PipelineStats:
         total = self.cache_hits + self.cache_misses
         return self.cache_hits / total if total else 0.0
 
+    def kernel_filter_rate(self) -> float:
+        """Fraction of geometry predicate calls the float filter
+        answered without exact fallback (0.0 when none recorded)."""
+        with self._lock:
+            fast = (
+                self.counters["kernel.orientation_fast"]
+                + self.counters["kernel.intersect_fast"]
+                + self.counters["kernel.intersect_bbox_reject"]
+            )
+            exact = (
+                self.counters["kernel.orientation_exact"]
+                + self.counters["kernel.intersect_exact"]
+            )
+        total = fast + exact
+        return fast / total if total else 0.0
+
     def summary(self) -> str:
         """A compact human-readable report (benchmarks print this)."""
         data = self.as_dict()
@@ -82,6 +116,13 @@ class PipelineStats:
             f"equivalence: {data['buckets']} buckets, "
             f"{data['isomorphism_calls']} isomorphism searches",
         ]
+        if data["counters"]:
+            tested = data["counters"].get("kernel.planarize_pairs_tested", 0)
+            pruned = data["counters"].get("kernel.planarize_pairs_pruned", 0)
+            lines.append(
+                f"kernel: {self.kernel_filter_rate():.0%} filter hit rate, "
+                f"planarize pairs {tested} tested / {pruned} y-pruned"
+            )
         for name, cell in data["stages"].items():
             lines.append(
                 f"  {name}: {cell['seconds']:.3f}s / {cell['calls']} calls"

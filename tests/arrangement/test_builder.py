@@ -1,9 +1,11 @@
 """Tests for segment planarization."""
 
+from fractions import Fraction
+
 from hypothesis import given
 from hypothesis import strategies as st
 
-from repro.arrangement import planarize
+from repro.arrangement import planarize, planarize_allpairs
 from repro.geometry import Point, Segment, segments_properly_intersect
 
 coords = st.fractions(min_value=-20, max_value=20, max_denominator=8)
@@ -103,3 +105,104 @@ class TestPlanarize:
     @given(st.lists(segments(), min_size=1, max_size=6))
     def test_deterministic(self, segs):
         assert planarize(segs) == planarize(list(reversed(segs)))
+
+
+class TestDegenerateInputs:
+    """Degeneracies the sweep must handle exactly as the seed does."""
+
+    def test_collinear_overlap_chain(self):
+        # A chain of segments on one line, each overlapping the next.
+        segs = [
+            Segment(Point(2 * i, 0), Point(2 * i + 3, 0)) for i in range(6)
+        ]
+        pieces = planarize(segs)
+        assert pieces == planarize_allpairs(segs)
+        # Breakpoints at every endpoint: 0,2,3,4,5,...,13,15.
+        xs = sorted({p.x for s in pieces for p in s.endpoints()})
+        expected = sorted({s.a.x for s in segs} | {s.b.x for s in segs})
+        assert xs == expected
+        # No two pieces overlap.
+        for i in range(len(pieces)):
+            for j in range(i + 1, len(pieces)):
+                kind, _ = pieces[i].intersect(pieces[j])
+                assert kind != "overlap"
+
+    def test_collinear_chain_with_vertical_limb(self):
+        segs = [
+            Segment(Point(0, 0), Point(4, 0)),
+            Segment(Point(2, 0), Point(6, 0)),
+            Segment(Point(3, -1), Point(3, 1)),
+        ]
+        assert planarize(segs) == planarize_allpairs(segs)
+
+    def test_shared_endpoint_star(self):
+        # Many segments radiating from one center: the shared endpoint
+        # must not produce cuts, and opposite rays must not merge.
+        center = Point(0, 0)
+        tips = [
+            Point(2, 0), Point(2, 2), Point(0, 2), Point(-2, 2),
+            Point(-2, 0), Point(-2, -2), Point(0, -2), Point(2, -2),
+        ]
+        segs = [Segment(center, t) for t in tips]
+        pieces = planarize(segs)
+        assert pieces == planarize_allpairs(segs)
+        assert sorted(pieces, key=str) == sorted(segs, key=str)
+
+    def test_star_with_transversal(self):
+        center = Point(0, 0)
+        star = [
+            Segment(center, Point(4, 0)),
+            Segment(center, Point(0, 4)),
+            Segment(center, Point(-4, 0)),
+            Segment(center, Point(0, -4)),
+        ]
+        transversal = [Segment(Point(-1, 2), Point(5, 2))]
+        segs = star + transversal
+        pieces = planarize(segs)
+        assert pieces == planarize_allpairs(segs)
+        # The transversal crosses the vertical arm at (0, 2).
+        assert Point(0, 2) in {p for s in pieces for p in s.endpoints()}
+
+    def test_duplicate_segments_collapse(self):
+        s = Segment(Point(0, 0), Point(4, 0))
+        t = Segment(Point(2, -2), Point(2, 2))
+        segs = [s, s, t, Segment(t.b, t.a), s]
+        pieces = planarize(segs)
+        assert pieces == planarize_allpairs(segs)
+        assert len(pieces) == 4  # both split at (2, 0), no duplicates
+
+    def test_fractional_near_degenerate_offsets(self):
+        eps = Fraction(1, 10**30)
+        segs = [
+            Segment(Point(0, 0), Point(4, 0)),
+            Segment(Point(0, eps), Point(4, eps)),
+            Segment(Point(2, -1), Point(2, 1)),
+        ]
+        assert planarize(segs) == planarize_allpairs(segs)
+
+
+class TestSweepMatchesAllPairs:
+    """The x-interval sweep is an optimization of the all-pairs seed:
+    the outputs must agree segment-for-segment on arbitrary input."""
+
+    @given(st.lists(segments(), min_size=1, max_size=10))
+    def test_random(self, segs):
+        assert planarize(segs) == planarize_allpairs(segs)
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(-6, 6), st.integers(-6, 6), st.integers(0, 3)
+            ),
+            min_size=1,
+            max_size=8,
+        )
+    )
+    def test_axis_aligned_grid_like(self, triples):
+        # Axis-aligned segments maximize collinear overlaps and
+        # T-junctions — the worst case for sweep bookkeeping.
+        segs = []
+        for x, y, length in triples:
+            segs.append(Segment(Point(x, y), Point(x + length + 1, y)))
+            segs.append(Segment(Point(x, y), Point(x, y + length + 1)))
+        assert planarize(segs) == planarize_allpairs(segs)

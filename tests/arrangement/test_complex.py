@@ -195,6 +195,73 @@ class TestSlitRegion:
         assert cx.cells[faces[0]].label == ("o",)
 
 
+class TestCachedAccessors:
+    """`face_edges` / `region_interior_faces` / `cells_of_dim` are lazy
+    caches over `incidences` and `cells`; they must agree with the
+    direct scans they replaced."""
+
+    def _complex(self):
+        return build_complex(
+            SpatialInstance(
+                {
+                    "A": Rect(0, 0, 4, 4),
+                    "B": Rect(2, 2, 6, 6),
+                    "C": Rect(10, 0, 12, 2),
+                }
+            )
+        )
+
+    def test_face_edges_matches_incidence_scan(self):
+        cx = self._complex()
+        for f in cx.faces:
+            expected = sorted(
+                a
+                for (a, b) in cx.incidences
+                if b == f.id and cx.cells[a].dim == 1
+            )
+            assert cx.face_edges(f.id) == expected
+
+    def test_face_edges_unknown_face_is_empty(self):
+        cx = self._complex()
+        assert cx.face_edges("f999") == []
+
+    def test_region_interior_faces_matches_label_scan(self):
+        cx = self._complex()
+        for name in cx.names:
+            i = cx.names.index(name)
+            expected = [
+                c.id for c in cx.faces if c.label[i] == "o"
+            ]
+            assert sorted(cx.region_interior_faces(name)) == sorted(
+                expected
+            )
+            assert cx.region_interior_faces(name)  # every region is 2d
+
+    def test_region_interior_faces_unknown_name_raises(self):
+        cx = self._complex()
+        with pytest.raises(ValueError):
+            cx.region_interior_faces("Z")
+
+    def test_cells_of_dim_partitions_cells(self):
+        cx = self._complex()
+        by_dim = [cx.cells_of_dim(d) for d in (0, 1, 2)]
+        assert sum(len(cells) for cells in by_dim) == len(cx.cells)
+        for d, cells in enumerate(by_dim):
+            assert all(c.dim == d for c in cells)
+            assert [c.id for c in cells] == sorted(
+                (c.id for c in cells)
+            )
+
+    def test_caches_are_stable_across_calls(self):
+        cx = self._complex()
+        assert cx.face_edges(cx.exterior_face) is cx.face_edges(
+            cx.exterior_face
+        )
+        assert cx.region_interior_faces("A") is cx.region_interior_faces(
+            "A"
+        )
+
+
 class TestPolygonCornersSmoothed:
     def test_polygon_and_rect_same_counts(self):
         """A triangle and a rectangle are homeomorphic: same complex."""

@@ -110,3 +110,31 @@ class TestEquivalenceGroups:
         assert "invariant.build" in stats["stages"]
         assert "invariant.canonicalize" in stats["stages"]
         assert pipe.stats.summary()  # renders without error
+
+    def test_kernel_counters_recorded(self):
+        pipe = InvariantPipeline()
+        pipe.compute_batch([fig_1a()])
+        counters = pipe.stats.as_dict()["counters"]
+        assert any(name.startswith("kernel.") for name in counters)
+        # A cold arrangement build always evaluates some predicates.
+        assert (
+            counters.get("kernel.orientation_fast", 0)
+            + counters.get("kernel.orientation_exact", 0)
+            + counters.get("kernel.intersect_fast", 0)
+            + counters.get("kernel.intersect_exact", 0)
+            + counters.get("kernel.intersect_bbox_reject", 0)
+        ) > 0
+        assert 0.0 <= pipe.stats.kernel_filter_rate() <= 1.0
+        assert "kernel:" in pipe.stats.summary()
+
+    def test_warm_batch_adds_no_kernel_work(self):
+        pipe = InvariantPipeline()
+        pipe.compute_batch([fig_1b()])
+        before = dict(pipe.stats.counters)
+        pipe.compute_batch([fig_1b()])  # cache hit: no geometry runs
+        after = dict(pipe.stats.counters)
+        assert {
+            k: v for k, v in after.items() if k.startswith("kernel.")
+        } == {
+            k: v for k, v in before.items() if k.startswith("kernel.")
+        }
