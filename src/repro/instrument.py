@@ -32,6 +32,7 @@ __all__ = [
     "remove_collector",
     "collecting",
     "add_counter_source",
+    "remove_counter_source",
     "counter_snapshot",
     "counter_delta",
 ]
@@ -48,6 +49,15 @@ def add_counter_source(source: CounterSource) -> None:
     """Register a ``() -> {name: int}`` snapshot callable."""
     with _lock:
         _counter_sources.append(source)
+
+
+def remove_counter_source(source: CounterSource) -> None:
+    """Unregister a counter source previously added (no error if absent)."""
+    with _lock:
+        try:
+            _counter_sources.remove(source)
+        except ValueError:
+            pass
 
 
 def counter_snapshot() -> dict[str, int]:

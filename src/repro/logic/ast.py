@@ -46,6 +46,7 @@ __all__ = [
     "ExistsName",
     "ForAllName",
     "RELATION_NAMES",
+    "flatten_and",
 ]
 
 #: The eight 4-intersection relations, the ``connect`` primitive, and
@@ -325,3 +326,24 @@ class ExistsName(_NameQuantifier):
 
 class ForAllName(_NameQuantifier):
     pass
+
+
+def flatten_and(f: Formula) -> list[Formula] | None:
+    """The conjunct list of a (possibly nested) conjunction, in left-to-
+    right order, or None when *f* is not an ``And``.
+
+    The compiled evaluator partitions these conjuncts into cheap
+    quantifier-free candidate filters and the quantified remainder; the
+    reference evaluators never need the flattened view.
+    """
+    if not isinstance(f, And):
+        return None
+    out: list[Formula] = []
+    stack = list(f.parts)
+    while stack:
+        p = stack.pop(0)
+        if isinstance(p, And):
+            stack = list(p.parts) + stack
+        else:
+            out.append(p)
+    return out

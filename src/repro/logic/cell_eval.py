@@ -50,7 +50,14 @@ from .ast import (
     Rel,
 )
 
-__all__ = ["CellModel", "CellRegionValue", "evaluate_cells", "grid_refined_complex", "coarse_grid_complex"]
+__all__ = [
+    "CellModel",
+    "CellRegionValue",
+    "evaluate_cells",
+    "evaluate_cells_reference",
+    "grid_refined_complex",
+    "coarse_grid_complex",
+]
 
 
 def grid_refined_complex(
@@ -76,7 +83,9 @@ def grid_refined_complex(
         grid = [Segment(Point(x, y_lo), Point(x, y_hi)) for x in xs]
         grid += [Segment(Point(x_lo, y), Point(x_hi, y)) for y in ys]
         segments = planarize(segments + grid)
-    pieces = planarize(segments)
+    # The loop leaves an already-planar segment set; only the
+    # unrefined case still needs the pass.
+    pieces = segments if levels else planarize(segments)
     sub = Subdivision(pieces)
     labels = compute_labels(instance, sub)
     return _reduce(sub, labels)
@@ -390,13 +399,52 @@ def evaluate_cells(
     refinement: int = 0,
     max_faces: int | None = None,
     max_regions: int = 200_000,
+    engine: str = "compiled",
+    parallel: str = "serial",
+    workers: int | None = None,
 ) -> bool:
     """Evaluate a sentence under cell semantics.
 
     ``refinement`` controls the grid overlay level (finer cells let
     quantified regions approximate more shapes); ``max_faces`` caps the
-    size of quantified regions.
+    size of quantified regions.  ``engine`` selects the evaluator:
+    ``"compiled"`` (the bitmask engine of :mod:`repro.logic.compiled`,
+    the default) or ``"reference"`` (this module's direct interpreter).
+    Both return identical answers; ``parallel``/``workers`` apply to the
+    compiled engine only.
     """
+    if engine == "reference":
+        return evaluate_cells_reference(
+            formula, instance, refinement, max_faces, max_regions
+        )
+    if engine != "compiled":
+        raise QueryError(
+            f"unknown engine {engine!r}; expected 'compiled' or 'reference'"
+        )
+    from .compiled import evaluate_cells_compiled
+
+    return evaluate_cells_compiled(
+        formula,
+        instance,
+        refinement,
+        max_faces,
+        max_regions,
+        parallel=parallel,
+        workers=workers,
+    )
+
+
+def evaluate_cells_reference(
+    formula: Formula,
+    instance: SpatialInstance,
+    refinement: int = 0,
+    max_faces: int | None = None,
+    max_regions: int = 200_000,
+) -> bool:
+    """The seed evaluator: direct AST interpretation over frozensets.
+
+    Kept verbatim as the semantic baseline the compiled engine is
+    asserted against (bit-identical answers on every figure query)."""
     if not formula.is_sentence():
         raise QueryError("can only evaluate sentences")
     model = CellModel(instance, refinement, max_faces, max_regions)

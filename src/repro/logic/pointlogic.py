@@ -35,7 +35,7 @@ from ..errors import QueryError
 from ..geometry import Location, Point
 from ..regions import SpatialInstance
 from . import ast as rast
-from .rect_eval import breakpoints_of
+from .rect_eval import instance_values
 
 __all__ = [
     "RealVar",
@@ -54,7 +54,9 @@ __all__ = [
     "PointExists",
     "PointForAll",
     "evaluate_real",
+    "evaluate_real_reference",
     "evaluate_point",
+    "evaluate_point_reference",
     "real_to_point",
     "evaluate_real_via_points",
     "rect_to_point",
@@ -185,13 +187,9 @@ class PointForAll(_QuantF):
 # -- evaluation -----------------------------------------------------------------
 
 
-def _instance_values(instance: SpatialInstance) -> list[Fraction]:
-    vals: set[Fraction] = set()
-    for _n, region in instance.items():
-        xs, ys = breakpoints_of(region)
-        vals.update(xs)
-        vals.update(ys)
-    return sorted(vals)
+#: Merged, sorted breakpoints of an instance — shared with
+#: :mod:`repro.logic.rect_eval` and the compiled engine.
+_instance_values = instance_values
 
 
 def _candidates(values: list[Fraction]) -> list[Fraction]:
@@ -415,8 +413,31 @@ def evaluate_real(
     formula: PFormula,
     instance: SpatialInstance,
     budget: int = 5_000_000,
+    engine: str = "compiled",
 ) -> bool:
-    """Evaluate an FO(R, <, Region') sentence on a rectilinear instance."""
+    """Evaluate an FO(R, <, Region') sentence on a rectilinear instance.
+
+    ``engine`` selects ``"compiled"`` (slab tables + memoized closures,
+    the default) or ``"reference"`` (this module's direct interpreter);
+    both return identical answers.
+    """
+    if engine == "reference":
+        return evaluate_real_reference(formula, instance, budget)
+    if engine != "compiled":
+        raise QueryError(
+            f"unknown engine {engine!r}; expected 'compiled' or 'reference'"
+        )
+    from .compiled import evaluate_real_compiled
+
+    return evaluate_real_compiled(formula, instance, budget)
+
+
+def evaluate_real_reference(
+    formula: PFormula,
+    instance: SpatialInstance,
+    budget: int = 5_000_000,
+) -> bool:
+    """The seed FO(R, <, Region') evaluator — the semantic baseline."""
     return _Evaluator(instance, budget).eval(
         formula, _instance_values(instance), {}
     )
@@ -426,8 +447,26 @@ def evaluate_point(
     formula: PFormula,
     instance: SpatialInstance,
     budget: int = 5_000_000,
+    engine: str = "compiled",
 ) -> bool:
     """Evaluate an FO(P, <x, <y, Region') sentence likewise."""
+    if engine == "reference":
+        return evaluate_point_reference(formula, instance, budget)
+    if engine != "compiled":
+        raise QueryError(
+            f"unknown engine {engine!r}; expected 'compiled' or 'reference'"
+        )
+    from .compiled import evaluate_point_compiled
+
+    return evaluate_point_compiled(formula, instance, budget)
+
+
+def evaluate_point_reference(
+    formula: PFormula,
+    instance: SpatialInstance,
+    budget: int = 5_000_000,
+) -> bool:
+    """The seed FO(P, <x, <y, Region') evaluator — the baseline."""
     return _Evaluator(instance, budget).eval(
         formula, _instance_values(instance), {}
     )
@@ -547,6 +586,7 @@ def evaluate_real_via_points(
     formula: PFormula,
     instance: SpatialInstance,
     budget: int = 50_000_000,
+    engine: str = "compiled",
 ) -> bool:
     """Evaluate an FO(R, <) sentence through its Prop. 5.7 translation.
 
@@ -576,8 +616,19 @@ def evaluate_real_via_points(
     # Unwrap: PointExists(p0, PointExists(q0, And(eqx, eqy, body))).
     body = core.body.body.parts[-1]
     env = {pv("_origin"): origin, qv("_origin"): origin}
-    evaluator = _Evaluator(instance, budget)
-    return evaluator.eval(body, sorted(set(vals) | {Fraction(0)}), env)
+    start_vals = sorted(set(vals) | {Fraction(0)})
+    if engine == "reference":
+        evaluator = _Evaluator(instance, budget)
+        return evaluator.eval(body, start_vals, env)
+    if engine != "compiled":
+        raise QueryError(
+            f"unknown engine {engine!r}; expected 'compiled' or 'reference'"
+        )
+    from .compiled import evaluate_point_compiled
+
+    return evaluate_point_compiled(
+        body, instance, budget, env=env, vals=start_vals
+    )
 
 
 def shift_to_quadrant(instance: SpatialInstance) -> SpatialInstance:

@@ -42,7 +42,13 @@ from .ast import (
     Rel,
 )
 
-__all__ = ["evaluate_rect", "rectilinear_relation", "breakpoints_of"]
+__all__ = [
+    "evaluate_rect",
+    "evaluate_rect_reference",
+    "rectilinear_relation",
+    "breakpoints_of",
+    "instance_values",
+]
 
 
 def breakpoints_of(region: Region) -> tuple[list[Fraction], list[Fraction]]:
@@ -54,6 +60,17 @@ def breakpoints_of(region: Region) -> tuple[list[Fraction], list[Fraction]]:
             xs.add(p.x)
             ys.add(p.y)
     return sorted(xs), sorted(ys)
+
+
+def instance_values(instance: SpatialInstance) -> list[Fraction]:
+    """All breakpoints of an instance, x and y merged and sorted — the
+    value universe of the point/real order abstraction (Section 5)."""
+    vals: set[Fraction] = set()
+    for _n, region in instance.items():
+        xs, ys = breakpoints_of(region)
+        vals.update(xs)
+        vals.update(ys)
+    return sorted(vals)
 
 
 def _grid_reps(xs: list[Fraction], ys: list[Fraction]):
@@ -166,13 +183,31 @@ def evaluate_rect(
     formula: Formula,
     instance: SpatialInstance,
     max_assignments: int = 5_000_000,
+    engine: str = "compiled",
 ) -> bool:
     """Evaluate a sentence with rectangle-ranging quantifiers.
 
     The instance must be rectilinear (Rect or Rect* extents).  Raises
     :class:`QueryError` if the search would exceed *max_assignments*
-    candidate rectangles in total.
+    candidate rectangles in total.  ``engine`` selects the compiled
+    evaluator (:mod:`repro.logic.compiled`, the default) or the seed
+    ``"reference"`` interpreter; both return identical answers.
     """
+    if engine == "compiled":
+        from .compiled import evaluate_rect_compiled
+
+        return evaluate_rect_compiled(formula, instance, max_assignments)
+    if engine != "reference":
+        raise QueryError(f"unknown rect engine {engine!r}")
+    return evaluate_rect_reference(formula, instance, max_assignments)
+
+
+def evaluate_rect_reference(
+    formula: Formula,
+    instance: SpatialInstance,
+    max_assignments: int = 5_000_000,
+) -> bool:
+    """The seed interpreter for rectangle quantifiers (reference path)."""
     if not formula.is_sentence():
         raise QueryError("can only evaluate sentences")
     xs: set[Fraction] = set()

@@ -274,24 +274,36 @@ def reverse_engineer(phi: Formula) -> TopologicalInvariant:
     )
 
 
-def phi_holds(phi: Formula, instance: SpatialInstance) -> bool:
+def phi_holds(
+    phi: Formula, instance: SpatialInstance, pipeline=None
+) -> bool:
     """Does the instance satisfy the defining sentence?
 
     By Theorem 5.2, ``I ⊨ φ_T`` iff ``T_I`` is isomorphic to ``T`` — and
     that is how the paper evaluates these sentences (Theorem 5.6), so we
-    decide exactly that.
+    decide exactly that.  Passing an
+    :class:`~repro.pipeline.InvariantPipeline` routes the invariant
+    computation through its cache and backend.
     """
-    return are_isomorphic(reverse_engineer(phi), invariant(instance))
+    t_i = (
+        invariant(instance) if pipeline is None else pipeline.compute(instance)
+    )
+    return are_isomorphic(reverse_engineer(phi), t_i)
 
 
-def normal_form(instance: SpatialInstance) -> Formula:
+def normal_form(instance: SpatialInstance, pipeline=None) -> Formula:
     """Theorem 5.6's polynomial-time map ``f(I) = φ_{T_I}``.
 
     ``I ⊨ f(I)`` always holds, and for a recursive topological property
     τ, ``I ⊨ τ  iff  f(I) ∈ F_τ`` where ``F_τ`` is the recursive set of
     sentences accepted by :class:`RecursiveTopologicalProperty`.
+    An :class:`~repro.pipeline.InvariantPipeline` may be passed as for
+    :func:`phi_holds`.
     """
-    return build_phi(invariant(instance))
+    t_i = (
+        invariant(instance) if pipeline is None else pipeline.compute(instance)
+    )
+    return build_phi(t_i)
 
 
 class RecursiveTopologicalProperty:

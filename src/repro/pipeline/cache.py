@@ -17,6 +17,12 @@ Invalidation needs no timestamps: a key changes whenever the geometry
 changes, and stale entries for geometries never seen again simply age
 out of the LRU (disk entries are inert files that may be deleted at any
 time).
+
+The value type defaults to :class:`~repro.invariant.TopologicalInvariant`
+with the :mod:`repro.io` JSON codec, but any content-addressed artifact
+can ride the same machinery by passing ``encode``/``decode`` — the
+compiled query engine stores its disc-region universes this way, keyed
+by ``instance_key`` plus the enumeration parameters.
 """
 
 from __future__ import annotations
@@ -25,30 +31,36 @@ import os
 import threading
 from collections import OrderedDict
 from pathlib import Path
-
-from ..invariant import TopologicalInvariant
+from typing import Any, Callable
 
 __all__ = ["InvariantCache"]
 
 
 class InvariantCache:
-    """LRU + optional disk cache mapping instance keys to invariants."""
+    """LRU + optional disk cache mapping content keys to artifacts.
+
+    ``encode``/``decode`` translate values to and from the JSON text
+    stored by the disk layer; when omitted, values are invariants and
+    the :mod:`repro.io` invariant codec is used.
+    """
 
     def __init__(
         self,
         maxsize: int = 1024,
         disk_dir: str | os.PathLike | None = None,
+        encode: Callable[[Any], str] | None = None,
+        decode: Callable[[str], Any] | None = None,
     ):
         if maxsize < 1:
             raise ValueError("cache maxsize must be positive")
         self.maxsize = maxsize
+        self._encode = encode
+        self._decode = decode
         self.disk_dir = Path(disk_dir) if disk_dir is not None else None
         if self.disk_dir is not None:
             self.disk_dir.mkdir(parents=True, exist_ok=True)
         self._lock = threading.Lock()
-        self._memory: OrderedDict[str, TopologicalInvariant] = (
-            OrderedDict()
-        )
+        self._memory: OrderedDict[str, Any] = OrderedDict()
         self.hits = 0
         self.misses = 0
         self.disk_hits = 0
@@ -58,8 +70,8 @@ class InvariantCache:
         with self._lock:
             return len(self._memory)
 
-    def get(self, key: str) -> TopologicalInvariant | None:
-        """The cached invariant for *key*, or None.
+    def get(self, key: str) -> Any | None:
+        """The cached artifact for *key*, or None.
 
         Memory first; on a disk hit the entry is promoted into memory.
         """
@@ -79,11 +91,11 @@ class InvariantCache:
                 self.misses += 1
         return loaded
 
-    def put(self, key: str, invariant: TopologicalInvariant) -> None:
+    def put(self, key: str, value: Any) -> None:
         with self._lock:
-            self._store_memory(key, invariant)
+            self._store_memory(key, value)
         if self.disk_dir is not None:
-            self._store_disk(key, invariant)
+            self._store_disk(key, value)
 
     def clear(self, disk: bool = False) -> None:
         """Drop the memory layer (and the disk layer when *disk*)."""
@@ -95,10 +107,8 @@ class InvariantCache:
 
     # -- internals ----------------------------------------------------------
 
-    def _store_memory(
-        self, key: str, invariant: TopologicalInvariant
-    ) -> None:
-        self._memory[key] = invariant
+    def _store_memory(self, key: str, value: Any) -> None:
+        self._memory[key] = value
         self._memory.move_to_end(key)
         while len(self._memory) > self.maxsize:
             self._memory.popitem(last=False)
@@ -108,7 +118,7 @@ class InvariantCache:
         assert self.disk_dir is not None
         return self.disk_dir / f"{key}.json"
 
-    def _load_disk(self, key: str) -> TopologicalInvariant | None:
+    def _load_disk(self, key: str) -> Any | None:
         if self.disk_dir is None:
             return None
         path = self._path(key)
@@ -116,20 +126,22 @@ class InvariantCache:
             text = path.read_text()
         except OSError:
             return None
-        from ..io import invariant_from_json
+        decode = self._decode
+        if decode is None:
+            from ..io import invariant_from_json as decode
 
         try:
-            return invariant_from_json(text)
+            return decode(text)
         except Exception:
             # A torn or foreign file is treated as a miss, not an error.
             return None
 
-    def _store_disk(
-        self, key: str, invariant: TopologicalInvariant
-    ) -> None:
-        from ..io import invariant_to_json
+    def _store_disk(self, key: str, value: Any) -> None:
+        encode = self._encode
+        if encode is None:
+            from ..io import invariant_to_json as encode
 
         path = self._path(key)
         tmp = path.with_suffix(f".tmp-{os.getpid()}-{threading.get_ident()}")
-        tmp.write_text(invariant_to_json(invariant))
+        tmp.write_text(encode(value))
         os.replace(tmp, path)

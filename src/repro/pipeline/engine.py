@@ -97,6 +97,31 @@ class InvariantPipeline:
             else InvariantCache(maxsize=cache_size, disk_dir=disk_cache_dir)
         )
         self.stats = PipelineStats()
+        self._pool: ProcessPoolExecutor | None = None
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def close(self) -> None:
+        """Shut down the persistent process pool (if one was started).
+
+        The pipeline remains usable afterwards — the next processes
+        batch starts a fresh pool."""
+        if self._pool is not None:
+            self._pool.shutdown()
+            self._pool = None
+
+    def __enter__(self) -> "InvariantPipeline":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def _process_pool(self) -> ProcessPoolExecutor:
+        # Lazily created and kept for the pipeline's lifetime: repeated
+        # small batches would otherwise pay interpreter startup per call.
+        if self._pool is None:
+            self._pool = ProcessPoolExecutor(self.workers)
+        return self._pool
 
     # -- single instance ----------------------------------------------------
 
@@ -167,14 +192,14 @@ class InvariantPipeline:
         from ..io import instance_to_json, invariant_from_json
 
         payloads = [instance_to_json(inst) for inst in instances]
-        with ProcessPoolExecutor(self.workers) as pool:
-            results = list(
-                pool.map(
-                    _compute_invariant_json,
-                    payloads,
-                    chunksize=max(1, len(payloads) // (4 * self.workers)),
-                )
+        pool = self._process_pool()
+        results = list(
+            pool.map(
+                _compute_invariant_json,
+                payloads,
+                chunksize=max(1, len(payloads) // (4 * self.workers)),
             )
+        )
         return [invariant_from_json(text) for text in results]
 
     # -- equivalence --------------------------------------------------------

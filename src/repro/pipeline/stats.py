@@ -123,6 +123,18 @@ class PipelineStats:
                 f"kernel: {self.kernel_filter_rate():.0%} filter hit rate, "
                 f"planarize pairs {tested} tested / {pruned} y-pruned"
             )
+        if any(name.startswith("query.") for name in data["counters"]):
+            qc = data["counters"]
+            lines.append(
+                "query: "
+                f"{qc.get('query.regions_enumerated', 0)} regions "
+                f"({qc.get('query.universe_hits', 0)} universe hits / "
+                f"{qc.get('query.universe_misses', 0)} misses), "
+                f"memo {qc.get('query.memo_hits', 0)} hits / "
+                f"{qc.get('query.memo_misses', 0)} misses, "
+                f"{qc.get('query.atoms_evaluated', 0)} atoms, "
+                f"{qc.get('query.candidates_pruned', 0)} candidates pruned"
+            )
         for name, cell in data["stages"].items():
             lines.append(
                 f"  {name}: {cell['seconds']:.3f}s / {cell['calls']} calls"

@@ -95,9 +95,10 @@ class TestProposition57:
             ),
         )
 
-    @pytest.mark.slow
     @pytest.mark.parametrize("factory", ["_nonempty", "_ordered"])
     def test_translation_agreement(self, factory):
+        # Fast since the compiled point engine (repro.logic.compiled)
+        # made the translated evaluation tractable; no slow marker.
         q = getattr(self, factory)()
         for inst in [quadrant_single(), quadrant_disjoint()]:
             direct = evaluate_real(q, inst)
@@ -138,9 +139,9 @@ class TestTheorem58:
         "exists r, s . subset(r, A) and subset(s, B) and disjoint(r, s)",
     ]
 
-    @pytest.mark.slow
     @pytest.mark.parametrize("query", QUERIES)
     def test_agreement(self, query):
+        # Fast since the compiled rect and point engines; no slow marker.
         q = parse(query)
         translated = rect_to_point(q)
         for inst in self.WORKLOADS:

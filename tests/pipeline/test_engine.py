@@ -138,3 +138,34 @@ class TestEquivalenceGroups:
         } == {
             k: v for k, v in before.items() if k.startswith("kernel.")
         }
+
+
+class TestProcessPoolLifecycle:
+    def test_pool_persists_across_batches(self):
+        # Batches of one run serially; two distinct misses hit the pool.
+        with InvariantPipeline(backend="processes", workers=2) as pipe:
+            pipe.compute_batch([fig_1a(), fig_1b()])
+            pool = pipe._pool
+            assert pool is not None
+            pipe.cache.clear()
+            pipe.compute_batch([fig_1a(), fig_1b()])
+            assert pipe._pool is pool  # no per-batch pool churn
+        assert pipe._pool is None  # context exit shuts it down
+
+    def test_close_is_idempotent_and_reusable(self):
+        pipe = InvariantPipeline(backend="processes", workers=2)
+        pipe.close()  # never started: no-op
+        pipe.compute_batch([fig_1a(), fig_1b()])
+        pipe.close()
+        assert pipe._pool is None
+        pipe.cache.clear()
+        # Still usable after close: a fresh pool is created on demand.
+        got = pipe.compute_batch([fig_1a(), fig_1b()])
+        assert got[1] == invariant(fig_1b())
+        assert pipe._pool is not None
+        pipe.close()
+
+    def test_serial_pipeline_never_starts_pool(self):
+        with InvariantPipeline() as pipe:
+            pipe.compute_batch([fig_1a()])
+            assert pipe._pool is None
