@@ -7,19 +7,47 @@ warm lookups are hash computations), and on a multi-core machine the
 process backend must beat cold serial.  Equivalence grouping must agree
 with pairwise ``topologically_equivalent`` while running far fewer
 isomorphism searches than the quadratic pairwise schedule would.
+
+Run as a pytest benchmark (``pytest benchmarks/bench_pipeline.py``) or
+as a script::
+
+    PYTHONPATH=src python benchmarks/bench_pipeline.py           # perf
+    PYTHONPATH=src python benchmarks/bench_pipeline.py --chaos   # + chaos
+    PYTHONPATH=src python benchmarks/bench_pipeline.py --smoke   # CI
+
+The script measures the resilience machinery's cold-path overhead
+(pipeline batch vs a raw ``invariant()`` loop) and, with ``--chaos``,
+sweeps seeded fault schedules (:meth:`repro.faults.FaultPlan.seeded`)
+through the pipeline asserting that every non-failed key's invariant is
+bit-identical to the fault-free reference and that a fresh pipeline
+over the (possibly corrupted) disk cache heals to correct answers.  The
+full run writes ``BENCH_pipeline.json`` at the repo root.
 """
 
+import argparse
+import json
 import os
+import tempfile
 import time
+from pathlib import Path
 
 import pytest
 
 from repro.datasets import mixed_corpus
-from repro.invariant import topologically_equivalent
-from repro.pipeline import InvariantPipeline
+from repro.faults import FaultPlan, inject
+from repro.invariant import (
+    canonical_hash,
+    instance_key,
+    invariant,
+    topologically_equivalent,
+)
+from repro.pipeline import InvariantPipeline, RetryPolicy
 
 CORPUS_N = 100
 SEED = 1
+CHAOS_SEEDS = 6
+CHAOS_FAULTS_PER_SEED = 6
+OVERHEAD_CEILING = 0.05  # resilient cold path within 5% of a raw loop
 
 
 def _corpus():
@@ -107,3 +135,197 @@ def test_bucketed_equivalence_matches_pairwise(bench):
         f"{searches} bucket-local searches vs {quadratic} pairwise"
     )
     assert searches < quadratic
+
+
+# -- resilience overhead and chaos -------------------------------------------
+
+
+def measure_overhead(corpus, rounds=3):
+    """Best-of-*rounds* cold times: raw ``invariant()`` loop vs a cold
+    pipeline batch (keying + cache + resilient mapper on top of the
+    same computation).  The relative overhead is the price of the
+    fault-tolerance machinery on the hot path.
+
+    The corpus is deduplicated by content key first — the pipeline
+    computes duplicate geometries once, which would otherwise let it
+    *beat* the raw loop and hide the machinery's cost."""
+    seen = set()
+    unique = []
+    for inst in corpus:
+        key = instance_key(inst)
+        if key not in seen:
+            seen.add(key)
+            unique.append(inst)
+    corpus = unique
+    raw_s = pipe_s = float("inf")
+    for _ in range(rounds):
+        t0 = time.perf_counter()
+        raw = [invariant(inst) for inst in corpus]
+        raw_s = min(raw_s, time.perf_counter() - t0)
+        pipe = InvariantPipeline(backend="serial")
+        t0 = time.perf_counter()
+        batch = pipe.compute_batch(corpus)
+        pipe_s = min(pipe_s, time.perf_counter() - t0)
+        assert all(a == b for a, b in zip(raw, batch))
+    return {
+        "raw_loop_seconds": raw_s,
+        "pipeline_cold_seconds": pipe_s,
+        "relative_overhead": pipe_s / raw_s - 1.0,
+    }
+
+
+def run_chaos(corpus, seeds, hang_seconds=0.02):
+    """The chaos sweep: for each seed, a pseudo-random fault schedule is
+    injected into a threaded pipeline over a disk cache; every ok
+    outcome must be bit-identical to the fault-free reference, every
+    failure must be a structured ComputeError, and a fresh pipeline over
+    the same disk directory must heal any injected corruption."""
+    from repro.errors import ComputeError
+
+    keys = [instance_key(inst) for inst in corpus]
+    reference = {
+        key: canonical_hash(invariant(inst))
+        for key, inst in zip(keys, corpus)
+    }
+    rows = []
+    for seed in range(seeds):
+        plan = FaultPlan.seeded(
+            seed,
+            keys,
+            faults=CHAOS_FAULTS_PER_SEED,
+            max_times=2,
+            hang_seconds=hang_seconds,
+        )
+        with tempfile.TemporaryDirectory() as disk:
+            with InvariantPipeline(
+                backend="threads",
+                workers=4,
+                disk_cache_dir=disk,
+                retry=RetryPolicy(
+                    max_attempts=3, backoff_base=0.005, seed=seed
+                ),
+                task_timeout=5.0,
+            ) as pipe:
+                with inject(plan):
+                    result = pipe.compute_batch(corpus, on_error="collect")
+                wrong = sum(
+                    1
+                    for out in result
+                    if out.ok
+                    and canonical_hash(out.value) != reference[out.key]
+                )
+                assert wrong == 0, (
+                    f"seed {seed}: {wrong} bit-different invariants"
+                )
+                for out in result.failures():
+                    assert isinstance(out.error, ComputeError)
+                    assert out.error.key == out.key
+            # Healing: integrity checking turns any injected disk
+            # corruption into recomputation, never into a wrong answer.
+            with InvariantPipeline(disk_cache_dir=disk) as fresh:
+                healed = fresh.compute_batch(corpus)
+                assert [canonical_hash(t) for t in healed] == [
+                    reference[k] for k in keys
+                ], f"seed {seed}: corrupted cache produced wrong invariants"
+                quarantined = fresh.cache.quarantined
+        rows.append(
+            {
+                "seed": seed,
+                "fired": dict(plan.fired),
+                "failed_keys": len(result.failures()),
+                "retries": pipe.stats.retries,
+                "timeouts": pipe.stats.timeouts,
+                "quarantined_on_heal": quarantined,
+            }
+        )
+    return rows
+
+
+def test_chaos_sweep_is_correct_or_structured(bench):
+    """Acceptance: seeded fault schedules never produce a wrong
+    invariant, and the disk cache heals after corruption."""
+    corpus = mixed_corpus(12, seed=3)
+    rows = run_chaos(corpus, seeds=3)
+    fired = sum(sum(r["fired"].values()) for r in rows)
+    print(f"\n{len(rows)} chaos seeds, {fired} faults fired: {rows}")
+    assert fired > 0, "seeded schedules fired nothing; chaos vacuous"
+    bench(run_chaos, corpus, 1)
+
+
+# -- CLI --------------------------------------------------------------------
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="small corpus, no thresholds, no JSON (CI harness check)",
+    )
+    parser.add_argument(
+        "--chaos",
+        action="store_true",
+        help="also sweep seeded fault-injection schedules",
+    )
+    parser.add_argument(
+        "--seeds",
+        type=int,
+        default=CHAOS_SEEDS,
+        help="how many chaos schedules to sweep",
+    )
+    parser.add_argument(
+        "--out",
+        type=Path,
+        default=Path(__file__).resolve().parent.parent
+        / "BENCH_pipeline.json",
+        help="where the full run writes its measurements",
+    )
+    args = parser.parse_args(argv)
+
+    corpus = mixed_corpus(24 if args.smoke else CORPUS_N, seed=SEED)
+    overhead = measure_overhead(corpus, rounds=1 if args.smoke else 3)
+    print(
+        f"cold raw loop: {overhead['raw_loop_seconds']:.3f}s, "
+        f"cold pipeline: {overhead['pipeline_cold_seconds']:.3f}s "
+        f"({overhead['relative_overhead']:+.1%} overhead)"
+    )
+
+    payload = {
+        "benchmark": "pipeline_resilience",
+        "workload": "datasets.mixed_corpus",
+        "corpus_n": len(corpus),
+        "overhead": overhead,
+        "overhead_ceiling": OVERHEAD_CEILING,
+    }
+
+    if args.chaos:
+        chaos_corpus = mixed_corpus(12 if args.smoke else 24, seed=3)
+        seeds = min(args.seeds, 2) if args.smoke else args.seeds
+        rows = run_chaos(chaos_corpus, seeds=seeds)
+        fired = sum(sum(r["fired"].values()) for r in rows)
+        failed = sum(r["failed_keys"] for r in rows)
+        print(
+            f"chaos: {len(rows)} seeds, {fired} faults fired, "
+            f"{failed} structured failures, 0 wrong invariants"
+        )
+        payload["chaos"] = {
+            "corpus_n": len(chaos_corpus),
+            "faults_per_seed": CHAOS_FAULTS_PER_SEED,
+            "rows": rows,
+        }
+
+    if args.smoke:
+        print("smoke run completed")
+        return 0
+
+    assert overhead["relative_overhead"] < OVERHEAD_CEILING, (
+        f"resilient cold path {overhead['relative_overhead']:+.1%} over "
+        f"the raw loop (ceiling {OVERHEAD_CEILING:.0%})"
+    )
+    args.out.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"-> {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -38,6 +38,7 @@ Quickstart::
 
 from .errors import (
     ArrangementError,
+    ComputeError,
     EncodingError,
     GeometryError,
     InstanceError,
@@ -49,6 +50,7 @@ from .errors import (
     ReproError,
     SchemaError,
     ValidationError,
+    WorkerError,
 )
 from .fourint import Egenhofer, classify, four_intersection_equivalent
 from .geometry import Location, Point, Q, Segment, SimplePolygon
@@ -70,9 +72,12 @@ from .invariant import (
 )
 from .logic import evaluate_cells, evaluate_rect, parse
 from .pipeline import (
+    BatchResult,
     InvariantCache,
     InvariantPipeline,
+    Outcome,
     PipelineStats,
+    RetryPolicy,
     topologically_equivalent_batch,
 )
 from .regions import (
@@ -89,6 +94,8 @@ __version__ = "1.0.0"
 __all__ = [
     "AlgRegion",
     "ArrangementError",
+    "BatchResult",
+    "ComputeError",
     "Egenhofer",
     "EncodingError",
     "GeometryError",
@@ -97,6 +104,7 @@ __all__ = [
     "InvariantError",
     "InvariantPipeline",
     "Location",
+    "Outcome",
     "ParseError",
     "PipelineError",
     "PipelineStats",
@@ -109,12 +117,14 @@ __all__ = [
     "Region",
     "RegionError",
     "ReproError",
+    "RetryPolicy",
     "SchemaError",
     "Segment",
     "SimplePolygon",
     "SpatialInstance",
     "TopologicalInvariant",
     "ValidationError",
+    "WorkerError",
     "__version__",
     "are_isomorphic",
     "canonical_form",

@@ -81,3 +81,46 @@ class PipelineError(ReproError):
     """The batch pipeline was misconfigured or reached an inconsistent
     state (e.g. a canonical-hash bucket whose members fail the
     isomorphism verification)."""
+
+
+class ComputeError(PipelineError):
+    """Computing one instance's invariant failed (after any configured
+    retries).  Unlike :class:`PipelineError` it is scoped to a single
+    task: the batch machinery catches it per instance, so one bad
+    instance never poisons its siblings.
+
+    Attributes
+    ----------
+    key:
+        The content-addressed instance key of the failed task, when
+        known (``instance_key`` digest).
+    stage:
+        Where the failure happened (``"compute"``, a backend name,
+        ``"universe_enumeration"``, ...), when known.
+    attempts:
+        How many times the task was attempted before giving up.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        key: str | None = None,
+        stage: str | None = None,
+        attempts: int = 0,
+    ):
+        super().__init__(message)
+        self.key = key
+        self.stage = stage
+        self.attempts = attempts
+
+
+class WorkerError(ComputeError):
+    """A pool worker died (or was killed) while holding a task.  The
+    task itself may be innocent: worker death is attributed to every
+    task in flight when the pool broke."""
+
+
+class TimeoutError(ComputeError, TimeoutError):
+    """A task (or a cooperative deadline check inside one) exceeded its
+    configured time budget.  Also subclasses the builtin
+    :class:`TimeoutError` so generic timeout handlers catch it."""

@@ -35,10 +35,65 @@ __all__ = [
     "remove_counter_source",
     "counter_snapshot",
     "counter_delta",
+    "Deadline",
 ]
 
 Collector = Callable[[str, float], None]
 CounterSource = Callable[[], dict[str, int]]
+
+
+class Deadline:
+    """A cooperative time budget for long enumerations.
+
+    Loops that cannot be preempted (universe enumeration in the
+    compiled query engine runs in-process) instead poll an explicit
+    deadline at their natural checkpoints, exactly as they poll their
+    size budgets.  ``Deadline(seconds)`` starts the clock immediately;
+    ``check(what)`` raises :class:`repro.errors.TimeoutError` once the
+    budget is spent.  ``Deadline(None)`` never expires, so call sites
+    need no conditional.
+
+    The clock source is injectable for tests (pass ``clock=`` a callable
+    returning monotonic seconds) — expiry can then be simulated without
+    sleeping.
+    """
+
+    __slots__ = ("seconds", "_clock", "_t0")
+
+    def __init__(
+        self,
+        seconds: float | None,
+        clock: Callable[[], float] = perf_counter,
+    ):
+        if seconds is not None and seconds <= 0:
+            raise ValueError("deadline must be positive (or None)")
+        self.seconds = seconds
+        self._clock = clock
+        self._t0 = clock()
+
+    def expired(self) -> bool:
+        if self.seconds is None:
+            return False
+        return self._clock() - self._t0 >= self.seconds
+
+    def remaining(self) -> float | None:
+        """Seconds left, or None for an unbounded deadline."""
+        if self.seconds is None:
+            return None
+        return max(0.0, self.seconds - (self._clock() - self._t0))
+
+    def check(self, what: str = "operation") -> None:
+        """Raise :class:`repro.errors.TimeoutError` when expired."""
+        if self.expired():
+            from .errors import TimeoutError
+
+            raise TimeoutError(
+                f"{what} exceeded its {self.seconds:g}s time budget",
+                stage=what,
+            )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Deadline({self.seconds!r})"
 
 _lock = threading.Lock()
 _collectors: list[Collector] = []

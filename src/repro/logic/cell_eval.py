@@ -402,6 +402,7 @@ def evaluate_cells(
     engine: str = "compiled",
     parallel: str = "serial",
     workers: int | None = None,
+    timeout: float | None = None,
 ) -> bool:
     """Evaluate a sentence under cell semantics.
 
@@ -410,8 +411,10 @@ def evaluate_cells(
     size of quantified regions.  ``engine`` selects the evaluator:
     ``"compiled"`` (the bitmask engine of :mod:`repro.logic.compiled`,
     the default) or ``"reference"`` (this module's direct interpreter).
-    Both return identical answers; ``parallel``/``workers`` apply to the
-    compiled engine only.
+    Both return identical answers; ``parallel``/``workers``/``timeout``
+    apply to the compiled engine only — ``timeout`` bounds universe
+    enumeration, raising :class:`repro.errors.TimeoutError` when the
+    budget is exceeded.
     """
     if engine == "reference":
         return evaluate_cells_reference(
@@ -431,6 +434,7 @@ def evaluate_cells(
         max_regions,
         parallel=parallel,
         workers=workers,
+        timeout=timeout,
     )
 
 

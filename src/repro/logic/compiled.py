@@ -50,7 +50,7 @@ from typing import Callable, Mapping, Sequence
 
 from ..errors import QueryError
 from ..geometry import Location, Point
-from ..instrument import add_counter_source
+from ..instrument import Deadline, add_counter_source
 from ..regions import Rect, RectUnion, SpatialInstance
 from . import pointlogic as _pl
 from .ast import (
@@ -230,10 +230,17 @@ class CompiledCellModel:
     budget errors agree bit for bit.
     """
 
-    def __init__(self, complex, max_faces: int | None, max_regions: int):
+    def __init__(
+        self,
+        complex,
+        max_faces: int | None,
+        max_regions: int,
+        deadline: Deadline | None = None,
+    ):
         self.complex = complex
         self.max_faces = max_faces
         self.max_regions = max_regions
+        self.deadline = deadline
         cx = complex
         self.cell_ids: tuple[str, ...] = tuple(sorted(cx.cells))
         index = {cid: i for i, cid in enumerate(self.cell_ids)}
@@ -384,9 +391,14 @@ class CompiledCellModel:
         results: list[CompiledRegion] = []
         seen_sets: set[int] = set()
         budget = self.max_regions
+        deadline = self.deadline
         max_faces = self.max_faces
         face_rank = self.face_rank
         face_adj = self.face_adj
+        # Check once up front so an already-expired deadline raises even
+        # on universes too small to reach the 64-candidate poll below.
+        if deadline is not None:
+            deadline.check("universe_enumeration")
         for anchor_rank, anchor in enumerate(self.face_indices):
             stack = [1 << anchor]
             while stack:
@@ -400,6 +412,11 @@ class CompiledCellModel:
                         f"{budget} candidates; lower the refinement, "
                         "set max_faces, or raise max_regions"
                     )
+                # The time budget is polled at the same checkpoint as
+                # the size budget: enumeration cannot be preempted, so
+                # it cooperates.
+                if deadline is not None and not len(seen_sets) % 64:
+                    deadline.check("universe_enumeration")
                 if self.is_disc(current):
                     interior, closure = self.region_from_faces(current)
                     results.append(
@@ -463,6 +480,7 @@ def compiled_universe(
     max_regions: int = 200_000,
     complex=None,
     cache=None,
+    timeout: float | None = None,
 ) -> CompiledUniverse:
     """The compiled disc-region universe of an instance.
 
@@ -472,9 +490,16 @@ def compiled_universe(
     explicit *complex* bypasses the cache (its provenance is unknown).
     A cached universe still honours *max_regions*: enumeration size is
     stored with the universe and re-checked against the budget.
+
+    *timeout* bounds a cold enumeration in seconds (cooperatively, via
+    :class:`~repro.instrument.Deadline`): past it the enumeration raises
+    :class:`repro.errors.TimeoutError`.  Cache hits never time out —
+    they do no enumeration.
     """
     if complex is not None:
-        model = CompiledCellModel(complex, max_faces, max_regions)
+        model = CompiledCellModel(
+            complex, max_faces, max_regions, deadline=_deadline(timeout)
+        )
         return _build_universe(model, instance)
     cache = cache if cache is not None else universe_cache()
     key = _universe_key(instance, refinement, max_faces)
@@ -490,10 +515,16 @@ def compiled_universe(
         return hit
     counters.universe_misses += 1
     cx = grid_refined_complex(instance, refinement)
-    model = CompiledCellModel(cx, max_faces, max_regions)
+    model = CompiledCellModel(
+        cx, max_faces, max_regions, deadline=_deadline(timeout)
+    )
     universe = _build_universe(model, instance)
     cache.put(key, universe)
     return universe
+
+
+def _deadline(timeout: float | None) -> Deadline | None:
+    return Deadline(timeout) if timeout is not None else None
 
 
 def _build_universe(
@@ -762,6 +793,7 @@ def evaluate_cells_compiled(
     parallel: str = "serial",
     workers: int | None = None,
     cache=None,
+    timeout: float | None = None,
 ) -> bool:
     """Evaluate a sentence under cell semantics with the compiled engine.
 
@@ -770,7 +802,8 @@ def evaluate_cells_compiled(
     selects the outermost-quantifier evaluation backend (``serial``,
     ``threads``, or ``processes`` — the pipeline's backend names); the
     non-serial backends chunk the outermost region quantifier's
-    candidate range over a worker pool.
+    candidate range over a worker pool.  *timeout* bounds a cold
+    universe enumeration (see :func:`compiled_universe`).
     """
     if not formula.is_sentence():
         raise QueryError("can only evaluate sentences")
@@ -782,7 +815,8 @@ def evaluate_cells_compiled(
             f"{BACKENDS}"
         )
     universe = compiled_universe(
-        instance, refinement, max_faces, max_regions, cache=cache
+        instance, refinement, max_faces, max_regions, cache=cache,
+        timeout=timeout,
     )
     if parallel != "serial" and isinstance(
         formula, (ExistsRegion, ForAllRegion)

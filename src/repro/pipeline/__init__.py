@@ -18,12 +18,16 @@ from .engine import (
     InvariantPipeline,
     topologically_equivalent_batch,
 )
+from .resilience import BatchResult, Outcome, RetryPolicy
 from .stats import PipelineStats
 
 __all__ = [
     "BACKENDS",
+    "BatchResult",
     "InvariantCache",
     "InvariantPipeline",
+    "Outcome",
     "PipelineStats",
+    "RetryPolicy",
     "topologically_equivalent_batch",
 ]

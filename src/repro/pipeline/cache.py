@@ -13,6 +13,19 @@ Two layers compose:
   atomically via rename), so warm corpora survive process restarts and
   benchmark runs skip recomputation entirely.
 
+Disk entries are long-lived artifacts whose integrity is *verified*,
+not assumed: each file is a versioned envelope
+``{"v": 1, "sha256": <hex digest of payload>, "payload": <encoded>}``.
+On read the checksum is recomputed; a mismatch (bit rot, torn write,
+hostile edit) — or a checksum-valid payload the decoder rejects — moves
+the file into ``disk_dir/quarantine/`` for post-mortem inspection and
+counts as a miss, so the value is simply recomputed.  Legacy
+unversioned entries (raw payload text from before the envelope) still
+read fine; files that parse as neither are a silent miss (their
+provenance is unknown).  Disk *writes* that fail with :class:`OSError`
+(read-only or full disk) are tolerated: the entry stays in memory and
+the ``disk_write_failures`` counter ticks.
+
 Invalidation needs no timestamps: a key changes whenever the geometry
 changes, and stale entries for geometries never seen again simply age
 out of the LRU (disk entries are inert files that may be deleted at any
@@ -27,13 +40,28 @@ by ``instance_key`` plus the enumeration parameters.
 
 from __future__ import annotations
 
+import hashlib
+import json
 import os
 import threading
 from collections import OrderedDict
 from pathlib import Path
 from typing import Any, Callable
 
-__all__ = ["InvariantCache"]
+from .. import faults
+
+__all__ = ["InvariantCache", "ENVELOPE_VERSION"]
+
+ENVELOPE_VERSION = 1
+
+# Our envelope serializer puts "v" first, so a file beginning with this
+# prefix that fails to parse is one of ours that got torn or corrupted
+# (quarantine it), not a foreign file (silent miss).
+_ENVELOPE_PREFIX = '{"v":'
+
+
+def _checksum(payload: str) -> str:
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
 
 
 class InvariantCache:
@@ -65,6 +93,8 @@ class InvariantCache:
         self.misses = 0
         self.disk_hits = 0
         self.evictions = 0
+        self.quarantined = 0
+        self.disk_write_failures = 0
 
     def __len__(self) -> int:
         with self._lock:
@@ -118,6 +148,24 @@ class InvariantCache:
         assert self.disk_dir is not None
         return self.disk_dir / f"{key}.json"
 
+    def _quarantine(self, path: Path) -> None:
+        """Move a corrupt entry aside (never re-served, kept for
+        inspection) and count it.  Deleting is the fallback when even
+        the move fails — the one unacceptable outcome is re-reading the
+        corrupt bytes forever."""
+        assert self.disk_dir is not None
+        qdir = self.disk_dir / "quarantine"
+        try:
+            qdir.mkdir(parents=True, exist_ok=True)
+            os.replace(path, qdir / path.name)
+        except OSError:
+            try:
+                path.unlink(missing_ok=True)
+            except OSError:
+                pass
+        with self._lock:
+            self.quarantined += 1
+
     def _load_disk(self, key: str) -> Any | None:
         if self.disk_dir is None:
             return None
@@ -130,10 +178,39 @@ class InvariantCache:
         if decode is None:
             from ..io import invariant_from_json as decode
 
+        envelope = None
+        try:
+            data = json.loads(text)
+            if (
+                isinstance(data, dict)
+                and data.get("v") == ENVELOPE_VERSION
+                and isinstance(data.get("sha256"), str)
+                and isinstance(data.get("payload"), str)
+            ):
+                envelope = data
+        except ValueError:
+            if text.startswith(_ENVELOPE_PREFIX):
+                # One of our envelopes, torn or bit-flipped into
+                # unparseable JSON.
+                self._quarantine(path)
+                return None
+        if envelope is not None:
+            payload = envelope["payload"]
+            if _checksum(payload) != envelope["sha256"]:
+                self._quarantine(path)
+                return None
+            try:
+                return decode(payload)
+            except Exception:
+                # Checksum-valid but rotten content: the encoder wrote
+                # garbage.  Quarantine rather than re-reading forever.
+                self._quarantine(path)
+                return None
+        # Legacy unversioned entry (raw payload text) or foreign file:
+        # decode directly; failures are a miss, not an error.
         try:
             return decode(text)
         except Exception:
-            # A torn or foreign file is treated as a miss, not an error.
             return None
 
     def _store_disk(self, key: str, value: Any) -> None:
@@ -141,7 +218,32 @@ class InvariantCache:
         if encode is None:
             from ..io import invariant_to_json as encode
 
+        payload = encode(value)
+        if faults.draw("encode_garbage", key) is not None:
+            payload = '{"rotten": tru'  # undecodable on read
         path = self._path(key)
         tmp = path.with_suffix(f".tmp-{os.getpid()}-{threading.get_ident()}")
-        tmp.write_text(encode(value))
-        os.replace(tmp, path)
+        try:
+            tmp.write_text(
+                json.dumps(
+                    {
+                        "v": ENVELOPE_VERSION,
+                        "sha256": _checksum(payload),
+                        "payload": payload,
+                    }
+                )
+            )
+            os.replace(tmp, path)
+            if faults.draw("cache_bitflip", key) is not None:
+                data = bytearray(path.read_bytes())
+                data[len(data) // 2] ^= 0x20
+                path.write_bytes(data)
+        except OSError:
+            # Read-only or full disk: keep serving from memory and say
+            # so in the counters instead of failing the batch.
+            with self._lock:
+                self.disk_write_failures += 1
+            try:
+                tmp.unlink(missing_ok=True)
+            except OSError:
+                pass

@@ -18,11 +18,22 @@ An :class:`InvariantPipeline` turns a corpus of
   isomorphism search only within buckets, so the quadratic pairwise
   comparison collapses to bucket-local verification.
 
-Stage timings (arrangement build, canonicalization, isomorphism) and
-cache counters are exposed through :attr:`InvariantPipeline.stats`.
-Process-pool workers run in separate interpreters; their internal stage
-breakdown is not observed (their wall time still shows up in the
-benchmark totals).
+Execution is **fault tolerant** (see :mod:`repro.pipeline.resilience`):
+every instance gets its own outcome, transient failures are retried
+with deterministic backoff, a broken process pool is respawned a
+bounded number of times and then degraded ``processes → threads →
+serial``, and pooled tasks can carry a per-task timeout.  With
+``on_error="raise"`` (the default) a persistent failure raises a
+:class:`~repro.errors.ComputeError` naming the instance key — but only
+after every sibling finished and was cached, so nothing is lost; the
+``"skip"`` and ``"collect"`` modes return a
+:class:`~repro.pipeline.resilience.BatchResult` instead of raising.
+
+Stage timings (arrangement build, canonicalization, isomorphism),
+cache and recovery counters are exposed through
+:attr:`InvariantPipeline.stats`.  Process-pool workers run in separate
+interpreters; their internal stage breakdown is not observed (their
+wall time still shows up in the benchmark totals).
 """
 
 from __future__ import annotations
@@ -31,6 +42,7 @@ import os
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from typing import Iterable, Sequence
 
+from .. import faults
 from ..errors import PipelineError
 from ..instrument import collecting, counter_delta, counter_snapshot
 from ..invariant import (
@@ -41,6 +53,15 @@ from ..invariant import (
 from ..invariant.canonical import canonical_hash, instance_key
 from ..regions import SpatialInstance
 from .cache import InvariantCache
+from .resilience import (
+    ON_ERROR_MODES,
+    BatchResult,
+    ExecutorRunner,
+    Outcome,
+    ResilientMapper,
+    RetryPolicy,
+    SerialRunner,
+)
 from .stats import PipelineStats
 
 __all__ = [
@@ -52,15 +73,42 @@ __all__ = [
 BACKENDS = ("serial", "threads", "processes")
 
 
-def _compute_invariant_json(instance_json: str) -> str:
-    """Process-pool worker: JSON instance in, JSON invariant out."""
+def _teardown_process_pool(pool: ProcessPoolExecutor) -> None:
+    """Shut a process pool down without waiting on its workers.
+
+    ``shutdown(wait=False)`` alone leaves a hung or abandoned worker
+    running until it finishes on its own (a timed-out task could linger
+    for minutes), so the workers are terminated explicitly and reaped.
+    """
+    # Grab the workers before shutdown() — it clears ``_processes``.
+    procs = list((getattr(pool, "_processes", None) or {}).values())
+    pool.shutdown(wait=False, cancel_futures=True)
+    for proc in procs:
+        try:
+            proc.terminate()
+        except Exception:
+            pass
+    for proc in procs:
+        try:
+            proc.join(timeout=5)
+        except Exception:
+            pass
+
+
+def _invariant_task_json(args: tuple) -> str:
+    """Process-pool worker: ``(key, instance JSON, drawn fault)`` in,
+    invariant JSON out.  The fault decision was drawn by the parent at
+    submit time (deterministic schedules survive the process hop)."""
+    key, instance_json, fault = args
     from ..io import instance_from_json, invariant_to_json
 
+    faults.execute_in_worker(fault, key)
     return invariant_to_json(invariant(instance_from_json(instance_json)))
 
 
 class InvariantPipeline:
-    """Cached, parallel computation of invariants over instance corpora.
+    """Cached, parallel, fault-tolerant computation of invariants over
+    instance corpora.
 
     Parameters
     ----------
@@ -73,6 +121,19 @@ class InvariantPipeline:
         create a private one.
     cache_size / disk_cache_dir:
         Configuration for the private cache when *cache* is None.
+    retry:
+        A :class:`~repro.pipeline.resilience.RetryPolicy`, or None for
+        the default (3 attempts, capped exponential backoff with
+        deterministic jitter).
+    task_timeout:
+        Per-task deadline in seconds for the pooled backends, or None
+        (no deadline).  An overdue process task is charged a
+        :class:`~repro.errors.TimeoutError` and the pool is recycled;
+        thread tasks are observed cooperatively.  The serial backend
+        runs inline and enforces no preemption.
+    max_pool_respawns:
+        How many times a broken pool is respawned per batch before the
+        remaining tasks degrade to the next backend in the chain.
     """
 
     def __init__(
@@ -82,6 +143,9 @@ class InvariantPipeline:
         cache: InvariantCache | None = None,
         cache_size: int = 1024,
         disk_cache_dir: str | os.PathLike | None = None,
+        retry: RetryPolicy | None = None,
+        task_timeout: float | None = None,
+        max_pool_respawns: int = 2,
     ):
         if backend not in BACKENDS:
             raise PipelineError(
@@ -96,19 +160,29 @@ class InvariantPipeline:
             if cache is not None
             else InvariantCache(maxsize=cache_size, disk_dir=disk_cache_dir)
         )
+        self.retry = retry if retry is not None else RetryPolicy()
+        self.task_timeout = task_timeout
+        self.max_pool_respawns = max_pool_respawns
         self.stats = PipelineStats()
         self._pool: ProcessPoolExecutor | None = None
+        self._thread_pool: ThreadPoolExecutor | None = None
 
     # -- lifecycle ----------------------------------------------------------
 
     def close(self) -> None:
-        """Shut down the persistent process pool (if one was started).
+        """Shut down the persistent worker pools (if any were started).
 
-        The pipeline remains usable afterwards — the next processes
+        The pipeline remains usable afterwards — the next parallel
         batch starts a fresh pool."""
         if self._pool is not None:
-            self._pool.shutdown()
+            # Not a graceful shutdown(wait=True): the pool may hold a
+            # hung or broken worker that would block (or outlive) us.
+            # Workers are idle between batches, so terminating is safe.
+            _teardown_process_pool(self._pool)
             self._pool = None
+        if self._thread_pool is not None:
+            self._thread_pool.shutdown()
+            self._thread_pool = None
 
     def __enter__(self) -> "InvariantPipeline":
         return self
@@ -123,6 +197,25 @@ class InvariantPipeline:
             self._pool = ProcessPoolExecutor(self.workers)
         return self._pool
 
+    def _threads(self) -> ThreadPoolExecutor:
+        # Persistent like the process pool — a throwaway executor per
+        # batch would pay thread startup on every call.
+        if self._thread_pool is None:
+            self._thread_pool = ThreadPoolExecutor(self.workers)
+        return self._thread_pool
+
+    def _respawn_processes(self) -> None:
+        # Replace a broken pool: kill the corpse (its workers are dead
+        # or hung; nothing worth waiting for) and start fresh.
+        if self._pool is not None:
+            _teardown_process_pool(self._pool)
+        self._pool = ProcessPoolExecutor(self.workers)
+
+    def _respawn_threads(self) -> None:
+        if self._thread_pool is not None:
+            self._thread_pool.shutdown(wait=False, cancel_futures=True)
+        self._thread_pool = ThreadPoolExecutor(self.workers)
+
     # -- single instance ----------------------------------------------------
 
     def compute(self, instance: SpatialInstance) -> TopologicalInvariant:
@@ -132,14 +225,33 @@ class InvariantPipeline:
     # -- batch --------------------------------------------------------------
 
     def compute_batch(
-        self, instances: Sequence[SpatialInstance]
-    ) -> list[TopologicalInvariant]:
+        self,
+        instances: Sequence[SpatialInstance],
+        on_error: str = "raise",
+    ) -> list[TopologicalInvariant] | BatchResult:
         """Invariants of *instances*, in order.
 
         Duplicate geometries inside the batch are computed once; cached
         geometries are not computed at all; the remaining misses go to
-        the worker pool.
+        the worker pool with per-instance fault isolation.
+
+        *on_error* selects the failure semantics:
+
+        * ``"raise"`` (default) — return a plain list; a persistent
+          per-instance failure raises its
+          :class:`~repro.errors.ComputeError` after every sibling has
+          been computed and cached;
+        * ``"skip"`` — return a :class:`BatchResult` iterating over the
+          successful invariants only;
+        * ``"collect"`` — return a :class:`BatchResult` iterating over
+          per-input :class:`~repro.pipeline.resilience.Outcome`
+          objects (ok or failed, aligned with the inputs).
         """
+        if on_error not in ON_ERROR_MODES:
+            raise PipelineError(
+                f"unknown on_error mode {on_error!r}; "
+                f"expected one of {ON_ERROR_MODES}"
+            )
         instances = list(instances)
         self.stats.count("instances_seen", len(instances))
         # Kernel counters (filter hits / exact fallbacks / planarize
@@ -147,6 +259,8 @@ class InvariantPipeline:
         # increase.  Threads-backend increments land here too; process
         # workers count in their own interpreters, same caveat as stages.
         kernel_before = counter_snapshot()
+        failures: dict[str, Outcome] = {}
+        computed_outcomes: dict[str, Outcome] = {}
         try:
             with collecting(self.stats.record_stage):
                 keys = [instance_key(inst) for inst in instances]
@@ -164,43 +278,90 @@ class InvariantPipeline:
                         self.stats.count("cache_misses")
                         misses[key] = inst
                 if misses:
-                    computed = self._map_invariants(list(misses.values()))
-                    self.stats.count("invariants_computed", len(computed))
-                    for key, t in zip(misses, computed):
-                        self.cache.put(key, t)
-                        resolved[key] = t
+                    outcomes = self._map_invariants(misses)
+                    computed = 0
+                    for key in misses:
+                        out = outcomes[key]
+                        computed_outcomes[key] = out
+                        if out.ok:
+                            computed += 1
+                            self.cache.put(key, out.value)
+                            resolved[key] = out.value
+                        else:
+                            failures[key] = out
+                    self.stats.count("invariants_computed", computed)
                 self.stats.disk_hits = self.cache.disk_hits
+                self.stats.quarantined = self.cache.quarantined
+                self.stats.disk_write_failures = (
+                    self.cache.disk_write_failures
+                )
         finally:
             self.stats.record_counters(
                 counter_delta(kernel_before, counter_snapshot())
             )
-        return [resolved[key] for key in keys]
+        if on_error == "raise":
+            for key in keys:
+                if key in failures:
+                    raise failures[key].error
+            return [resolved[key] for key in keys]
+        ordered = [
+            computed_outcomes[key]
+            if key in computed_outcomes
+            else Outcome.success(key, resolved[key], 0)
+            for key in keys
+        ]
+        return BatchResult(ordered, mode=on_error)
 
     def _map_invariants(
-        self, instances: list[SpatialInstance]
-    ) -> list[TopologicalInvariant]:
-        if self.backend == "serial" or len(instances) == 1:
-            return [invariant(inst) for inst in instances]
-        if self.backend == "threads":
-            with ThreadPoolExecutor(self.workers) as pool:
-                return list(pool.map(invariant, instances))
-        return self._map_processes(instances)
+        self, misses: dict[str, SpatialInstance]
+    ) -> dict[str, Outcome]:
+        """Per-key outcomes for the batch's cold misses, via the
+        resilient mapper over this pipeline's backend chain."""
+        if self.backend == "serial" or len(misses) == 1:
+            chain = ["serial"]
+        elif self.backend == "threads":
+            chain = ["threads", "serial"]
+        else:
+            chain = ["processes", "threads", "serial"]
 
-    def _map_processes(
-        self, instances: list[SpatialInstance]
-    ) -> list[TopologicalInvariant]:
-        from ..io import instance_to_json, invariant_from_json
+        def run_inline(key: str, fault: dict | None):
+            faults.execute_inline(fault, key)
+            return invariant(misses[key])
 
-        payloads = [instance_to_json(inst) for inst in instances]
-        pool = self._process_pool()
-        results = list(
-            pool.map(
-                _compute_invariant_json,
-                payloads,
-                chunksize=max(1, len(payloads) // (4 * self.workers)),
+        runners: dict[str, object] = {"serial": SerialRunner(run_inline)}
+        if "threads" in chain:
+            runners["threads"] = ExecutorRunner(
+                "threads",
+                submit=lambda key, fault: self._threads().submit(
+                    run_inline, key, fault
+                ),
+                respawn=self._respawn_threads,
             )
+        if "processes" in chain:
+            from ..io import instance_to_json, invariant_from_json
+
+            payloads = {
+                key: instance_to_json(inst) for key, inst in misses.items()
+            }
+            runners["processes"] = ExecutorRunner(
+                "processes",
+                submit=lambda key, fault: self._process_pool().submit(
+                    _invariant_task_json, (key, payloads[key], fault)
+                ),
+                respawn=self._respawn_processes,
+                decode=invariant_from_json,
+                respawn_on_timeout=True,
+            )
+        mapper = ResilientMapper(
+            runners,
+            chain,
+            self.retry,
+            self.stats,
+            workers=self.workers,
+            task_timeout=self.task_timeout,
+            max_pool_respawns=self.max_pool_respawns,
         )
-        return [invariant_from_json(text) for text in results]
+        return mapper.run(list(misses))
 
     # -- equivalence --------------------------------------------------------
 

@@ -31,6 +31,15 @@ class PipelineStats:
         self.invariants_computed = 0
         self.buckets = 0
         self.isomorphism_calls = 0
+        # Resilience accounting (see repro.pipeline.resilience): how
+        # often the batch machinery had to retry, give up, or degrade.
+        self.retries = 0
+        self.timeouts = 0
+        self.pool_respawns = 0
+        self.tasks_failed = 0
+        self.quarantined = 0
+        self.disk_write_failures = 0
+        self.degradations: list[tuple[str, str]] = []
 
     # -- recording (collector-compatible) ----------------------------------
 
@@ -57,6 +66,12 @@ class PipelineStats:
         with self._lock:
             setattr(self, counter, getattr(self, counter) + delta)
 
+    def record_degradation(self, frm: str, to: str) -> None:
+        """A backend fell back (``processes`` → ``threads`` → ``serial``)
+        after exhausting its recovery budget."""
+        with self._lock:
+            self.degradations.append((frm, to))
+
     # -- reporting ----------------------------------------------------------
 
     def as_dict(self) -> dict:
@@ -80,6 +95,15 @@ class PipelineStats:
                 "invariants_computed": self.invariants_computed,
                 "buckets": self.buckets,
                 "isomorphism_calls": self.isomorphism_calls,
+                "resilience": {
+                    "retries": self.retries,
+                    "timeouts": self.timeouts,
+                    "pool_respawns": self.pool_respawns,
+                    "tasks_failed": self.tasks_failed,
+                    "quarantined": self.quarantined,
+                    "disk_write_failures": self.disk_write_failures,
+                    "degradations": [list(d) for d in self.degradations],
+                },
             }
 
     def hit_rate(self) -> float:
@@ -116,6 +140,20 @@ class PipelineStats:
             f"equivalence: {data['buckets']} buckets, "
             f"{data['isomorphism_calls']} isomorphism searches",
         ]
+        res = data["resilience"]
+        if any(v for v in res.values()):
+            chain = "".join(
+                f" {frm}→{to}" for frm, to in res["degradations"]
+            )
+            lines.append(
+                f"resilience: {res['retries']} retries, "
+                f"{res['timeouts']} timeouts, "
+                f"{res['pool_respawns']} pool respawns, "
+                f"{res['tasks_failed']} failed; "
+                f"cache: {res['quarantined']} quarantined, "
+                f"{res['disk_write_failures']} write failures"
+                + (f"; degraded{chain}" if chain else "")
+            )
         if data["counters"]:
             tested = data["counters"].get("kernel.planarize_pairs_tested", 0)
             pruned = data["counters"].get("kernel.planarize_pairs_pruned", 0)

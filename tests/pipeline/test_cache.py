@@ -81,3 +81,102 @@ class TestDiskLayer:
         cache.clear(disk=True)
         assert cache.get(key) is None
         assert list(tmp_path.glob("*.json")) == []
+
+
+class TestDiskIntegrity:
+    """Checksummed envelopes: verify-on-read, quarantine, legacy reads,
+    and write-failure tolerance."""
+
+    def _write(self, tmp_path):
+        key = instance_key(fig_1c())
+        t = invariant(fig_1c())
+        InvariantCache(disk_dir=tmp_path).put(key, t)
+        return key, t
+
+    def test_entries_are_versioned_checksummed_envelopes(self, tmp_path):
+        import hashlib
+        import json
+
+        key, _ = self._write(tmp_path)
+        data = json.loads((tmp_path / f"{key}.json").read_text())
+        assert data["v"] == 1
+        assert (
+            hashlib.sha256(data["payload"].encode()).hexdigest()
+            == data["sha256"]
+        )
+
+    def test_bitflip_quarantined_and_treated_as_miss(self, tmp_path):
+        key, _ = self._write(tmp_path)
+        path = tmp_path / f"{key}.json"
+        raw = bytearray(path.read_bytes())
+        raw[len(raw) // 2] ^= 0x20
+        path.write_bytes(raw)
+        fresh = InvariantCache(disk_dir=tmp_path)
+        assert fresh.get(key) is None
+        assert fresh.quarantined == 1
+        assert not path.exists()
+        assert len(list((tmp_path / "quarantine").glob("*.json"))) == 1
+        # Quarantined entries are never re-served: a recompute heals.
+        fresh.put(key, invariant(fig_1c()))
+        assert InvariantCache(disk_dir=tmp_path).get(key) is not None
+
+    def test_checksum_valid_but_undecodable_payload_quarantined(
+        self, tmp_path
+    ):
+        import hashlib
+        import json
+
+        key = instance_key(fig_1c())
+        payload = '{"rotten": tru'
+        (tmp_path / f"{key}.json").write_text(
+            json.dumps(
+                {
+                    "v": 1,
+                    "sha256": hashlib.sha256(payload.encode()).hexdigest(),
+                    "payload": payload,
+                }
+            )
+        )
+        cache = InvariantCache(disk_dir=tmp_path)
+        assert cache.get(key) is None
+        assert cache.quarantined == 1
+
+    def test_torn_envelope_quarantined(self, tmp_path):
+        key = instance_key(fig_1c())
+        (tmp_path / f"{key}.json").write_text('{"v": 1, "sha256": "ab')
+        cache = InvariantCache(disk_dir=tmp_path)
+        assert cache.get(key) is None
+        assert cache.quarantined == 1
+
+    def test_foreign_garbage_is_a_silent_miss(self, tmp_path):
+        key = instance_key(fig_1c())
+        (tmp_path / f"{key}.json").write_text("not ours at all")
+        cache = InvariantCache(disk_dir=tmp_path)
+        assert cache.get(key) is None
+        assert cache.quarantined == 0
+
+    def test_legacy_unversioned_entry_still_reads(self, tmp_path):
+        from repro.io import invariant_to_json
+
+        key = instance_key(fig_1c())
+        t = invariant(fig_1c())
+        (tmp_path / f"{key}.json").write_text(invariant_to_json(t))
+        cache = InvariantCache(disk_dir=tmp_path)
+        assert cache.get(key) == t
+        assert cache.quarantined == 0
+
+    def test_oserror_on_write_tolerated_and_counted(
+        self, tmp_path, monkeypatch
+    ):
+        import repro.pipeline.cache as cache_mod
+
+        def boom(*args, **kwargs):
+            raise OSError("disk full")
+
+        monkeypatch.setattr(cache_mod.os, "replace", boom)
+        cache = InvariantCache(disk_dir=tmp_path)
+        key = instance_key(fig_1c())
+        cache.put(key, invariant(fig_1c()))  # must not raise
+        assert cache.disk_write_failures == 1
+        assert cache.get(key) is not None  # memory layer still serves
+        assert list(tmp_path.glob("*.tmp-*")) == []  # tmp cleaned up
