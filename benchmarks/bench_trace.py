@@ -1,0 +1,145 @@
+"""Tracing layer — capture overhead and artifact sizes per backend.
+
+What does observing a batch cost, and how big is what you get?  For
+each backend the same cold corpus is computed untraced and traced
+(``compute_batch(..., trace=True)``, which also captures per-span
+counter deltas); the run records the relative slowdown, the span
+count, and the byte sizes of both exporters (nested JSON and Chrome
+``trace_event``).  Tracing *on* is allowed a generous ceiling — it
+exists for diagnosis runs, not steady state — while the tracing-*off*
+budget lives in ``bench_pipeline.py`` next to the resilience overhead.
+
+Run as a pytest benchmark (``pytest benchmarks/bench_trace.py``) or as
+a script::
+
+    PYTHONPATH=src python benchmarks/bench_trace.py           # perf
+    PYTHONPATH=src python benchmarks/bench_trace.py --smoke   # CI
+
+The full run writes ``BENCH_trace.json`` at the repo root.
+"""
+
+import argparse
+import json
+import time
+from pathlib import Path
+
+from repro.datasets import mixed_corpus
+from repro.invariant import canonical_hash
+from repro.pipeline import BACKENDS, InvariantPipeline
+
+CORPUS_N = 40
+SEED = 9
+WORKERS = 2
+# Traced batches re-serialize every worker's span forest and diff
+# counter snapshots around every span; on the process backend that adds
+# pickling on top.  Diagnosis runs tolerate a 2x slowdown.
+TRACED_CEILING = 1.0
+
+
+def _timed(fn):
+    t0 = time.perf_counter()
+    result = fn()
+    return result, time.perf_counter() - t0
+
+
+def measure_backend(backend, corpus):
+    """Untraced vs traced cold batch on *backend*, plus artifact sizes."""
+    with InvariantPipeline(backend=backend, workers=WORKERS) as plain:
+        off_result, off_s = _timed(lambda: plain.compute_batch(corpus))
+    with InvariantPipeline(backend=backend, workers=WORKERS) as traced:
+        on_result, on_s = _timed(
+            lambda: traced.compute_batch(corpus, trace=True)
+        )
+    assert [canonical_hash(t) for t in on_result] == [
+        canonical_hash(t) for t in off_result
+    ], f"{backend}: tracing changed the results"
+    trace = traced.last_trace
+    return {
+        "backend": backend,
+        "untraced_seconds": off_s,
+        "traced_seconds": on_s,
+        "relative_overhead": on_s / off_s - 1.0,
+        "spans": len(trace),
+        "task_spans": len(trace.find("task")),
+        "nested_json_bytes": len(trace.to_json(indent=None)),
+        "chrome_json_bytes": len(json.dumps(trace.to_chrome())),
+    }
+
+
+def run_suite(corpus):
+    return [measure_backend(backend, corpus) for backend in BACKENDS]
+
+
+def test_traced_batches_stay_within_budget(bench):
+    """Acceptance: tracing a batch costs well under the diagnosis-run
+    ceiling on every backend, and both exporters produce non-trivial
+    artifacts sized roughly linearly in the span count."""
+    corpus = mixed_corpus(10, seed=SEED)
+    rows = run_suite(corpus)
+    for row in rows:
+        print(
+            f"\n{row['backend']}: {row['untraced_seconds']:.3f}s -> "
+            f"{row['traced_seconds']:.3f}s traced "
+            f"({row['relative_overhead']:+.1%}), {row['spans']} spans, "
+            f"nested {row['nested_json_bytes']}B / "
+            f"chrome {row['chrome_json_bytes']}B"
+        )
+        assert row["relative_overhead"] < TRACED_CEILING, row
+        assert row["spans"] > len(corpus)  # more spans than instances
+        assert row["nested_json_bytes"] > 100 * row["task_spans"]
+        assert row["chrome_json_bytes"] > 100 * row["task_spans"]
+    bench(measure_backend, "serial", corpus)
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="small corpus, no thresholds, no JSON (CI harness check)",
+    )
+    parser.add_argument(
+        "--out",
+        type=Path,
+        default=Path(__file__).resolve().parent.parent
+        / "BENCH_trace.json",
+        help="where the full run writes its measurements",
+    )
+    args = parser.parse_args(argv)
+
+    corpus = mixed_corpus(10 if args.smoke else CORPUS_N, seed=SEED)
+    rows = run_suite(corpus)
+    for row in rows:
+        print(
+            f"{row['backend']}: {row['untraced_seconds']:.3f}s -> "
+            f"{row['traced_seconds']:.3f}s traced "
+            f"({row['relative_overhead']:+.1%}), {row['spans']} spans, "
+            f"nested {row['nested_json_bytes']}B / "
+            f"chrome {row['chrome_json_bytes']}B"
+        )
+
+    if args.smoke:
+        print("smoke run completed")
+        return 0
+
+    for row in rows:
+        assert row["relative_overhead"] < TRACED_CEILING, (
+            f"{row['backend']}: traced batch "
+            f"{row['relative_overhead']:+.1%} over the "
+            f"{TRACED_CEILING:.0%} ceiling"
+        )
+    payload = {
+        "benchmark": "tracing_overhead",
+        "workload": "datasets.mixed_corpus",
+        "corpus_n": len(corpus),
+        "workers": WORKERS,
+        "traced_ceiling": TRACED_CEILING,
+        "backends": rows,
+    }
+    args.out.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"-> {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -88,6 +88,7 @@ from .regions import (
     Region,
     SpatialInstance,
 )
+from .tracing import Trace, Tracer
 
 __version__ = "1.0.0"
 
@@ -123,6 +124,8 @@ __all__ = [
     "SimplePolygon",
     "SpatialInstance",
     "TopologicalInvariant",
+    "Trace",
+    "Tracer",
     "ValidationError",
     "WorkerError",
     "__version__",

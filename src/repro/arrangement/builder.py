@@ -31,6 +31,7 @@ from typing import Iterable, Sequence
 
 from ..geometry import Point, Segment
 from ..geometry.fastkernel import counters
+from ..instrument import stage
 
 __all__ = ["planarize", "planarize_allpairs"]
 
@@ -78,32 +79,34 @@ def planarize(segments: Iterable[Segment]) -> list[Segment]:
     """
     segs: list[Segment] = list(dict.fromkeys(segments))
     cuts: list[set[Point]] = [set() for _ in segs]
-    # Endpoints are stored in lexicographic order, so a.x is the left
-    # x-bound and b.x the right one.
-    order = sorted(range(len(segs)), key=lambda i: segs[i].a.lex_key())
-    active: list[int] = []
-    for i in order:
-        s = segs[i]
-        s_xmin = s.a.x
-        if s.a.y <= s.b.y:
-            s_ymin, s_ymax = s.a.y, s.b.y
-        else:
-            s_ymin, s_ymax = s.b.y, s.a.y
-        still: list[int] = []
-        for j in active:
-            t = segs[j]
-            if t.b.x < s_xmin:
-                continue  # x-interval closed: never overlaps anything later
-            still.append(j)
-            if max(t.a.y, t.b.y) < s_ymin or s_ymax < min(t.a.y, t.b.y):
-                counters.planarize_pairs_pruned += 1
-                continue
-            counters.planarize_pairs_tested += 1
-            kind, payload = s.intersect(t)
-            _record(cuts, i, j, kind, payload)
-        still.append(i)
-        active = still
-    return _pieces_from_cuts(segs, cuts)
+    with stage("planarize.sweep", segments=len(segs)):
+        # Endpoints are stored in lexicographic order, so a.x is the
+        # left x-bound and b.x the right one.
+        order = sorted(range(len(segs)), key=lambda i: segs[i].a.lex_key())
+        active: list[int] = []
+        for i in order:
+            s = segs[i]
+            s_xmin = s.a.x
+            if s.a.y <= s.b.y:
+                s_ymin, s_ymax = s.a.y, s.b.y
+            else:
+                s_ymin, s_ymax = s.b.y, s.a.y
+            still: list[int] = []
+            for j in active:
+                t = segs[j]
+                if t.b.x < s_xmin:
+                    continue  # x-interval closed: nothing later overlaps
+                still.append(j)
+                if max(t.a.y, t.b.y) < s_ymin or s_ymax < min(t.a.y, t.b.y):
+                    counters.planarize_pairs_pruned += 1
+                    continue
+                counters.planarize_pairs_tested += 1
+                kind, payload = s.intersect(t)
+                _record(cuts, i, j, kind, payload)
+            still.append(i)
+            active = still
+    with stage("planarize.pieces"):
+        return _pieces_from_cuts(segs, cuts)
 
 
 def planarize_allpairs(segments: Iterable[Segment]) -> list[Segment]:

@@ -8,8 +8,18 @@ aggregates the timings into its :class:`~repro.pipeline.PipelineStats`.
 
 Collectors are plain callables ``(stage_name, seconds) -> None`` held in
 a module-level registry guarded by a lock (the threads backend records
-from worker threads).  Process-pool workers run in separate interpreters
-and are therefore not observed — the pipeline documents this.
+from worker threads).  A collector that raises is skipped for that
+stage — a broken observer must not poison the observed computation or
+the registry.
+
+On top of the flat collectors sits the hierarchical tracing layer of
+:mod:`repro.tracing`: when a tracer is installed, every ``stage()``
+block additionally opens a span (keyword arguments to :func:`stage`
+become span attributes; collectors ignore them).  Spans recorded inside
+process-pool workers are captured in the child interpreter and
+re-parented in the submitting pipeline — see :mod:`repro.tracing` for
+the cross-process story that closes the old "workers are not observed"
+blind spot.
 
 Alongside the stage timers this module aggregates *counter sources*:
 zero-argument callables returning a ``{name: int}`` snapshot of
@@ -99,6 +109,25 @@ _lock = threading.Lock()
 _collectors: list[Collector] = []
 _counter_sources: list[CounterSource] = []
 
+# Hierarchical tracing hook (set up by repro.tracing, which this module
+# must not import at module level — tracing imports the counter API from
+# here).  ``_trace_refs`` counts active tracers; ``stage()`` only looks
+# up the current tracer when it is non-zero, so the tracing-off path
+# stays two truthiness checks.
+_trace_refs = 0
+_trace_get: Callable[[], object] | None = None
+
+
+def _trace_ref(delta: int) -> None:
+    """Adjust the active-tracer count (called by :mod:`repro.tracing`)."""
+    global _trace_refs, _trace_get
+    with _lock:
+        if _trace_get is None:
+            from .tracing import current_tracer
+
+            _trace_get = current_tracer
+        _trace_refs += delta
+
 
 def add_counter_source(source: CounterSource) -> None:
     """Register a ``() -> {name: int}`` snapshot callable."""
@@ -129,10 +158,27 @@ def counter_delta(
     before: dict[str, int], after: dict[str, int]
 ) -> dict[str, int]:
     """Per-counter increase between two snapshots (new counters count
-    from zero; nothing is ever negative for monotone counters)."""
-    return {
-        name: value - before.get(name, 0) for name, value in after.items()
-    }
+    from zero).
+
+    Counters are monotone within one source's lifetime, but a source can
+    be *replaced* mid-interval — a process-pool respawn installs fresh
+    workers whose counters restart at zero — which would make the naive
+    difference negative and corrupt every rate derived from it.  A
+    negative difference is therefore clamped to 0 and tallied in the
+    returned ``counters_reset`` entry instead, so consumers can see that
+    an interval lost data without ever seeing a negative rate.
+    """
+    delta: dict[str, int] = {}
+    resets = 0
+    for name, value in after.items():
+        d = value - before.get(name, 0)
+        if d < 0:
+            resets += 1
+            d = 0
+        delta[name] = d
+    if resets:
+        delta["counters_reset"] = delta.get("counters_reset", 0) + resets
+    return delta
 
 
 def add_collector(collector: Collector) -> None:
@@ -161,17 +207,36 @@ def collecting(collector: Collector) -> Iterator[None]:
 
 
 @contextmanager
-def stage(name: str) -> Iterator[None]:
-    """Time the block as *name* if any collector is installed."""
-    if not _collectors:
+def stage(name: str, **attributes) -> Iterator[None]:
+    """Time the block as *name* if any collector or tracer is installed.
+
+    Keyword arguments become span attributes when a tracer is active
+    (:mod:`repro.tracing`); flat collectors see only ``(name, dt)``.
+    With neither installed the block costs two truthiness checks.
+    """
+    tracer = _trace_get() if _trace_refs else None
+    if not _collectors and tracer is None:
         yield
         return
+    span = (
+        tracer.start_span(name, push=True, attributes=attributes)
+        if tracer is not None
+        else None
+    )
     t0 = perf_counter()
     try:
         yield
     finally:
         dt = perf_counter() - t0
-        with _lock:
-            active = list(_collectors)
-        for collector in active:
-            collector(name, dt)
+        if span is not None:
+            tracer.finish_span(span)
+        if _collectors:
+            with _lock:
+                active = list(_collectors)
+            for collector in active:
+                try:
+                    collector(name, dt)
+                except Exception:
+                    # A broken observer must not fail the observed
+                    # computation (or starve the collectors after it).
+                    pass

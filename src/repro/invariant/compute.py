@@ -36,7 +36,7 @@ def invariant(
         hit = cache.get(key)
         if hit is not None:
             return hit
-    with stage("invariant.build"):
+    with stage("invariant.build", regions=len(instance)):
         t = TopologicalInvariant.from_complex(build_complex(instance))
     if cache is not None:
         cache.put(key, t)

@@ -60,13 +60,14 @@ def find_isomorphism(
     if len(t1.incidences) != len(t2.incidences):
         return None
     flips = (False, True) if use_orientation else (False,)
-    with stage("invariant.isomorphism"):
+    with stage("invariant.isomorphism", cells=len(t1.incidences)):
         for flip in flips:
-            mapping = _Search(
-                t1, t2, flip,
-                use_orientation=use_orientation,
-                use_exterior=use_exterior,
-            ).run()
+            with stage("isomorphism.search", flip=flip):
+                mapping = _Search(
+                    t1, t2, flip,
+                    use_orientation=use_orientation,
+                    use_exterior=use_exterior,
+                ).run()
             if mapping is not None:
                 return mapping
         return None

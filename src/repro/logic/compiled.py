@@ -50,7 +50,7 @@ from typing import Callable, Mapping, Sequence
 
 from ..errors import QueryError
 from ..geometry import Location, Point
-from ..instrument import Deadline, add_counter_source
+from ..instrument import Deadline, add_counter_source, stage
 from ..regions import Rect, RectUnion, SpatialInstance
 from . import pointlogic as _pl
 from .ast import (
@@ -531,7 +531,8 @@ def _build_universe(
     model: CompiledCellModel, instance: SpatialInstance
 ) -> CompiledUniverse:
     names = tuple(instance.names())
-    regions, candidates_seen = model.enumerate_universe()
+    with stage("query.enumerate_universe", faces=len(model.face_indices)):
+        regions, candidates_seen = model.enumerate_universe()
     counters.regions_enumerated += len(regions)
     return CompiledUniverse(
         model.cell_ids,
@@ -726,6 +727,10 @@ class _CellCompiler:
         regions = self.universe.regions
         c = counters
         body = f.body
+        span_name = (
+            f"query.exists_region.{var}" if want
+            else f"query.forall_region.{var}"
+        )
 
         guard = None  # ForAll-Implies: skip candidates failing the guard
         filters = None  # Exists-And: quantifier-free candidate filters
@@ -738,26 +743,29 @@ class _CellCompiler:
             rest = self.compile(body)
 
         def raw(renv, nenv):
-            prev = renv.get(var, _MISSING)
-            try:
-                for value in regions:
-                    renv[var] = value
-                    if filters is not None and not all(
-                        g(renv, nenv) for g in filters
-                    ):
-                        c.candidates_pruned += 1
-                        continue
-                    if guard is not None and not guard(renv, nenv):
-                        c.candidates_pruned += 1
-                        continue
-                    if rest(renv, nenv) == want:
-                        return want
-                return not want
-            finally:
-                if prev is _MISSING:
-                    renv.pop(var, None)
-                else:
-                    renv[var] = prev
+            # A span per (non-memoized) evaluation of this quantifier
+            # node: a no-op truthiness check when tracing is off.
+            with stage(span_name, candidates=len(regions)):
+                prev = renv.get(var, _MISSING)
+                try:
+                    for value in regions:
+                        renv[var] = value
+                        if filters is not None and not all(
+                            g(renv, nenv) for g in filters
+                        ):
+                            c.candidates_pruned += 1
+                            continue
+                        if guard is not None and not guard(renv, nenv):
+                            c.candidates_pruned += 1
+                            continue
+                        if rest(renv, nenv) == want:
+                            return want
+                    return not want
+                finally:
+                    if prev is _MISSING:
+                        renv.pop(var, None)
+                    else:
+                        renv[var] = prev
 
         return self._memoized(f, raw)
 
@@ -766,20 +774,25 @@ class _CellCompiler:
         var = f.variable
         names = self.universe.names
         body = self.compile(f.body)
+        span_name = (
+            f"query.exists_name.{var}" if want
+            else f"query.forall_name.{var}"
+        )
 
         def raw(renv, nenv):
-            prev = nenv.get(var, _MISSING)
-            try:
-                for name in names:
-                    nenv[var] = name
-                    if body(renv, nenv) == want:
-                        return want
-                return not want
-            finally:
-                if prev is _MISSING:
-                    nenv.pop(var, None)
-                else:
-                    nenv[var] = prev
+            with stage(span_name, candidates=len(names)):
+                prev = nenv.get(var, _MISSING)
+                try:
+                    for name in names:
+                        nenv[var] = name
+                        if body(renv, nenv) == want:
+                            return want
+                    return not want
+                finally:
+                    if prev is _MISSING:
+                        nenv.pop(var, None)
+                    else:
+                        nenv[var] = prev
 
         return self._memoized(f, raw)
 
@@ -814,25 +827,28 @@ def evaluate_cells_compiled(
             f"unknown parallel backend {parallel!r}; expected one of "
             f"{BACKENDS}"
         )
-    universe = compiled_universe(
-        instance, refinement, max_faces, max_regions, cache=cache,
-        timeout=timeout,
-    )
-    if parallel != "serial" and isinstance(
-        formula, (ExistsRegion, ForAllRegion)
+    with stage(
+        "query.evaluate_cells", refinement=refinement, parallel=parallel
     ):
-        return _evaluate_parallel(
-            formula,
-            instance,
-            universe,
-            refinement,
-            max_faces,
-            max_regions,
-            parallel,
-            workers,
+        universe = compiled_universe(
+            instance, refinement, max_faces, max_regions, cache=cache,
+            timeout=timeout,
         )
-    fn = _CellCompiler(universe).compile(formula)
-    return fn({}, {})
+        if parallel != "serial" and isinstance(
+            formula, (ExistsRegion, ForAllRegion)
+        ):
+            return _evaluate_parallel(
+                formula,
+                instance,
+                universe,
+                refinement,
+                max_faces,
+                max_regions,
+                parallel,
+                workers,
+            )
+        fn = _CellCompiler(universe).compile(formula)
+        return fn({}, {})
 
 
 # -- parallel outermost quantifier -------------------------------------------

@@ -42,7 +42,7 @@ import os
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from typing import Iterable, Sequence
 
-from .. import faults
+from .. import faults, tracing
 from ..errors import PipelineError
 from ..instrument import collecting, counter_delta, counter_snapshot
 from ..invariant import (
@@ -95,15 +95,19 @@ def _teardown_process_pool(pool: ProcessPoolExecutor) -> None:
             pass
 
 
-def _invariant_task_json(args: tuple) -> str:
-    """Process-pool worker: ``(key, instance JSON, drawn fault)`` in,
-    invariant JSON out.  The fault decision was drawn by the parent at
-    submit time (deterministic schedules survive the process hop)."""
-    key, instance_json, fault = args
+def _invariant_task_json(args: tuple):
+    """Process-pool worker: ``(key, instance JSON, drawn fault, trace?)``
+    in, invariant JSON out.  The fault decision was drawn by the parent
+    at submit time (deterministic schedules survive the process hop).
+    When the parent is tracing, the spans recorded in this interpreter
+    are captured and piggybacked on the result for re-parenting."""
+    key, instance_json, fault, traced = args
     from ..io import instance_from_json, invariant_to_json
 
-    faults.execute_in_worker(fault, key)
-    return invariant_to_json(invariant(instance_from_json(instance_json)))
+    with tracing.capture(force=traced) as cap:
+        faults.execute_in_worker(fault, key)
+        value = invariant_to_json(invariant(instance_from_json(instance_json)))
+    return tracing.pack_result(value, cap)
 
 
 class InvariantPipeline:
@@ -164,6 +168,7 @@ class InvariantPipeline:
         self.task_timeout = task_timeout
         self.max_pool_respawns = max_pool_respawns
         self.stats = PipelineStats()
+        self.last_trace: tracing.Trace | None = None
         self._pool: ProcessPoolExecutor | None = None
         self._thread_pool: ThreadPoolExecutor | None = None
 
@@ -228,6 +233,7 @@ class InvariantPipeline:
         self,
         instances: Sequence[SpatialInstance],
         on_error: str = "raise",
+        trace: "bool | tracing.Tracer | None" = None,
     ) -> list[TopologicalInvariant] | BatchResult:
         """Invariants of *instances*, in order.
 
@@ -246,39 +252,88 @@ class InvariantPipeline:
         * ``"collect"`` — return a :class:`BatchResult` iterating over
           per-input :class:`~repro.pipeline.resilience.Outcome`
           objects (ok or failed, aligned with the inputs).
+
+        *trace* selects hierarchical tracing (:mod:`repro.tracing`):
+
+        * ``None`` (default) — no tracer is installed by the batch, but
+          an externally installed one observes it;
+        * ``True`` — the batch runs under a private tracer; the finished
+          :class:`~repro.tracing.Trace` lands at :attr:`last_trace` and
+          its self-time rollup is merged into :attr:`stats`;
+        * a :class:`~repro.tracing.Tracer` — the batch runs under it;
+          the caller owns and finishes it.
+
+        Spans recorded inside workers — including process-pool workers —
+        are captured in the worker and re-parented under the submitting
+        task's span.  Tracing never changes results (the differential
+        suite in ``tests/test_tracing.py`` holds the pipeline to that).
         """
         if on_error not in ON_ERROR_MODES:
             raise PipelineError(
                 f"unknown on_error mode {on_error!r}; "
                 f"expected one of {ON_ERROR_MODES}"
             )
+        owned: tracing.Tracer | None = None
+        if trace is True:
+            owned = tracer = tracing.Tracer(capture_counters=True)
+        elif isinstance(trace, tracing.Tracer):
+            tracer = trace
+        elif trace in (None, False):
+            tracer = None
+        else:
+            raise PipelineError(
+                "trace must be None, True, or a repro.tracing.Tracer"
+            )
+        try:
+            if tracer is not None:
+                tracing.install(tracer)
+            return self._compute_batch_inner(instances, on_error)
+        finally:
+            if tracer is not None:
+                tracing.uninstall(tracer)
+            if owned is not None:
+                self.last_trace = owned.finish(backend=self.backend)
+                self.stats.record_trace(self.last_trace)
+
+    def _compute_batch_inner(
+        self,
+        instances: Sequence[SpatialInstance],
+        on_error: str,
+    ) -> list[TopologicalInvariant] | BatchResult:
         instances = list(instances)
         self.stats.count("instances_seen", len(instances))
         # Kernel counters (filter hits / exact fallbacks / planarize
         # pruning) are monotone module globals; the batch records its
         # increase.  Threads-backend increments land here too; process
-        # workers count in their own interpreters, same caveat as stages.
+        # workers count in their own interpreters, same caveat as the
+        # flat stage timings (the span tree does observe workers).
         kernel_before = counter_snapshot()
         failures: dict[str, Outcome] = {}
         computed_outcomes: dict[str, Outcome] = {}
         try:
-            with collecting(self.stats.record_stage):
-                keys = [instance_key(inst) for inst in instances]
-                resolved: dict[str, TopologicalInvariant] = {}
-                misses: dict[str, SpatialInstance] = {}
-                for key, inst in zip(keys, instances):
-                    if key in resolved or key in misses:
-                        self.stats.count("cache_hits")
-                        continue
-                    hit = self.cache.get(key)
-                    if hit is not None:
-                        self.stats.count("cache_hits")
-                        resolved[key] = hit
-                    else:
-                        self.stats.count("cache_misses")
-                        misses[key] = inst
+            with collecting(self.stats.record_stage), tracing.span(
+                "pipeline.compute_batch",
+                backend=self.backend,
+                instances=len(instances),
+            ):
+                with tracing.span("pipeline.resolve"):
+                    keys = [instance_key(inst) for inst in instances]
+                    resolved: dict[str, TopologicalInvariant] = {}
+                    misses: dict[str, SpatialInstance] = {}
+                    for key, inst in zip(keys, instances):
+                        if key in resolved or key in misses:
+                            self.stats.count("cache_hits")
+                            continue
+                        hit = self.cache.get(key)
+                        if hit is not None:
+                            self.stats.count("cache_hits")
+                            resolved[key] = hit
+                        else:
+                            self.stats.count("cache_misses")
+                            misses[key] = inst
                 if misses:
-                    outcomes = self._map_invariants(misses)
+                    with tracing.span("pipeline.map", misses=len(misses)):
+                        outcomes = self._map_invariants(misses)
                     computed = 0
                     for key in misses:
                         out = outcomes[key]
@@ -290,10 +345,10 @@ class InvariantPipeline:
                         else:
                             failures[key] = out
                     self.stats.count("invariants_computed", computed)
-                self.stats.disk_hits = self.cache.disk_hits
-                self.stats.quarantined = self.cache.quarantined
-                self.stats.disk_write_failures = (
-                    self.cache.disk_write_failures
+                self.stats.set_gauge("disk_hits", self.cache.disk_hits)
+                self.stats.set_gauge("quarantined", self.cache.quarantined)
+                self.stats.set_gauge(
+                    "disk_write_failures", self.cache.disk_write_failures
                 )
         finally:
             self.stats.record_counters(
@@ -325,8 +380,14 @@ class InvariantPipeline:
             chain = ["processes", "threads", "serial"]
 
         def run_inline(key: str, fault: dict | None):
-            faults.execute_inline(fault, key)
-            return invariant(misses[key])
+            # Spans recorded by the task (arrangement build, canonize…)
+            # are captured per-thread and re-parented by the mapper
+            # under the submitting task's span — the same piggyback
+            # protocol the process workers use.
+            with tracing.capture() as cap:
+                faults.execute_inline(fault, key)
+                value = invariant(misses[key])
+            return tracing.pack_result(value, cap)
 
         runners: dict[str, object] = {"serial": SerialRunner(run_inline)}
         if "threads" in chain:
@@ -343,10 +404,13 @@ class InvariantPipeline:
             payloads = {
                 key: instance_to_json(inst) for key, inst in misses.items()
             }
+            # Drawn in the parent at submit time, like the fault payload:
+            # the worker interpreter cannot see the parent's tracer.
+            traced = tracing.current_tracer() is not None
             runners["processes"] = ExecutorRunner(
                 "processes",
                 submit=lambda key, fault: self._process_pool().submit(
-                    _invariant_task_json, (key, payloads[key], fault)
+                    _invariant_task_json, (key, payloads[key], fault, traced)
                 ),
                 respawn=self._respawn_processes,
                 decode=invariant_from_json,
@@ -376,7 +440,9 @@ class InvariantPipeline:
         raises).
         """
         invariants = self.compute_batch(instances)
-        with collecting(self.stats.record_stage):
+        with collecting(self.stats.record_stage), tracing.span(
+            "pipeline.equivalence", instances=len(instances)
+        ):
             buckets: dict[str, list[int]] = {}
             for i, t in enumerate(invariants):
                 buckets.setdefault(canonical_hash(t), []).append(i)

@@ -49,7 +49,7 @@ from concurrent.futures import FIRST_COMPLETED, BrokenExecutor, Future, wait
 from time import monotonic
 from typing import Any, Callable, Iterator, Sequence
 
-from .. import faults
+from .. import faults, tracing
 from ..errors import ComputeError, PipelineError, WorkerError
 from ..errors import TimeoutError as TaskTimeoutError
 from ..faults import InjectedFailure
@@ -341,24 +341,65 @@ class ResilientMapper:
                         "backend chain exhausted with tasks pending"
                     )
                 self.stats.record_degradation(backend, self.chain[i + 1])
+                tracing.add_event(
+                    "degradation",
+                    frm=backend,
+                    to=self.chain[i + 1],
+                    pending=len(pending),
+                )
         return outcomes
 
     # -- serial --------------------------------------------------------------
 
+    @staticmethod
+    def _task_span(tracer, key: str, backend: str, attempt: int):
+        if tracer is None:
+            return None
+        return tracer.start_span(
+            "task",
+            attributes={
+                "instance_key": key,
+                "backend": backend,
+                "attempt": attempt,
+            },
+        )
+
+    @staticmethod
+    def _settle_span(tracer, span, value, event: str | None = None, **attrs):
+        """Finish a task span: re-parent piggybacked worker spans under
+        it and stamp a terminal event.  Returns the unpacked value."""
+        value, worker_spans = tracing.unpack_result(value)
+        if span is not None:
+            if worker_spans:
+                tracer.adopt(span, worker_spans)
+            if event is not None:
+                tracer.add_event(event, span=span, **attrs)
+            tracer.finish_span(span)
+        return value
+
     def _run_serial(self, runner, keys, attempts, outcomes) -> None:
+        tracer = tracing.current_tracer()
         for key in keys:
             while True:
                 attempts[key] += 1
                 fault = self._draw_worker_fault(key)
+                span = self._task_span(
+                    tracer, key, runner.name, attempts[key]
+                )
                 try:
                     value = runner.run(key, fault)
                 except Exception as exc:
+                    self._settle_span(
+                        tracer, span, None,
+                        event="error", error=type(exc).__name__,
+                    )
                     if self._settle_failed(
                         key, exc, attempts, None, outcomes, runner.name
                     ):
                         continue
                     break
                 else:
+                    value = self._settle_span(tracer, span, value)
                     outcomes[key] = Outcome.success(key, value, attempts[key])
                     break
 
@@ -370,6 +411,12 @@ class ResilientMapper:
         """Retry *key* (True) or record its failure (False)."""
         if self.policy.should_retry(exc, attempts[key]):
             self.stats.count("retries")
+            tracing.add_event(
+                "retry",
+                key=key,
+                attempt=attempts[key],
+                error=type(exc).__name__,
+            )
             self.policy.backoff(key, attempts[key])
             if queue is not None:
                 queue.append(key)
@@ -381,8 +428,9 @@ class ResilientMapper:
     def _run_pool(self, runner, pending, attempts, outcomes) -> list[str]:
         """Run *pending* on a pooled runner.  Returns the keys to hand
         down the chain when the pool's respawn budget runs out."""
+        tracer = tracing.current_tracer()
         queue: deque[str] = deque(pending)
-        inflight: dict[Future, tuple[str, float | None]] = {}
+        inflight: dict[Future, tuple[str, float | None, object]] = {}
         respawns = 0
 
         while queue or inflight:
@@ -407,11 +455,15 @@ class ResilientMapper:
                     if self.task_timeout is not None
                     else None
                 )
-                inflight[fut] = (key, deadline)
+                inflight[fut] = (
+                    key,
+                    deadline,
+                    self._task_span(tracer, key, runner.name, attempts[key]),
+                )
 
             if inflight and not broken:
                 deadlines = [
-                    d for (_k, d) in inflight.values() if d is not None
+                    d for (_k, d, _s) in inflight.values() if d is not None
                 ]
                 wait_for = (
                     max(0.0, min(deadlines) - monotonic())
@@ -424,14 +476,19 @@ class ResilientMapper:
                     return_when=FIRST_COMPLETED,
                 )
                 for fut in done:
-                    key, _d = inflight.pop(fut)
+                    key, _d, span = inflight.pop(fut)
+                    worker_spans = None
                     try:
                         value = fut.result()
+                        value, worker_spans = tracing.unpack_result(value)
                         if runner.decode is not None:
                             value = runner.decode(value)
                     except BrokenExecutor:
                         # Worker death is unattributable; every task
                         # that observed the break is charged.
+                        self._settle_span(
+                            tracer, span, None, event="worker_crash"
+                        )
                         crashed.append(
                             (
                                 key,
@@ -444,10 +501,19 @@ class ResilientMapper:
                         )
                         broken = True
                     except Exception as exc:
+                        if span is not None and worker_spans:
+                            tracer.adopt(span, worker_spans)
+                        self._settle_span(
+                            tracer, span, None,
+                            event="error", error=type(exc).__name__,
+                        )
                         self._settle_failed(
                             key, exc, attempts, queue, outcomes, runner.name
                         )
                     else:
+                        if span is not None and worker_spans:
+                            tracer.adopt(span, worker_spans)
+                        self._settle_span(tracer, span, None)
                         outcomes[key] = Outcome.success(
                             key, value, attempts[key]
                         )
@@ -456,13 +522,17 @@ class ResilientMapper:
                     now = monotonic()
                     overdue = [
                         f
-                        for f, (_k, d) in inflight.items()
+                        for f, (_k, d, _s) in inflight.items()
                         if d is not None and d <= now
                     ]
                     for fut in overdue:
-                        key, _d = inflight.pop(fut)
+                        key, _d, span = inflight.pop(fut)
                         fut.cancel()
                         self.stats.count("timeouts")
+                        self._settle_span(
+                            tracer, span, None,
+                            event="timeout", seconds=self.task_timeout,
+                        )
                         exc = TaskTimeoutError(
                             f"task {key} exceeded its "
                             f"{self.task_timeout}s timeout",
@@ -482,8 +552,11 @@ class ResilientMapper:
                 # Tasks still queued in the dead pool are victims:
                 # requeue them without charging an attempt.
                 for fut in list(inflight):
-                    key, _d = inflight.pop(fut)
+                    key, _d, span = inflight.pop(fut)
                     fut.cancel()
+                    self._settle_span(
+                        tracer, span, None, event="victim_requeued"
+                    )
                     attempts[key] -= 1
                     queue.append(key)
                 for key, exc in crashed:
@@ -505,5 +578,10 @@ class ResilientMapper:
                         return list(queue)
                     respawns += 1
                     self.stats.count("pool_respawns")
+                    tracing.add_event(
+                        "pool_respawn",
+                        backend=runner.name,
+                        respawn=respawns,
+                    )
                     runner.respawn()
         return []

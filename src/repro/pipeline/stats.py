@@ -40,6 +40,11 @@ class PipelineStats:
         self.quarantined = 0
         self.disk_write_failures = 0
         self.degradations: list[tuple[str, str]] = []
+        # Hierarchical tracing rollup (see repro.tracing): per-span-name
+        # total/self seconds aggregated over every recorded trace, plus
+        # the latest trace's critical path.
+        self.span_rollup: dict[str, dict] = {}
+        self.critical_path: list[tuple[str, float]] = []
 
     # -- recording (collector-compatible) ----------------------------------
 
@@ -65,6 +70,31 @@ class PipelineStats:
     def count(self, counter: str, delta: int = 1) -> None:
         with self._lock:
             setattr(self, counter, getattr(self, counter) + delta)
+
+    def set_gauge(self, counter: str, value: int) -> None:
+        """Overwrite an attribute counter under the lock (the engine
+        mirrors cache gauges like ``disk_hits`` here; a bare attribute
+        assignment would race with concurrent recorders)."""
+        with self._lock:
+            setattr(self, counter, value)
+
+    def record_trace(self, trace) -> None:
+        """Merge a :class:`repro.tracing.Trace`'s per-stage self-time
+        rollup into the stats and remember its critical path."""
+        rollup = trace.self_times()
+        path = [
+            (span.name, span.duration or 0.0)
+            for span in trace.critical_path()
+        ]
+        with self._lock:
+            for name, cell in rollup.items():
+                agg = self.span_rollup.setdefault(
+                    name, {"seconds": 0.0, "self_seconds": 0.0, "calls": 0}
+                )
+                agg["seconds"] += cell["seconds"]
+                agg["self_seconds"] += cell["self_seconds"]
+                agg["calls"] += cell["calls"]
+            self.critical_path = path
 
     def record_degradation(self, frm: str, to: str) -> None:
         """A backend fell back (``processes`` → ``threads`` → ``serial``)
@@ -95,6 +125,13 @@ class PipelineStats:
                 "invariants_computed": self.invariants_computed,
                 "buckets": self.buckets,
                 "isomorphism_calls": self.isomorphism_calls,
+                "spans": {
+                    name: dict(cell)
+                    for name, cell in sorted(self.span_rollup.items())
+                },
+                "critical_path": [
+                    [name, seconds] for name, seconds in self.critical_path
+                ],
                 "resilience": {
                     "retries": self.retries,
                     "timeouts": self.timeouts,
@@ -176,6 +213,26 @@ class PipelineStats:
         for name, cell in data["stages"].items():
             lines.append(
                 f"  {name}: {cell['seconds']:.3f}s / {cell['calls']} calls"
+            )
+        if data["critical_path"]:
+            chain = " > ".join(
+                f"{name} {seconds * 1e3:.1f}ms"
+                for name, seconds in data["critical_path"][:6]
+            )
+            lines.append(f"critical path: {chain}")
+        if data["spans"]:
+            top = sorted(
+                data["spans"].items(),
+                key=lambda kv: kv[1]["self_seconds"],
+                reverse=True,
+            )[:5]
+            lines.append(
+                "span self-time: "
+                + ", ".join(
+                    f"{name} {cell['self_seconds'] * 1e3:.1f}ms"
+                    f"/{cell['calls']}"
+                    for name, cell in top
+                )
             )
         return "\n".join(lines)
 

@@ -407,9 +407,12 @@ class TestProcessRecovery:
         insts = _corpus(4)
         key = instance_key(insts[2])
         plan = FaultPlan(Fault("worker_crash", times=99, key=key))
+        # max_attempts=4: every pool break charges the innocent tasks
+        # whose futures observed it, so they need headroom to survive
+        # all the breaks the crashing key can cause.
         with InvariantPipeline(
             backend="processes", workers=2,
-            retry=_policy(max_attempts=2),
+            retry=_policy(max_attempts=4),
         ) as pipe:
             with inject(plan):
                 res = pipe.compute_batch(insts, on_error="collect")

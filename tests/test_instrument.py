@@ -1,0 +1,131 @@
+"""Edge cases of the flat instrumentation layer.
+
+Previously untested corners called out in the PR-5 issue: deadline
+remaining-time queries, idempotent deregistration, collector failure
+isolation, and the counter-reset clamp in :func:`counter_delta`.
+"""
+
+import pytest
+
+from repro.errors import TimeoutError
+from repro.instrument import (
+    Deadline,
+    add_collector,
+    add_counter_source,
+    collecting,
+    counter_delta,
+    counter_snapshot,
+    remove_collector,
+    remove_counter_source,
+    stage,
+)
+
+
+class FakeClock:
+    def __init__(self, t: float = 0.0):
+        self.t = t
+
+    def __call__(self) -> float:
+        return self.t
+
+
+class TestDeadline:
+    def test_unbounded_deadline_never_expires(self):
+        d = Deadline(None)
+        assert d.remaining() is None
+        assert not d.expired()
+        d.check("anything")  # must not raise
+
+    def test_remaining_counts_down_and_clamps_at_zero(self):
+        clock = FakeClock()
+        d = Deadline(2.0, clock=clock)
+        assert d.remaining() == pytest.approx(2.0)
+        clock.t = 1.5
+        assert d.remaining() == pytest.approx(0.5)
+        clock.t = 7.0
+        assert d.remaining() == 0.0
+        assert d.expired()
+        with pytest.raises(TimeoutError):
+            d.check("enumeration")
+
+    def test_nonpositive_budget_rejected(self):
+        with pytest.raises(ValueError):
+            Deadline(0)
+        with pytest.raises(ValueError):
+            Deadline(-1.0)
+
+
+class TestRegistryRemoval:
+    def test_remove_collector_absent_is_noop(self):
+        remove_collector(lambda name, dt: None)  # never registered
+
+    def test_remove_counter_source_absent_is_noop(self):
+        remove_counter_source(dict)  # never registered
+
+    def test_remove_is_idempotent(self):
+        seen = []
+        collector = lambda name, dt: seen.append(name)  # noqa: E731
+        add_collector(collector)
+        remove_collector(collector)
+        remove_collector(collector)
+        with stage("after-removal"):
+            pass
+        assert seen == []
+
+    def test_counter_source_registration_round_trip(self):
+        source = lambda: {"test.edge_counter": 7}  # noqa: E731
+        add_counter_source(source)
+        try:
+            assert counter_snapshot().get("test.edge_counter") == 7
+        finally:
+            remove_counter_source(source)
+        assert "test.edge_counter" not in counter_snapshot()
+
+
+class TestCollectorIsolation:
+    def test_broken_collector_does_not_poison_stage(self):
+        seen = []
+
+        def broken(name, dt):
+            raise RuntimeError("observer bug")
+
+        with collecting(broken), collecting(
+            lambda name, dt: seen.append(name)
+        ):
+            with stage("observed"):
+                pass
+            # The broken collector stayed registered and kept being
+            # skipped, while the healthy one kept firing.
+            with stage("observed-again"):
+                pass
+        assert seen == ["observed", "observed-again"]
+
+    def test_stage_exception_still_reported_to_collectors(self):
+        seen = []
+        with collecting(lambda name, dt: seen.append(name)):
+            with pytest.raises(ValueError):
+                with stage("failing"):
+                    raise ValueError("work failed")
+        assert seen == ["failing"]
+
+    def test_stage_is_noop_without_observers(self):
+        with stage("nothing-installed", attr=1):
+            pass  # no collector, no tracer: must not raise
+
+
+class TestCounterDelta:
+    def test_plain_increase(self):
+        assert counter_delta({"a": 1}, {"a": 4, "b": 2}) == {"a": 3, "b": 2}
+
+    def test_reset_clamped_and_tallied(self):
+        # A pool respawn replaces the worker source: the counter
+        # restarts below its previous snapshot.
+        delta = counter_delta({"a": 10, "b": 1}, {"a": 3, "b": 5})
+        assert delta == {"a": 0, "b": 4, "counters_reset": 1}
+
+    def test_multiple_resets_accumulate(self):
+        delta = counter_delta({"a": 10, "b": 10}, {"a": 0, "b": 2})
+        assert delta == {"a": 0, "b": 0, "counters_reset": 2}
+
+    def test_no_reset_key_when_monotone(self):
+        assert "counters_reset" not in counter_delta({"a": 1}, {"a": 1})
