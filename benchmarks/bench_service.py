@@ -1,0 +1,440 @@
+"""Service load test — closed- and open-loop traffic over the query
+service.
+
+A mixed read/compute workload (figure instances + a generated corpus ×
+a cell/equivalence/invariant query mix, duplicate-heavy by
+construction) is driven through :class:`repro.service.QueryService`
+three ways:
+
+* **closed loop** — K clients, each issuing its next request the
+  moment the previous one answers: measures capacity (throughput at
+  saturation) without coordinated omission;
+* **open loop** — requests arrive on a fixed schedule regardless of
+  completions: measures latency under offered load, with overload
+  surfacing as shed requests rather than silent queueing;
+* **burst** — a whole duplicate wave issued in one scheduling batch:
+  the worst-case fan-in that coalescing exists for (one compute, N
+  answers).
+
+Every row records p50/p99/mean latency, throughput, per-status counts,
+the coalescing hit-rate (from the ``service.*`` counter family), and —
+because every request's expected answer is precomputed directly
+against the engines — a ``wrong_answers`` count that must be zero.  A
+separate pass replays the pipeline-backed endpoints across all three
+pipeline backends (serial/threads/processes) and must also be
+bit-identical.
+
+Run as a pytest module (``pytest benchmarks/bench_service.py``) or as
+a script::
+
+    PYTHONPATH=src python benchmarks/bench_service.py          # full sweep
+    PYTHONPATH=src python benchmarks/bench_service.py --smoke  # CI smoke
+
+Both modes write ``BENCH_service.json`` at the repo root.  Smoke mode
+asserts a >0 coalescing hit-rate on the duplicate-heavy workload and
+zero wrong answers everywhere (the full sweep asserts the same, over
+more traffic).
+"""
+
+import argparse
+import asyncio
+import json
+import time
+from collections import Counter, deque
+from pathlib import Path
+
+from repro import (
+    OverloadError,
+    QueryService,
+    Rect,
+    ReproError,
+    RetryPolicy,
+    SpatialInstance,
+    canonical_hash,
+    invariant,
+    topologically_equivalent,
+)
+from repro import errors as repro_errors
+from repro.datasets import fig_1a, fig_1b, overlap_chain
+from repro.instrument import counter_delta, counter_snapshot
+from repro.logic import evaluate_cells, parse
+from repro.logic.compiled import clear_universe_cache
+from repro.pipeline import InvariantPipeline
+
+LENS = SpatialInstance({"A": Rect(0, 0, 4, 4), "B": Rect(2, 2, 6, 6)})
+APART = SpatialInstance({"A": Rect(0, 0, 1, 1), "B": Rect(3, 3, 4, 4)})
+NESTED = SpatialInstance({"A": Rect(0, 0, 8, 8), "B": Rect(2, 2, 5, 5)})
+
+CORPUS = {
+    "lens": LENS,
+    "apart": APART,
+    "nested": NESTED,
+    "fig_1a": fig_1a(),
+    "fig_1b": fig_1b(),
+    "chain": overlap_chain(3),
+}
+
+GENERIC_QUERIES = [
+    "exists name a, b . not (a = b) and overlap(a, b)",
+    "exists name a . exists r . subset(r, a)",
+    "forall name a . connect(a, a)",
+]
+
+AB_QUERIES = [
+    "exists r . subset(r, A) and subset(r, B)",
+    "overlap(A, B)",
+    "meet(A, B)",
+]
+AB_NAMES = ("lens", "apart", "nested")
+
+EQ_PAIRS = [("lens", "apart"), ("lens", "nested"), ("apart", "nested")]
+
+BACKENDS = ("serial", "threads", "processes")
+
+
+def _percentile(samples, q):
+    if not samples:
+        return 0.0
+    ordered = sorted(samples)
+    rank = max(0, min(len(ordered) - 1, int(q * len(ordered) + 0.5) - 1))
+    return ordered[rank]
+
+
+def _retry():
+    return RetryPolicy(sleep=lambda s: None)
+
+
+def build_jobs(repeat: int):
+    """The mixed workload: (kind, args, expected) triples, with every
+    distinct request repeated *repeat* times (duplicate-heavy — the
+    shape coalescing and the invariant cache exist for)."""
+    jobs = []
+    for q in GENERIC_QUERIES:
+        for name, inst in CORPUS.items():
+            jobs.append(("cells", (name, q), evaluate_cells(parse(q), inst)))
+    for q in AB_QUERIES:
+        for name in AB_NAMES:
+            jobs.append(
+                ("cells", (name, q), evaluate_cells(parse(q), CORPUS[name]))
+            )
+    for a, b in EQ_PAIRS:
+        jobs.append(
+            (
+                "equivalent",
+                (a, b),
+                topologically_equivalent(CORPUS[a], CORPUS[b]),
+            )
+        )
+    for name in AB_NAMES:
+        jobs.append(
+            ("invariant", (name,), canonical_hash(invariant(CORPUS[name])))
+        )
+    ordered = []
+    for job in jobs:
+        ordered.extend([job] * repeat)  # duplicates adjacent → in flight
+    return ordered
+
+
+def make_service(**kw):
+    kw.setdefault("max_inflight", 4)
+    kw.setdefault("max_queue", 64)
+    svc = QueryService(**kw)
+    for name, inst in CORPUS.items():
+        svc.register(name, inst)
+    return svc
+
+
+async def dispatch(svc, kind, args, timeout=None):
+    if kind == "cells":
+        return await svc.ask_cells(*args, timeout=timeout)
+    if kind == "equivalent":
+        return await svc.equivalent(*args, timeout=timeout)
+    if kind == "invariant":
+        return await svc.invariant_of(*args, timeout=timeout)
+    raise ValueError(kind)
+
+
+def _check(kind, expected, value):
+    if kind == "invariant":
+        return canonical_hash(value) == expected
+    return value == expected
+
+
+class Recorder:
+    """Per-request latency/status/correctness tally for one row."""
+
+    def __init__(self):
+        self.latencies = []
+        self.statuses = Counter()
+        self.wrong = 0
+
+    async def request(self, svc, job, timeout=None):
+        kind, args, expected = job
+        t0 = time.perf_counter()
+        try:
+            answer = await dispatch(svc, kind, args, timeout=timeout)
+        except OverloadError:
+            self.statuses["shed"] += 1
+        except repro_errors.TimeoutError:
+            self.statuses["timeout"] += 1
+        except ReproError:
+            self.statuses["error"] += 1
+        else:
+            self.latencies.append(time.perf_counter() - t0)
+            self.statuses["ok"] += 1
+            if not _check(kind, expected, answer.value):
+                self.wrong += 1
+
+    def row(self, mode, elapsed, delta, **extra):
+        total = sum(self.statuses.values())
+        requests = delta.get("service.requests", 0)
+        return {
+            "mode": mode,
+            **extra,
+            "requests": total,
+            "statuses": dict(self.statuses),
+            "wrong_answers": self.wrong,
+            "p50_ms": _percentile(self.latencies, 0.50) * 1e3,
+            "p99_ms": _percentile(self.latencies, 0.99) * 1e3,
+            "mean_ms": (
+                sum(self.latencies) / len(self.latencies) * 1e3
+                if self.latencies
+                else 0.0
+            ),
+            "throughput_rps": total / elapsed if elapsed > 0 else 0.0,
+            "coalesce_hit_rate": (
+                delta.get("service.coalesced", 0) / requests
+                if requests
+                else 0.0
+            ),
+            "computes": delta.get("service.computes", 0),
+        }
+
+
+def run_closed_loop(jobs, clients):
+    """K clients, back-to-back requests from a shared queue."""
+    rec = Recorder()
+
+    async def main():
+        async with make_service() as svc:
+            queue = deque(jobs)
+
+            async def client():
+                while True:
+                    try:
+                        job = queue.popleft()
+                    except IndexError:
+                        return
+                    await rec.request(svc, job)
+
+            before = counter_snapshot()
+            t0 = time.perf_counter()
+            await asyncio.gather(*[client() for _ in range(clients)])
+            elapsed = time.perf_counter() - t0
+            delta = counter_delta(before, counter_snapshot())
+            return rec.row("closed", elapsed, delta, clients=clients)
+
+    return asyncio.run(main())
+
+
+def run_open_loop(jobs, rate):
+    """Fixed arrival schedule at *rate* requests/second; overload sheds."""
+    rec = Recorder()
+    interval = 1.0 / rate
+
+    async def main():
+        async with make_service() as svc:
+            before = counter_snapshot()
+            t0 = time.perf_counter()
+            tasks = []
+            for job in jobs:
+                tasks.append(
+                    asyncio.ensure_future(rec.request(svc, job, timeout=10.0))
+                )
+                await asyncio.sleep(interval)
+            await asyncio.gather(*tasks)
+            elapsed = time.perf_counter() - t0
+            delta = counter_delta(before, counter_snapshot())
+            return rec.row("open", elapsed, delta, offered_rps=rate)
+
+    return asyncio.run(main())
+
+
+def run_burst(job, n):
+    """One wave of n identical requests in a single scheduling batch:
+    deterministically one compute, n-1 coalesced answers."""
+    rec = Recorder()
+
+    async def main():
+        async with make_service() as svc:
+            before = counter_snapshot()
+            t0 = time.perf_counter()
+            await asyncio.gather(
+                *[rec.request(svc, job) for _ in range(n)]
+            )
+            elapsed = time.perf_counter() - t0
+            delta = counter_delta(before, counter_snapshot())
+            return rec.row("open", elapsed, delta, burst=n)
+
+    return asyncio.run(main())
+
+
+def run_backend_check():
+    """Pipeline-backed endpoints across all three backends: every
+    answer bit-identical to direct evaluation."""
+    reference_inv = {
+        n: canonical_hash(invariant(CORPUS[n])) for n in AB_NAMES
+    }
+    rows = []
+    for backend in BACKENDS:
+
+        async def main():
+            pipe = InvariantPipeline(
+                backend=backend, workers=2, retry=_retry()
+            )
+            try:
+                async with make_service(pipeline=pipe) as svc:
+                    wrong = 0
+                    for n in AB_NAMES:
+                        got = (await svc.invariant_of(n)).value
+                        if canonical_hash(got) != reference_inv[n]:
+                            wrong += 1
+                    for a, b in EQ_PAIRS:
+                        got = (await svc.equivalent(a, b)).value
+                        want = topologically_equivalent(
+                            CORPUS[a], CORPUS[b]
+                        )
+                        if got != want:
+                            wrong += 1
+                    return {
+                        "backend": backend,
+                        "requests": len(AB_NAMES) + len(EQ_PAIRS),
+                        "wrong_answers": wrong,
+                    }
+            finally:
+                pipe.close()
+
+        rows.append(asyncio.run(main()))
+    return rows
+
+
+def _print_rows(rows):
+    print(
+        f"{'mode':>7} {'load':>12} {'req':>5} {'ok':>5} {'shed':>5} "
+        f"{'p50':>8} {'p99':>8} {'rps':>8} {'coalesce':>9} {'wrong':>6}"
+    )
+    for row in rows:
+        load = (
+            f"{row.get('clients', '')}c"
+            if "clients" in row
+            else f"{row.get('offered_rps', '')}rps"
+            if "offered_rps" in row
+            else f"{row.get('burst', '')}burst"
+        )
+        print(
+            f"{row['mode']:>7} {load:>12} {row['requests']:>5} "
+            f"{row['statuses'].get('ok', 0):>5} "
+            f"{row['statuses'].get('shed', 0):>5} "
+            f"{row['p50_ms']:>7.2f}m {row['p99_ms']:>7.2f}m "
+            f"{row['throughput_rps']:>8.0f} "
+            f"{row['coalesce_hit_rate']:>8.1%} {row['wrong_answers']:>6}"
+        )
+
+
+# -- pytest entry points ------------------------------------------------------
+
+
+def test_served_answers_bit_identical_under_load():
+    """A small closed loop plus the three-backend replay: zero wrong
+    answers anywhere."""
+    clear_universe_cache()
+    row = run_closed_loop(build_jobs(repeat=2), clients=4)
+    assert row["wrong_answers"] == 0
+    assert row["statuses"].get("ok", 0) == row["requests"]
+    for backend_row in run_backend_check():
+        assert backend_row["wrong_answers"] == 0, backend_row
+
+
+def test_burst_coalesces():
+    """A duplicate burst is served by a single compute."""
+    clear_universe_cache()
+    job = ("cells", ("lens", AB_QUERIES[0]), True)
+    row = run_burst(job, 16)
+    assert row["wrong_answers"] == 0
+    assert row["computes"] == 1
+    assert row["coalesce_hit_rate"] > 0.9
+
+
+# -- CLI ----------------------------------------------------------------------
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="small sweep for CI (same assertions, less traffic)",
+    )
+    parser.add_argument(
+        "--out",
+        type=Path,
+        default=Path(__file__).resolve().parent.parent
+        / "BENCH_service.json",
+        help="where the load test writes its rows",
+    )
+    args = parser.parse_args(argv)
+
+    clear_universe_cache()
+    burst_job = ("cells", ("lens", AB_QUERIES[0]), True)
+    if args.smoke:
+        jobs = build_jobs(repeat=2)
+        closed_rows = [run_closed_loop(jobs, clients=4)]
+        open_rows = [run_open_loop(jobs, rate=300), run_burst(burst_job, 16)]
+    else:
+        jobs = build_jobs(repeat=4)
+        closed_rows = [
+            run_closed_loop(jobs, clients=c) for c in (1, 4, 16)
+        ]
+        open_rows = [
+            run_open_loop(jobs, rate=r) for r in (100, 400)
+        ] + [run_burst(burst_job, 64)]
+    backend_rows = run_backend_check()
+
+    rows = closed_rows + open_rows
+    _print_rows(rows)
+    for row in backend_rows:
+        print(
+            f"backend {row['backend']}: {row['requests']} requests, "
+            f"{row['wrong_answers']} wrong"
+        )
+
+    payload = {
+        "benchmark": "service_load",
+        "workload": "figures + generated corpus x cell/equivalence/"
+        "invariant mix, duplicate-heavy",
+        "smoke": args.smoke,
+        "closed_loop_rows": closed_rows,
+        "open_loop_rows": open_rows,
+        "backend_rows": backend_rows,
+    }
+    args.out.write_text(json.dumps(payload, indent=2) + "\n")
+
+    wrong = sum(r["wrong_answers"] for r in rows) + sum(
+        r["wrong_answers"] for r in backend_rows
+    )
+    assert wrong == 0, f"{wrong} wrong answers served"
+    duplicate_heavy = max(rows, key=lambda r: r["coalesce_hit_rate"])
+    assert duplicate_heavy["coalesce_hit_rate"] > 0, (
+        "no coalescing on the duplicate-heavy workload"
+    )
+    best = duplicate_heavy["coalesce_hit_rate"]
+    print(
+        f"zero wrong answers across {len(rows)} load rows and "
+        f"{len(backend_rows)} backends; peak coalescing {best:.0%} "
+        f"-> {args.out}"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -43,12 +43,16 @@ from .errors import (
     GeometryError,
     InstanceError,
     InvariantError,
+    OverloadError,
     ParseError,
     PipelineError,
     QueryError,
     RegionError,
     ReproError,
     SchemaError,
+    ServiceClosedError,
+    ServiceError,
+    UnknownInstanceError,
     ValidationError,
     WorkerError,
 )
@@ -88,6 +92,7 @@ from .regions import (
     Region,
     SpatialInstance,
 )
+from .service import QueryAnswer, QueryService
 from .tracing import Trace, Tracer
 
 __version__ = "1.0.0"
@@ -106,13 +111,16 @@ __all__ = [
     "InvariantPipeline",
     "Location",
     "Outcome",
+    "OverloadError",
     "ParseError",
     "PipelineError",
     "PipelineStats",
     "Point",
     "Poly",
     "Q",
+    "QueryAnswer",
     "QueryError",
+    "QueryService",
     "Rect",
     "RectUnion",
     "Region",
@@ -121,11 +129,14 @@ __all__ = [
     "RetryPolicy",
     "SchemaError",
     "Segment",
+    "ServiceClosedError",
+    "ServiceError",
     "SimplePolygon",
     "SpatialInstance",
     "TopologicalInvariant",
     "Trace",
     "Tracer",
+    "UnknownInstanceError",
     "ValidationError",
     "WorkerError",
     "__version__",

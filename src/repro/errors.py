@@ -124,3 +124,69 @@ class TimeoutError(ComputeError, TimeoutError):
     """A task (or a cooperative deadline check inside one) exceeded its
     configured time budget.  Also subclasses the builtin
     :class:`TimeoutError` so generic timeout handlers catch it."""
+
+
+class ServiceError(ReproError):
+    """A request to the query service failed at the service layer (as
+    opposed to inside the evaluation it wraps).  Carries an HTTP-style
+    ``status`` so a transport adapter can map it without inspecting
+    types.
+
+    Attributes
+    ----------
+    status:
+        An HTTP-style status code (404, 503, ...).
+    endpoint:
+        The service endpoint that rejected the request, when known.
+    """
+
+    status = 500
+
+    def __init__(self, message: str, endpoint: str | None = None):
+        super().__init__(message)
+        self.endpoint = endpoint
+
+
+class UnknownInstanceError(ServiceError):
+    """A request named a stored instance the service does not hold."""
+
+    status = 404
+
+    def __init__(
+        self,
+        message: str,
+        endpoint: str | None = None,
+        name: str | None = None,
+    ):
+        super().__init__(message, endpoint=endpoint)
+        self.name = name
+
+
+class OverloadError(ServiceError):
+    """The service shed the request: the compute stage and its queue
+    were both full when the request arrived.  The request was never
+    started — retrying after backoff is safe.
+
+    Attributes
+    ----------
+    queue_depth:
+        How many requests were already waiting when this one was shed.
+    """
+
+    status = 503
+
+    def __init__(
+        self,
+        message: str,
+        endpoint: str | None = None,
+        queue_depth: int = 0,
+    ):
+        super().__init__(message, endpoint=endpoint)
+        self.queue_depth = queue_depth
+
+
+class ServiceClosedError(ServiceError):
+    """The service was shut down before (or while) handling the
+    request."""
+
+    status = 503

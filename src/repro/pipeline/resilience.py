@@ -31,12 +31,20 @@ Worker-side faults (:mod:`repro.faults`) are drawn by the parent at
 submit time, so the injected schedule stays deterministic even across
 process-pool workers.
 
-Attempt accounting under pool breakage is deliberately conservative:
-tasks whose futures *observed* the break are charged an attempt (worker
-death is not attributable to a single task), while tasks still queued
-behind them are requeued free of charge.  ``max_attempts`` is a total
-across backends — a task that burned two attempts before a degradation
-has one left after it.
+Attempt accounting under pool breakage is *deterministic*: worker
+death is not attributable to a single task, so every task that observed
+the break — the one whose future raised, the ones still in flight, and
+the ones queued behind them — is a victim: its submit-time attempt is
+refunded and it is requeued free of charge (tallied as
+``victim_requeues``).  What bounds a persistently breaking pool is the
+respawn budget, not the victims' retry budgets: once
+``max_pool_respawns`` is spent the remaining tasks degrade down the
+chain to the inline backends, where a crash *is* attributable to the
+task that raised it and is charged normally.  Which futures happened to
+land in the ``wait()`` done-set at break time therefore never changes
+any task's attempt count.  ``max_attempts`` is a total across backends
+— a task that burned two attempts before a degradation has one left
+after it.
 """
 
 from __future__ import annotations
@@ -433,9 +441,15 @@ class ResilientMapper:
         inflight: dict[Future, tuple[str, float | None, object]] = {}
         respawns = 0
 
+        def requeue_victim(key: str) -> None:
+            # Pool breakage is unattributable, so its observers are
+            # victims: refund the submit-time attempt and requeue.
+            attempts[key] -= 1
+            queue.append(key)
+            self.stats.count("victim_requeues")
+
         while queue or inflight:
             broken = False
-            crashed: list[tuple[str, BaseException]] = []
 
             # Saturate the pool (deadlines start at submit, so keep the
             # backlog at pool width: a queued-behind task must not burn
@@ -446,8 +460,9 @@ class ResilientMapper:
                 fault = self._draw_worker_fault(key)
                 try:
                     fut = runner.submit(key, fault)
-                except (BrokenExecutor, RuntimeError) as exc:
-                    crashed.append((key, exc))
+                except (BrokenExecutor, RuntimeError):
+                    # The pool died before accepting the task.
+                    requeue_victim(key)
                     broken = True
                     break
                 deadline = (
@@ -484,21 +499,15 @@ class ResilientMapper:
                         if runner.decode is not None:
                             value = runner.decode(value)
                     except BrokenExecutor:
-                        # Worker death is unattributable; every task
-                        # that observed the break is charged.
+                        # Worker death is unattributable: the task whose
+                        # future observed the break is a victim exactly
+                        # like its queued siblings.  Charging it would
+                        # make attempt counts depend on which futures
+                        # happened to land in this done-set.
                         self._settle_span(
                             tracer, span, None, event="worker_crash"
                         )
-                        crashed.append(
-                            (
-                                key,
-                                WorkerError(
-                                    f"worker died while computing {key}",
-                                    key=key,
-                                    stage=runner.name,
-                                ),
-                            )
-                        )
+                        requeue_victim(key)
                         broken = True
                     except Exception as exc:
                         if span is not None and worker_spans:
@@ -548,40 +557,28 @@ class ResilientMapper:
                             # abandoned task: recycle the pool.
                             broken = True
 
-            if broken or crashed:
-                # Tasks still queued in the dead pool are victims:
-                # requeue them without charging an attempt.
+            if broken:
+                # Tasks still in flight in the dead pool are victims
+                # like the observer that detected the break: requeue
+                # them without charging an attempt.
                 for fut in list(inflight):
                     key, _d, span = inflight.pop(fut)
                     fut.cancel()
                     self._settle_span(
                         tracer, span, None, event="victim_requeued"
                     )
-                    attempts[key] -= 1
-                    queue.append(key)
-                for key, exc in crashed:
-                    if not isinstance(exc, ComputeError):
-                        exc = WorkerError(
-                            f"worker died while computing {key} "
-                            f"({type(exc).__name__}: {exc})",
-                            key=key,
-                            stage=runner.name,
-                        )
-                    self._settle_failed(
-                        key, exc, attempts, queue, outcomes, runner.name
-                    )
-                if broken:
-                    if (
-                        runner.respawn is None
-                        or respawns >= self.max_pool_respawns
-                    ):
-                        return list(queue)
-                    respawns += 1
-                    self.stats.count("pool_respawns")
-                    tracing.add_event(
-                        "pool_respawn",
-                        backend=runner.name,
-                        respawn=respawns,
-                    )
-                    runner.respawn()
+                    requeue_victim(key)
+                if (
+                    runner.respawn is None
+                    or respawns >= self.max_pool_respawns
+                ):
+                    return list(queue)
+                respawns += 1
+                self.stats.count("pool_respawns")
+                tracing.add_event(
+                    "pool_respawn",
+                    backend=runner.name,
+                    respawn=respawns,
+                )
+                runner.respawn()
         return []

@@ -11,9 +11,24 @@ backend can record concurrently.
 from __future__ import annotations
 
 import threading
-from collections import defaultdict
+import time
+from collections import defaultdict, deque
 
 __all__ = ["PipelineStats"]
+
+#: Per-endpoint latency samples retained for percentile estimation.
+#: Old samples roll off so a long-lived service reports recent tail
+#: behaviour rather than its whole history.
+LATENCY_WINDOW = 4096
+
+
+def _percentile(samples: list[float], q: float) -> float:
+    """Nearest-rank percentile of ``samples`` (0.0 when empty)."""
+    if not samples:
+        return 0.0
+    ordered = sorted(samples)
+    rank = max(0, min(len(ordered) - 1, int(q * len(ordered) + 0.5) - 1))
+    return ordered[rank]
 
 
 class PipelineStats:
@@ -36,10 +51,15 @@ class PipelineStats:
         self.retries = 0
         self.timeouts = 0
         self.pool_respawns = 0
+        self.victim_requeues = 0
         self.tasks_failed = 0
         self.quarantined = 0
         self.disk_write_failures = 0
         self.degradations: list[tuple[str, str]] = []
+        # Service-level rollups (see repro.service): per-endpoint
+        # request tallies, a rolling latency window for percentile
+        # estimation, and SLO attainment against a configured target.
+        self._endpoints: dict[str, dict] = {}
         # Hierarchical tracing rollup (see repro.tracing): per-span-name
         # total/self seconds aggregated over every recorded trace, plus
         # the latest trace's critical path.
@@ -96,6 +116,51 @@ class PipelineStats:
                 agg["calls"] += cell["calls"]
             self.critical_path = path
 
+    # -- service rollups ----------------------------------------------------
+
+    def _endpoint(self, endpoint: str) -> dict:
+        """Fetch-or-create one endpoint cell (caller holds the lock)."""
+        cell = self._endpoints.get(endpoint)
+        if cell is None:
+            cell = self._endpoints[endpoint] = {
+                "statuses": defaultdict(int),
+                "latencies": deque(maxlen=LATENCY_WINDOW),
+                "first_ts": None,
+                "last_ts": None,
+                "slo_target": None,
+                "slo_met": 0,
+            }
+        return cell
+
+    def set_slo_target(self, endpoint: str, seconds: float) -> None:
+        """Configure the latency SLO for one endpoint.  A request
+        *attains* the SLO when it completes ``ok`` within the target;
+        sheds, timeouts, and errors all count against attainment."""
+        with self._lock:
+            self._endpoint(endpoint)["slo_target"] = seconds
+
+    def record_request(
+        self, endpoint: str, seconds: float, status: str = "ok"
+    ) -> None:
+        """Record one finished service request.
+
+        ``status`` is one of ``ok`` / ``shed`` / ``timeout`` / ``error``.
+        Only ``ok`` latencies enter the percentile window — a shed
+        request returns fast by design and would flatter the tail.
+        """
+        with self._lock:
+            cell = self._endpoint(endpoint)
+            cell["statuses"][status] += 1
+            now = time.monotonic()
+            if cell["first_ts"] is None:
+                cell["first_ts"] = now
+            cell["last_ts"] = now
+            if status == "ok":
+                cell["latencies"].append(seconds)
+                target = cell["slo_target"]
+                if target is None or seconds <= target:
+                    cell["slo_met"] += 1
+
     def record_degradation(self, frm: str, to: str) -> None:
         """A backend fell back (``processes`` → ``threads`` → ``serial``)
         after exhausting its recovery budget."""
@@ -136,12 +201,40 @@ class PipelineStats:
                     "retries": self.retries,
                     "timeouts": self.timeouts,
                     "pool_respawns": self.pool_respawns,
+                    "victim_requeues": self.victim_requeues,
                     "tasks_failed": self.tasks_failed,
                     "quarantined": self.quarantined,
                     "disk_write_failures": self.disk_write_failures,
                     "degradations": [list(d) for d in self.degradations],
                 },
+                "service": {
+                    endpoint: self._endpoint_dict(endpoint)
+                    for endpoint in sorted(self._endpoints)
+                },
             }
+
+    def _endpoint_dict(self, endpoint: str) -> dict:
+        """One endpoint's rollup (caller holds the lock)."""
+        cell = self._endpoints[endpoint]
+        statuses = dict(cell["statuses"])
+        total = sum(statuses.values())
+        window = list(cell["latencies"])
+        elapsed = (
+            (cell["last_ts"] - cell["first_ts"])
+            if cell["first_ts"] is not None
+            else 0.0
+        )
+        target = cell["slo_target"]
+        return {
+            "requests": total,
+            "statuses": statuses,
+            "p50_ms": _percentile(window, 0.50) * 1e3,
+            "p99_ms": _percentile(window, 0.99) * 1e3,
+            "mean_ms": (sum(window) / len(window) * 1e3) if window else 0.0,
+            "throughput_rps": (total / elapsed) if elapsed > 0 else 0.0,
+            "slo_target_ms": (target * 1e3) if target is not None else None,
+            "slo_attainment": (cell["slo_met"] / total) if total else 1.0,
+        }
 
     def hit_rate(self) -> float:
         """Cache hit fraction over all lookups (0.0 when none)."""
@@ -186,10 +279,26 @@ class PipelineStats:
                 f"resilience: {res['retries']} retries, "
                 f"{res['timeouts']} timeouts, "
                 f"{res['pool_respawns']} pool respawns, "
+                f"{res['victim_requeues']} victim requeues, "
                 f"{res['tasks_failed']} failed; "
                 f"cache: {res['quarantined']} quarantined, "
                 f"{res['disk_write_failures']} write failures"
                 + (f"; degraded{chain}" if chain else "")
+            )
+        for endpoint, cell in data["service"].items():
+            if not cell["requests"]:
+                continue
+            slo = (
+                f", SLO {cell['slo_attainment']:.1%} "
+                f"of {cell['slo_target_ms']:.0f}ms"
+                if cell["slo_target_ms"] is not None
+                else ""
+            )
+            lines.append(
+                f"service {endpoint}: {cell['requests']} requests "
+                f"({', '.join(f'{n} {s}' for s, n in sorted(cell['statuses'].items()))}), "
+                f"p50 {cell['p50_ms']:.1f}ms / p99 {cell['p99_ms']:.1f}ms, "
+                f"{cell['throughput_rps']:.0f} rps{slo}"
             )
         if data["counters"]:
             tested = data["counters"].get("kernel.planarize_pairs_tested", 0)

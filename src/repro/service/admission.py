@@ -1,0 +1,97 @@
+"""Admission control: bounded in-flight compute with queue-depth shedding.
+
+The service's compute stage is a fixed-width thread pool; unbounded
+admission would just move the queue into the executor where nothing can
+be shed and every request eventually times out.  Instead admission is
+decided *synchronously* at arrival:
+
+* a free compute slot → admitted immediately;
+* slots full but queue space left → the request waits FIFO for a slot
+  (its deadline keeps ticking — a request can spend its whole budget
+  queued and be timed out without ever computing);
+* slots and queue both full → shed with a structured 503-style
+  :class:`~repro.errors.OverloadError`.  A shed request was never
+  started, so retrying after backoff is safe.
+
+Like the coalesce table, the controller is event-loop-local: the
+decision methods are synchronous, so with N tasks started in order the
+admitted/queued/shed split is deterministic — exactly what the property
+tests pin down.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from collections import deque
+
+from ..errors import OverloadError
+
+__all__ = ["AdmissionController"]
+
+
+class AdmissionController:
+    """FIFO slot allocator with a bounded wait queue."""
+
+    def __init__(self, max_inflight: int, max_queue: int) -> None:
+        if max_inflight < 1:
+            raise ValueError("max_inflight must be >= 1")
+        if max_queue < 0:
+            raise ValueError("max_queue must be >= 0")
+        self.max_inflight = max_inflight
+        self.max_queue = max_queue
+        self.active = 0
+        self._waiters: deque[asyncio.Future] = deque()
+
+    @property
+    def waiting(self) -> int:
+        return len(self._waiters)
+
+    def admit(self, endpoint: str | None = None) -> asyncio.Future | None:
+        """Decide admission now.
+
+        Returns None when a slot was taken (the caller holds it), or a
+        future the caller must await — its resolution *transfers* a
+        slot from a releasing request.  Raises
+        :class:`~repro.errors.OverloadError` when both the slots and
+        the queue are full.
+        """
+        if self.active < self.max_inflight:
+            self.active += 1
+            return None
+        if len(self._waiters) >= self.max_queue:
+            raise OverloadError(
+                f"{endpoint or 'request'} shed: {self.active} computes in "
+                f"flight and {len(self._waiters)} queued",
+                endpoint=endpoint,
+                queue_depth=len(self._waiters),
+            )
+        fut = asyncio.get_running_loop().create_future()
+        self._waiters.append(fut)
+        return fut
+
+    def release(self) -> None:
+        """Return a slot: hand it to the next live waiter (FIFO), or
+        decrement the in-flight count when nobody is waiting."""
+        while self._waiters:
+            nxt = self._waiters.popleft()
+            if not nxt.done():
+                # Slot ownership transfers to the waiter; ``active``
+                # is unchanged.
+                nxt.set_result(None)
+                return
+        self.active -= 1
+
+    def abandon(self, waiter: asyncio.Future) -> None:
+        """A queued request gave up (deadline expiry or cancellation).
+
+        If the slot was granted concurrently with the give-up — the
+        transfer and the timeout raced — pass it on; otherwise just
+        drop out of the queue.
+        """
+        if waiter.done() and not waiter.cancelled():
+            self.release()
+        else:
+            try:
+                self._waiters.remove(waiter)
+            except ValueError:
+                pass

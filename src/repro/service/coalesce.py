@@ -1,0 +1,71 @@
+"""Request coalescing: one compute per identical in-flight request.
+
+The paper's central theorem makes topological queries *cacheable* —
+every query factors through the invariant, so identical requests have
+identical answers.  Coalescing is the in-flight complement of the
+cache: while a ``(endpoint, instance_key, formula)`` evaluation is
+running, every duplicate request awaits the same
+:class:`asyncio.Future` instead of launching its own compute.  The
+first request (the *leader*) registers the future and runs the
+evaluation; duplicates (*followers*) fan out from its result.
+
+The table is strictly event-loop-local: every method is synchronous
+and must only be called from the loop thread, which is what makes the
+leader/follower decision deterministic — a leader registers before its
+first ``await``, so any request entering afterwards observes the entry.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Hashable
+
+__all__ = ["CoalesceTable"]
+
+
+def _retrieve(fut: asyncio.Future) -> None:
+    # Mark a rejected future's exception as retrieved.  Every client
+    # awaits through a shield, so a cancelled follower would otherwise
+    # leave asyncio's "exception was never retrieved" warning behind.
+    if not fut.cancelled():
+        fut.exception()
+
+
+class CoalesceTable:
+    """In-flight fan-out table keyed by hashable request identity."""
+
+    def __init__(self) -> None:
+        self._pending: dict[Hashable, asyncio.Future] = {}
+
+    def __len__(self) -> int:
+        return len(self._pending)
+
+    def peek(self, key: Hashable) -> asyncio.Future | None:
+        """The in-flight future for *key*, or None (→ caller leads)."""
+        return self._pending.get(key)
+
+    def lead(self, key: Hashable) -> asyncio.Future:
+        """Register the caller as *key*'s leader and return the shared
+        future its followers (and the leader itself) will await."""
+        assert key not in self._pending, f"duplicate leader for {key!r}"
+        fut = asyncio.get_running_loop().create_future()
+        fut.add_done_callback(_retrieve)
+        self._pending[key] = fut
+        return fut
+
+    def resolve(self, key: Hashable, value: object) -> None:
+        """Fan *value* out to every awaiter of *key*."""
+        fut = self._pending.pop(key, None)
+        if fut is not None and not fut.done():
+            fut.set_result(value)
+
+    def reject(self, key: Hashable, exc: BaseException) -> None:
+        """Fan *exc* out to every awaiter of *key*."""
+        fut = self._pending.pop(key, None)
+        if fut is not None and not fut.done():
+            fut.set_exception(exc)
+
+    def reject_all(self, exc: BaseException) -> None:
+        """Fail every in-flight entry (service shutdown)."""
+        for key in list(self._pending):
+            self.reject(key, exc)

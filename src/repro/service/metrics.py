@@ -1,0 +1,75 @@
+"""Monotone counters for the query service (the ``service.*`` family).
+
+Mirrors the ``query.*`` counters of :mod:`repro.logic.compiled` and the
+``fault.*`` counters of :mod:`repro.faults`: a module-level singleton
+registered as an :func:`repro.instrument.add_counter_source`, so tests
+and traces observe service behaviour with the same snapshot/delta
+protocol as every other counter family.
+
+All mutation happens on the event loop thread (the service counts in
+its request coroutine, never in executor workers), so plain attribute
+increments are race-free.
+"""
+
+from __future__ import annotations
+
+from ..instrument import add_counter_source
+
+__all__ = ["ServiceCounters", "counters"]
+
+
+class ServiceCounters:
+    """Monotone counters for the query service.
+
+    ``requests``
+        Every request accepted into :meth:`QueryService._serve`
+        (including ones later shed or timed out).
+    ``computes``
+        Coalesce-group leaders: evaluations actually launched.
+    ``coalesced``
+        Followers that piggybacked on an identical in-flight request.
+    ``shed``
+        Requests rejected by admission control (compute and queue both
+        full) — never started, safe to retry.
+    ``timeouts``
+        Requests whose :class:`~repro.instrument.Deadline` expired
+        (queued, coalesced, or mid-evaluation).
+    ``errors``
+        Requests that failed for any other reason.
+    """
+
+    __slots__ = (
+        "requests",
+        "computes",
+        "coalesced",
+        "shed",
+        "timeouts",
+        "errors",
+    )
+
+    def __init__(self) -> None:
+        self.reset()
+
+    def reset(self) -> None:
+        for name in self.__slots__:
+            setattr(self, name, 0)
+
+    def count(self, name: str, delta: int = 1) -> None:
+        setattr(self, name, getattr(self, name) + delta)
+
+    def snapshot(self) -> dict[str, int]:
+        """Current values under ``service.``-prefixed names."""
+        return {
+            f"service.{name}": getattr(self, name) for name in self.__slots__
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        inner = ", ".join(
+            f"{name}={getattr(self, name)}" for name in self.__slots__
+        )
+        return f"ServiceCounters({inner})"
+
+
+counters = ServiceCounters()
+
+add_counter_source(counters.snapshot)

@@ -1,0 +1,509 @@
+"""The asyncio topological query service.
+
+:class:`QueryService` is the first "serve traffic" layer of the
+reproduction: clients register named spatial instances once, then ask
+topological questions — cell/rect logic sentences, point/real logic
+sentences, topological equivalence, invariant lookup — and every answer
+is produced by the existing engines (:mod:`repro.logic` evaluators, the
+shared :class:`~repro.pipeline.InvariantPipeline` cache) under the
+service's concurrency discipline:
+
+* **coalescing** — identical in-flight requests share one compute
+  (:mod:`repro.service.coalesce`);
+* **admission control** — bounded in-flight compute with FIFO queueing
+  and 503-style shedding (:mod:`repro.service.admission`);
+* **deadlines** — a per-request :class:`~repro.instrument.Deadline`
+  covers queueing *and* evaluation, threaded into the compiled
+  engine's cooperative timeout where the endpoint supports it;
+* **observability** — per-endpoint latency/throughput/SLO rollups in
+  :class:`~repro.pipeline.PipelineStats`, ``service.*`` counters, and a
+  ``service.request`` span per request with worker-side evaluation
+  spans adopted underneath (the :mod:`repro.tracing` piggyback
+  protocol).
+
+Evaluations run on a service-owned thread pool via
+``loop.run_in_executor`` — the engines are synchronous and CPU-bound,
+and the event loop must stay responsive to make admission and
+coalescing decisions.  The fan-out future is settled from the compute's
+done-callback, *not* from the leader's coroutine: a leader whose own
+deadline expires mid-evaluation abandons its wait, but the result still
+serves any follower whose budget is larger.
+
+Deadline semantics under coalescing: every awaiter — leader or
+follower — times out independently against its own budget, but the
+*evaluation* runs under the leader's deadline (it launched the
+compute).  A follower with a longer budget can therefore still receive
+the leader's :class:`~repro.errors.TimeoutError`; it never receives a
+partial answer.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from time import perf_counter
+from typing import Callable, Hashable
+
+from .. import tracing
+from ..errors import (
+    OverloadError,
+    ServiceClosedError,
+    TimeoutError,
+    UnknownInstanceError,
+)
+from ..instrument import Deadline
+from ..invariant import are_isomorphic, instance_key
+from ..logic import evaluate_cells, evaluate_rect, parse
+from ..logic.pointlogic import evaluate_point, evaluate_real
+from ..pipeline import InvariantPipeline
+from ..regions import SpatialInstance
+from .admission import AdmissionController
+from .coalesce import CoalesceTable
+from .metrics import counters
+
+__all__ = ["QueryAnswer", "QueryService"]
+
+#: Default latency SLO targets, per endpoint, in seconds.  Deliberately
+#: loose — they exist so attainment is reported out of the box; real
+#: deployments override them per workload.
+DEFAULT_SLOS: dict[str, float] = {
+    "cells": 1.0,
+    "rect": 1.0,
+    "real": 1.0,
+    "point": 1.0,
+    "equivalent": 2.0,
+    "invariant": 2.0,
+}
+
+
+class QueryAnswer:
+    """One served answer: the value plus how it was produced."""
+
+    __slots__ = ("endpoint", "value", "coalesced", "seconds")
+
+    def __init__(
+        self, endpoint: str, value, coalesced: bool, seconds: float
+    ):
+        self.endpoint = endpoint
+        self.value = value
+        self.coalesced = coalesced
+        self.seconds = seconds
+
+    def __bool__(self) -> bool:
+        return bool(self.value)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        how = "coalesced" if self.coalesced else "computed"
+        return (
+            f"QueryAnswer({self.endpoint}, {self.value!r}, {how}, "
+            f"{self.seconds * 1e3:.1f}ms)"
+        )
+
+
+class QueryService:
+    """An asyncio front-end serving topological queries over named
+    stored instances.
+
+    Parameters
+    ----------
+    pipeline:
+        The shared invariant pipeline (cache + stats).  Owned by the
+        caller when passed; created (and closed on shutdown) by the
+        service otherwise.
+    max_inflight:
+        Compute slots: evaluations running concurrently.
+    max_queue:
+        Admission queue depth beyond the slots; requests arriving past
+        ``max_inflight + max_queue`` distinct in-flight computes are
+        shed with :class:`~repro.errors.OverloadError`.
+    default_timeout:
+        Per-request deadline in seconds applied when a request does not
+        carry its own (None → unbounded).
+    slo_targets:
+        Per-endpoint latency SLO overrides (seconds), merged over
+        :data:`DEFAULT_SLOS`.
+    """
+
+    def __init__(
+        self,
+        pipeline: InvariantPipeline | None = None,
+        max_inflight: int = 4,
+        max_queue: int = 32,
+        default_timeout: float | None = None,
+        slo_targets: dict[str, float] | None = None,
+    ):
+        self._owns_pipeline = pipeline is None
+        self.pipeline = pipeline if pipeline is not None else InvariantPipeline()
+        self.stats = self.pipeline.stats
+        self.default_timeout = default_timeout
+        self._instances: dict[str, tuple[SpatialInstance, str]] = {}
+        self._admission = AdmissionController(max_inflight, max_queue)
+        self._coalesce = CoalesceTable()
+        self._executor = ThreadPoolExecutor(
+            max_workers=max_inflight, thread_name_prefix="repro-service"
+        )
+        # The pipeline is not re-entrant across threads (lazy pool
+        # construction, batch bookkeeping), so pipeline-backed
+        # endpoints serialize on this lock; its cache makes repeats
+        # cheap and coalescing absorbs the duplicates.
+        self._pipeline_lock = threading.Lock()
+        self._closed = False
+        for endpoint, target in {**DEFAULT_SLOS, **(slo_targets or {})}.items():
+            self.stats.set_slo_target(endpoint, target)
+
+    # -- instance registry --------------------------------------------------
+
+    def register(self, name: str, instance: SpatialInstance) -> str:
+        """Store *instance* under *name*; returns its content key."""
+        key = instance_key(instance)
+        self._instances[name] = (instance, key)
+        return key
+
+    def forget(self, name: str) -> None:
+        self._instances.pop(name, None)
+
+    def instance_names(self) -> list[str]:
+        return sorted(self._instances)
+
+    def _resolve(
+        self, endpoint: str, name: str
+    ) -> tuple[SpatialInstance, str]:
+        try:
+            return self._instances[name]
+        except KeyError:
+            raise UnknownInstanceError(
+                f"no stored instance named {name!r}",
+                endpoint=endpoint,
+                name=name,
+            ) from None
+
+    # -- endpoints -----------------------------------------------------------
+
+    async def ask_cells(
+        self,
+        name: str,
+        formula,
+        refinement: int = 0,
+        engine: str = "compiled",
+        timeout: float | None = None,
+    ) -> QueryAnswer:
+        """Evaluate a cell-semantics sentence against instance *name*."""
+        inst, key = self._resolve("cells", name)
+        sentence = parse(formula) if isinstance(formula, str) else formula
+        ckey = ("cells", key, engine, refinement, sentence)
+
+        def fn(deadline: Deadline) -> bool:
+            deadline.check("cells")
+            return evaluate_cells(
+                sentence,
+                inst,
+                refinement=refinement,
+                engine=engine,
+                timeout=deadline.remaining(),
+            )
+
+        return await self._serve("cells", ckey, fn, timeout)
+
+    async def ask_rect(
+        self,
+        name: str,
+        formula,
+        engine: str = "compiled",
+        timeout: float | None = None,
+    ) -> QueryAnswer:
+        """Evaluate a rectangle-quantifier sentence against *name*."""
+        inst, key = self._resolve("rect", name)
+        sentence = parse(formula) if isinstance(formula, str) else formula
+        ckey = ("rect", key, engine, sentence)
+
+        def fn(deadline: Deadline) -> bool:
+            deadline.check("rect")
+            return evaluate_rect(sentence, inst, engine=engine)
+
+        return await self._serve("rect", ckey, fn, timeout)
+
+    async def ask_real(
+        self,
+        name: str,
+        formula,
+        engine: str = "compiled",
+        timeout: float | None = None,
+    ) -> QueryAnswer:
+        """Evaluate an FO(R, <, Region') sentence against *name*."""
+        inst, key = self._resolve("real", name)
+        ckey = ("real", key, engine, formula)
+
+        def fn(deadline: Deadline) -> bool:
+            deadline.check("real")
+            return evaluate_real(formula, inst, engine=engine)
+
+        return await self._serve("real", ckey, fn, timeout)
+
+    async def ask_point(
+        self,
+        name: str,
+        formula,
+        engine: str = "compiled",
+        timeout: float | None = None,
+    ) -> QueryAnswer:
+        """Evaluate an FO(P, <x, <y, Region') sentence against *name*."""
+        inst, key = self._resolve("point", name)
+        ckey = ("point", key, engine, formula)
+
+        def fn(deadline: Deadline) -> bool:
+            deadline.check("point")
+            return evaluate_point(formula, inst, engine=engine)
+
+        return await self._serve("point", ckey, fn, timeout)
+
+    async def equivalent(
+        self, name_a: str, name_b: str, timeout: float | None = None
+    ) -> QueryAnswer:
+        """Are the two stored instances topologically equivalent?
+        (Theorem 3.4: answered on the invariants, through the cache.)"""
+        inst_a, key_a = self._resolve("equivalent", name_a)
+        inst_b, key_b = self._resolve("equivalent", name_b)
+        ckey = ("equivalent", frozenset((key_a, key_b)))
+
+        def fn(deadline: Deadline) -> bool:
+            deadline.check("equivalent")
+            if key_a == key_b:
+                return True
+            with self._pipeline_lock:
+                inv_a, inv_b = self.pipeline.compute_batch([inst_a, inst_b])
+            deadline.check("equivalent")
+            return are_isomorphic(inv_a, inv_b)
+
+        return await self._serve("equivalent", ckey, fn, timeout)
+
+    async def invariant_of(
+        self, name: str, timeout: float | None = None
+    ) -> QueryAnswer:
+        """The stored instance's topological invariant ``T_I``."""
+        inst, key = self._resolve("invariant", name)
+        ckey = ("invariant", key)
+
+        def fn(deadline: Deadline):
+            deadline.check("invariant")
+            with self._pipeline_lock:
+                return self.pipeline.compute(inst)
+
+        return await self._serve("invariant", ckey, fn, timeout)
+
+    # -- the serving core ----------------------------------------------------
+
+    async def _serve(
+        self,
+        endpoint: str,
+        ckey: Hashable,
+        fn: Callable[[Deadline], object],
+        timeout: float | None,
+    ) -> QueryAnswer:
+        """Admission → coalescing → compute → fan-out, under a deadline.
+
+        The decision sequence up to the leader's registration is
+        synchronous (no awaits), which is what makes the
+        leader/follower/shed split deterministic under event-loop
+        scheduling.
+        """
+        if self._closed:
+            raise ServiceClosedError(
+                "service is closed", endpoint=endpoint
+            )
+        counters.count("requests")
+        if timeout is None:
+            timeout = self.default_timeout
+        deadline = Deadline(timeout)
+        tracer = tracing.current_tracer()
+        span = (
+            tracer.start_span(
+                "service.request",
+                push=False,
+                attributes={"endpoint": endpoint},
+            )
+            if tracer is not None
+            else None
+        )
+        t0 = perf_counter()
+        status = "error"
+        try:
+            shared = self._coalesce.peek(ckey)
+            if shared is not None:
+                counters.count("coalesced")
+                if span is not None:
+                    span.attributes["coalesced"] = True
+                value = await self._await_shared(endpoint, shared, deadline)
+                status = "ok"
+                return QueryAnswer(
+                    endpoint, value, True, perf_counter() - t0
+                )
+
+            # Leader path.  Admission is decided before registering in
+            # the coalesce table: a shed request must not leave an
+            # entry for followers to pile onto.
+            waiter = self._admission.admit(endpoint)
+            shared = self._coalesce.lead(ckey)
+            counters.count("computes")
+            holding = waiter is None
+            try:
+                if waiter is not None:
+                    await self._await_slot(endpoint, waiter, deadline)
+                    holding = True
+                deadline.check(endpoint)
+            except BaseException as exc:
+                # The compute never started; fail the fan-out future so
+                # followers get the same structured error.
+                if holding:
+                    self._admission.release()
+                self._coalesce.reject(ckey, exc)
+                raise
+
+            loop = asyncio.get_running_loop()
+            compute = loop.run_in_executor(
+                self._executor, self._run_traced, fn, deadline
+            )
+
+            def _settle(f: asyncio.Future) -> None:
+                # Runs on the event loop when the evaluation finishes —
+                # even if the leader's await below already timed out,
+                # so a slow leader still feeds its followers.
+                self._admission.release()
+                if f.cancelled():
+                    self._coalesce.reject(
+                        ckey,
+                        ServiceClosedError(
+                            "service shut down mid-evaluation",
+                            endpoint=endpoint,
+                        ),
+                    )
+                    return
+                exc = f.exception()
+                if exc is not None:
+                    self._coalesce.reject(ckey, exc)
+                    return
+                value, worker_spans = tracing.unpack_result(f.result())
+                if span is not None and worker_spans:
+                    tracer.adopt(span, worker_spans)
+                self._coalesce.resolve(ckey, value)
+
+            compute.add_done_callback(_settle)
+            value = await self._await_shared(endpoint, shared, deadline)
+            status = "ok"
+            return QueryAnswer(endpoint, value, False, perf_counter() - t0)
+        except OverloadError:
+            status = "shed"
+            counters.count("shed")
+            if span is not None:
+                tracer.add_event("shed", span=span)
+            raise
+        except TimeoutError:
+            status = "timeout"
+            counters.count("timeouts")
+            if span is not None:
+                tracer.add_event("deadline_expired", span=span)
+            raise
+        except Exception:
+            counters.count("errors")
+            raise
+        finally:
+            seconds = perf_counter() - t0
+            if span is not None:
+                span.attributes["status"] = status
+                tracer.finish_span(span)
+            self.stats.record_request(endpoint, seconds, status)
+
+    def _run_traced(self, fn: Callable[[Deadline], object], deadline: Deadline):
+        """Executor-side wrapper: run *fn* with worker-thread spans
+        captured for adoption under the request span."""
+        with tracing.capture() as cap:
+            value = fn(deadline)
+        return tracing.pack_result(value, cap)
+
+    async def _await_shared(
+        self, endpoint: str, shared: asyncio.Future, deadline: Deadline
+    ):
+        """Await the fan-out future under this request's own deadline.
+
+        The shield keeps one awaiter's timeout from cancelling the
+        shared future out from under everyone else.
+        """
+        remaining = deadline.remaining()
+        if remaining is None:
+            return await asyncio.shield(shared)
+        try:
+            return await asyncio.wait_for(asyncio.shield(shared), remaining)
+        except asyncio.TimeoutError:
+            raise TimeoutError(
+                f"{endpoint} request exceeded its "
+                f"{deadline.seconds:g}s budget",
+                stage=endpoint,
+            ) from None
+
+    async def _await_slot(
+        self, endpoint: str, waiter: asyncio.Future, deadline: Deadline
+    ) -> None:
+        """Wait for an admission slot; the deadline keeps ticking."""
+        remaining = deadline.remaining()
+        try:
+            if remaining is None:
+                await waiter
+            else:
+                await asyncio.wait_for(waiter, remaining)
+        except asyncio.TimeoutError:
+            self._admission.abandon(waiter)
+            raise TimeoutError(
+                f"{endpoint} request spent its {deadline.seconds:g}s "
+                "budget queued for admission",
+                stage=endpoint,
+            ) from None
+        except asyncio.CancelledError:
+            self._admission.abandon(waiter)
+            raise
+
+    # -- introspection and lifecycle ----------------------------------------
+
+    @property
+    def inflight(self) -> int:
+        return self._admission.active
+
+    @property
+    def queued(self) -> int:
+        return self._admission.waiting
+
+    def coalescing_hit_rate(self) -> float:
+        """Fraction of requests served by piggybacking on an identical
+        in-flight compute (0.0 when no requests yet)."""
+        total = counters.requests
+        return counters.coalesced / total if total else 0.0
+
+    async def aclose(self) -> None:
+        """Stop admitting, drain running evaluations, release pools."""
+        if self._closed:
+            return
+        self._closed = True
+        # shutdown(wait=True) blocks until running evaluations finish;
+        # their done-callbacks then settle the fan-out futures on the
+        # loop, so run the blocking wait off-loop.
+        await asyncio.get_running_loop().run_in_executor(
+            None, self._executor.shutdown
+        )
+        self._coalesce.reject_all(
+            ServiceClosedError("service closed")
+        )
+        if self._owns_pipeline:
+            self.pipeline.close()
+
+    def close(self) -> None:
+        """Synchronous teardown (for non-async callers and tests)."""
+        self._closed = True
+        self._executor.shutdown(wait=True)
+        self._coalesce.reject_all(ServiceClosedError("service closed"))
+        if self._owns_pipeline:
+            self.pipeline.close()
+
+    async def __aenter__(self) -> "QueryService":
+        return self
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.aclose()

@@ -407,17 +407,39 @@ class TestProcessRecovery:
         insts = _corpus(4)
         key = instance_key(insts[2])
         plan = FaultPlan(Fault("worker_crash", times=99, key=key))
-        # max_attempts=4: every pool break charges the innocent tasks
-        # whose futures observed it, so they need headroom to survive
-        # all the breaks the crashing key can cause.
+        # Default retry budget: pool breaks never charge bystanders
+        # (they are requeued as victims), so no attempt headroom is
+        # needed no matter how the futures land.
         with InvariantPipeline(
-            backend="processes", workers=2,
-            retry=_policy(max_attempts=4),
+            backend="processes", workers=2, retry=_policy(),
         ) as pipe:
             with inject(plan):
                 res = pipe.compute_batch(insts, on_error="collect")
         assert [o.ok for o in res] == [True, True, False, True]
         assert isinstance(res.failures()[0].error, ComputeError)
+        assert pipe.stats.victim_requeues > 0
+
+    def test_pool_break_never_charges_bystanders(self):
+        # The deterministic-accounting guarantee: whichever futures
+        # happen to observe a BrokenExecutor, only inline-attributable
+        # failures burn retry budget.  Every innocent key must succeed
+        # with attempts == 1 even though each pool break tears down
+        # every in-flight sibling.
+        insts = _corpus(4)
+        key = instance_key(insts[0])
+        plan = FaultPlan(Fault("worker_crash", times=99, key=key))
+        with InvariantPipeline(
+            backend="processes", workers=2, retry=_policy(),
+        ) as pipe:
+            with inject(plan):
+                res = pipe.compute_batch(insts, on_error="collect")
+        by_key = {o.key: o for o in res}
+        assert not by_key[key].ok
+        for o in res:
+            if o.ok:
+                assert o.attempts == 1, (
+                    f"bystander {o.key} was charged {o.attempts} attempts"
+                )
 
     def test_close_after_failed_batch_leaks_nothing(self):
         # Satellite: pool lifecycle stays sound through failures.

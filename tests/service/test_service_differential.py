@@ -1,0 +1,297 @@
+"""Differential and chaos suites for the query service.
+
+The serving layer must be *transparent*: every answer bit-identical to
+direct evaluation — per endpoint, per engine, per pipeline backend,
+under concurrent clients, and under seeded fault schedules (where the
+weakened guarantee is: the correct answer or a structured error, never
+a wrong answer).
+"""
+
+import asyncio
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro import (
+    QueryService,
+    Rect,
+    ReproError,
+    RetryPolicy,
+    SpatialInstance,
+    canonical_hash,
+    invariant,
+    topologically_equivalent,
+)
+from repro.datasets import grid_of_squares, overlap_chain
+from repro.faults import FaultPlan, inject
+from repro.invariant import instance_key
+from repro.logic import (
+    PLessX,
+    PRegion,
+    PointExists,
+    PointVar,
+    RRegion,
+    RealExists,
+    RealVar,
+    evaluate_cells,
+    evaluate_point,
+    evaluate_real,
+    evaluate_rect,
+    parse,
+)
+from repro.logic.pointlogic import AndF
+from repro.pipeline import InvariantPipeline
+
+LENS = SpatialInstance({"A": Rect(0, 0, 4, 4), "B": Rect(2, 2, 6, 6)})
+APART = SpatialInstance({"A": Rect(0, 0, 1, 1), "B": Rect(3, 3, 4, 4)})
+NESTED = SpatialInstance({"A": Rect(0, 0, 8, 8), "B": Rect(2, 2, 5, 5)})
+
+#: Named corpus every differential pass runs over.
+CORPUS = {
+    "lens": LENS,
+    "apart": APART,
+    "nested": NESTED,
+    "chain": overlap_chain(3),
+    "grid": grid_of_squares(2, 2),
+}
+
+#: Cell-logic sentences quantifying over region *names*, so they apply
+#: to every corpus instance regardless of its schema.
+GENERIC_CELL_QUERIES = [
+    "exists name a, b . not (a = b) and overlap(a, b)",
+    "exists name a . exists r . subset(r, a)",
+    "forall name a . connect(a, a)",
+]
+
+#: Sentences over the A/B schema (lens, apart, nested only).
+AB_CELL_QUERIES = [
+    "exists r . subset(r, A) and subset(r, B)",
+    "overlap(A, B)",
+    "meet(A, B)",
+    "contains(A, B)",
+]
+
+AB_RECT_QUERIES = [
+    "exists s . subset(A, s) and subset(B, s)",
+    "exists s . subset(s, A) and subset(s, B)",
+]
+
+QUADRANT = SpatialInstance({"A": Rect(1, -3, 3, -1)})
+QUADRANT_2 = SpatialInstance(
+    {"A": Rect(1, -3, 3, -1), "B": Rect(5, -3, 7, -1)}
+)
+
+REAL_QUERIES = [
+    RealExists(
+        "x", RealExists("y", RRegion("A", RealVar("x"), RealVar("y")))
+    ),
+    RealExists("x", RRegion("A", RealVar("x"), RealVar("x"))),
+]
+
+POINT_QUERIES = [
+    PointExists("p", PRegion("A", PointVar("p"))),
+    PointExists(
+        "p",
+        PointExists(
+            "q",
+            AndF(
+                PRegion("A", PointVar("p")),
+                PRegion("B", PointVar("q")),
+                PLessX(PointVar("p"), PointVar("q")),
+            ),
+        ),
+    ),
+]
+
+BACKENDS = ["serial", "threads", "processes"]
+
+
+def _retry(**kw):
+    kw.setdefault("sleep", lambda s: None)
+    return RetryPolicy(**kw)
+
+
+def _service(**kw):
+    svc = QueryService(**kw)
+    for name, inst in CORPUS.items():
+        svc.register(name, inst)
+    svc.register("quad", QUADRANT)
+    svc.register("quad2", QUADRANT_2)
+    return svc
+
+
+class TestDifferentialAnswers:
+    @pytest.mark.parametrize("engine", ["compiled", "reference"])
+    def test_cells_bit_identical_to_direct(self, engine):
+        async def main():
+            async with _service() as svc:
+                for q in GENERIC_CELL_QUERIES:
+                    for name, inst in CORPUS.items():
+                        direct = evaluate_cells(parse(q), inst, engine=engine)
+                        served = await svc.ask_cells(name, q, engine=engine)
+                        assert served.value == direct, (name, q, engine)
+                for q in AB_CELL_QUERIES:
+                    for name in ("lens", "apart", "nested"):
+                        direct = evaluate_cells(
+                            parse(q), CORPUS[name], engine=engine
+                        )
+                        served = await svc.ask_cells(name, q, engine=engine)
+                        assert served.value == direct, (name, q, engine)
+
+        asyncio.run(main())
+
+    @pytest.mark.parametrize("engine", ["compiled", "reference"])
+    def test_rect_bit_identical_to_direct(self, engine):
+        async def main():
+            async with _service() as svc:
+                for q in AB_RECT_QUERIES:
+                    for name in ("lens", "apart", "nested"):
+                        direct = evaluate_rect(
+                            parse(q), CORPUS[name], engine=engine
+                        )
+                        served = await svc.ask_rect(name, q, engine=engine)
+                        assert served.value == direct, (name, q, engine)
+
+        asyncio.run(main())
+
+    @pytest.mark.parametrize("engine", ["compiled", "reference"])
+    def test_real_and_point_bit_identical_to_direct(self, engine):
+        async def main():
+            async with _service() as svc:
+                for q in REAL_QUERIES:
+                    direct = evaluate_real(q, QUADRANT, engine=engine)
+                    served = await svc.ask_real("quad", q, engine=engine)
+                    assert served.value == direct, (q, engine)
+                for q in POINT_QUERIES:
+                    direct = evaluate_point(q, QUADRANT_2, engine=engine)
+                    served = await svc.ask_point("quad2", q, engine=engine)
+                    assert served.value == direct, (q, engine)
+
+        asyncio.run(main())
+
+    @pytest.mark.slow
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_pipeline_endpoints_across_backends(self, backend):
+        names = ["lens", "apart", "nested", "chain"]
+        reference_inv = {
+            n: canonical_hash(invariant(CORPUS[n])) for n in names
+        }
+        reference_eq = {
+            (a, b): topologically_equivalent(CORPUS[a], CORPUS[b])
+            for a in names
+            for b in names
+        }
+
+        async def main():
+            pipe = InvariantPipeline(
+                backend=backend, workers=2, retry=_retry()
+            )
+            try:
+                async with _service(pipeline=pipe) as svc:
+                    for n in names:
+                        served = await svc.invariant_of(n)
+                        assert (
+                            canonical_hash(served.value) == reference_inv[n]
+                        ), (n, backend)
+                    for (a, b), expect in reference_eq.items():
+                        served = await svc.equivalent(a, b)
+                        assert served.value == expect, (a, b, backend)
+            finally:
+                pipe.close()
+
+        asyncio.run(main())
+
+
+class TestConcurrentClients:
+    def test_mixed_workload_is_bit_identical_under_concurrency(self):
+        jobs = []  # (name, query)
+        for q in GENERIC_CELL_QUERIES:
+            for name in CORPUS:
+                jobs.append((name, q))
+        for q in AB_CELL_QUERIES:
+            for name in ("lens", "apart", "nested"):
+                jobs.append((name, q))
+        # Duplicate-heavy: every job issued three times concurrently.
+        jobs = jobs * 3
+        reference = {
+            (name, q): evaluate_cells(parse(q), CORPUS[name])
+            for name, q in set(jobs)
+        }
+
+        async def main():
+            async with _service(max_inflight=4, max_queue=256) as svc:
+                answers = await asyncio.gather(
+                    *[svc.ask_cells(name, q) for name, q in jobs]
+                )
+                for (name, q), answer in zip(jobs, answers):
+                    assert answer.value == reference[(name, q)], (name, q)
+                assert any(a.coalesced for a in answers)
+
+        asyncio.run(main())
+
+
+class TestChaos:
+    @settings(
+        max_examples=8,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(seed=st.integers(min_value=0, max_value=2**16))
+    def test_any_fault_schedule_is_correct_or_structured(self, seed):
+        """Under any seeded schedule of crashes, hangs, and raises in
+        the pipeline the service serves: the bit-identical answer or a
+        structured ReproError — never a wrong answer, never a hang."""
+        names = ["lens", "apart", "nested"]
+        keys = [instance_key(CORPUS[n]) for n in names]
+        reference_inv = {
+            n: canonical_hash(invariant(CORPUS[n])) for n in names
+        }
+        reference_eq = {
+            (a, b): topologically_equivalent(CORPUS[a], CORPUS[b])
+            for a in names
+            for b in names
+            if a < b
+        }
+        plan = FaultPlan.seeded(
+            seed, keys, faults=4, max_times=2, hang_seconds=0.01
+        )
+
+        async def main():
+            pipe = InvariantPipeline(
+                backend="threads",
+                workers=2,
+                retry=_retry(max_attempts=2),
+            )
+            try:
+                async with _service(pipeline=pipe) as svc:
+                    with inject(plan):
+                        lookups = [
+                            svc.invariant_of(n, timeout=30.0) for n in names
+                        ]
+                        checks = [
+                            svc.equivalent(a, b, timeout=30.0)
+                            for a, b in reference_eq
+                        ]
+                        results = await asyncio.gather(
+                            *lookups, *checks, return_exceptions=True
+                        )
+                    inv_results = results[: len(names)]
+                    eq_results = results[len(names):]
+                    for n, res in zip(names, inv_results):
+                        if isinstance(res, Exception):
+                            assert isinstance(res, ReproError), (n, res)
+                        else:
+                            assert (
+                                canonical_hash(res.value)
+                                == reference_inv[n]
+                            ), n
+                    for (a, b), res in zip(reference_eq, eq_results):
+                        if isinstance(res, Exception):
+                            assert isinstance(res, ReproError), (a, b, res)
+                        else:
+                            assert res.value == reference_eq[(a, b)], (a, b)
+            finally:
+                pipe.close()
+
+        asyncio.run(main())

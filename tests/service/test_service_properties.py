@@ -1,0 +1,213 @@
+"""Hypothesis properties for coalescing and admission control.
+
+Three service invariants, quantified over wave sizes and capacity
+configurations:
+
+* N concurrent identical requests → exactly one compute (asserted via
+  the ``service.*`` counter family);
+* shed requests always carry a structured 503-style error and never a
+  partial result;
+* a deadline-expired request never returns a stale or partial answer —
+  and the answer that *was* computed stays correct for later callers.
+
+Compute functions are gated on a :class:`threading.Event` so every
+wave's leader/follower/shed split is decided while all tasks are
+scheduled, making the expected counts exact rather than probabilistic.
+"""
+
+import asyncio
+import threading
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro import OverloadError, QueryService
+from repro import errors as repro_errors
+from repro.instrument import counter_delta, counter_snapshot
+
+RELAXED = settings(
+    max_examples=20,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+class TestCoalescingProperty:
+    @RELAXED
+    @given(n=st.integers(min_value=1, max_value=16))
+    def test_identical_wave_computes_exactly_once(self, n):
+        async def main():
+            async with QueryService(max_inflight=2, max_queue=64) as svc:
+                gate = threading.Event()
+
+                def fn(deadline):
+                    gate.wait(10)
+                    return ("payload", n)
+
+                before = counter_snapshot()
+                tasks = [
+                    asyncio.ensure_future(
+                        svc._serve("cells", ("wave",), fn, None)
+                    )
+                    for _ in range(n)
+                ]
+                await asyncio.sleep(0.01)
+                gate.set()
+                answers = await asyncio.gather(*tasks)
+                delta = counter_delta(before, counter_snapshot())
+                assert delta["service.computes"] == 1
+                assert delta["service.coalesced"] == n - 1
+                assert delta["service.requests"] == n
+                # Every client gets the full, identical answer.
+                assert all(a.value == ("payload", n) for a in answers)
+                leaders = [a for a in answers if not a.coalesced]
+                assert len(leaders) == 1
+
+        asyncio.run(main())
+
+    @RELAXED
+    @given(
+        groups=st.lists(
+            st.integers(min_value=1, max_value=5),
+            min_size=1,
+            max_size=5,
+        )
+    )
+    def test_mixed_waves_compute_once_per_distinct_key(self, groups):
+        async def main():
+            async with QueryService(max_inflight=4, max_queue=64) as svc:
+                gate = threading.Event()
+
+                def make_fn(i):
+                    def fn(deadline):
+                        gate.wait(10)
+                        return i
+
+                    return fn
+
+                before = counter_snapshot()
+                tasks = []
+                for i, size in enumerate(groups):
+                    for _ in range(size):
+                        tasks.append(
+                            asyncio.ensure_future(
+                                svc._serve(
+                                    "cells", ("g", i), make_fn(i), None
+                                )
+                            )
+                        )
+                await asyncio.sleep(0.01)
+                gate.set()
+                answers = await asyncio.gather(*tasks)
+                delta = counter_delta(before, counter_snapshot())
+                assert delta["service.computes"] == len(groups)
+                assert delta["service.coalesced"] == sum(groups) - len(
+                    groups
+                )
+                # Fan-out never crosses groups.
+                idx = 0
+                for i, size in enumerate(groups):
+                    for _ in range(size):
+                        assert answers[idx].value == i
+                        idx += 1
+
+        asyncio.run(main())
+
+
+class TestAdmissionProperty:
+    @RELAXED
+    @given(
+        max_inflight=st.integers(min_value=1, max_value=3),
+        max_queue=st.integers(min_value=0, max_value=3),
+        n=st.integers(min_value=1, max_value=10),
+    )
+    def test_overflow_always_shed_with_structured_errors(
+        self, max_inflight, max_queue, n
+    ):
+        async def main():
+            async with QueryService(
+                max_inflight=max_inflight, max_queue=max_queue
+            ) as svc:
+                gate = threading.Event()
+
+                def make_fn(i):
+                    def fn(deadline):
+                        gate.wait(10)
+                        return i
+
+                    return fn
+
+                before = counter_snapshot()
+                tasks = [
+                    asyncio.ensure_future(
+                        svc._serve("cells", ("d", i), make_fn(i), None)
+                    )
+                    for i in range(n)
+                ]
+                await asyncio.sleep(0.01)
+                gate.set()
+                results = await asyncio.gather(*tasks, return_exceptions=True)
+                delta = counter_delta(before, counter_snapshot())
+                expected_shed = max(0, n - max_inflight - max_queue)
+                shed = [r for r in results if isinstance(r, OverloadError)]
+                served = [r for r in results if not isinstance(r, Exception)]
+                assert len(shed) == expected_shed
+                assert delta["service.shed"] == expected_shed
+                assert len(served) == n - expected_shed
+                for err in shed:
+                    # Structured, 503-style, and demonstrably not a
+                    # partial result: no value attribute at all.
+                    assert err.status == 503
+                    assert err.endpoint == "cells"
+                    assert err.queue_depth >= 0
+                    assert not hasattr(err, "value")
+                # Admitted requests all produced their exact answer.
+                assert sorted(a.value for a in served) == list(
+                    range(n - expected_shed)
+                )
+                # Capacity fully released afterwards.
+                assert svc.inflight == 0 and svc.queued == 0
+
+        asyncio.run(main())
+
+
+class TestDeadlineProperty:
+    @RELAXED
+    @given(n=st.integers(min_value=1, max_value=6))
+    def test_expired_requests_never_return_stale_answers(self, n):
+        """A wave of requests with microscopic budgets against a gated
+        compute must *all* fail with the structured TimeoutError; once
+        the compute is released, a fresh request gets the real answer,
+        proving the timeouts returned nothing stale or partial."""
+
+        async def main():
+            async with QueryService(max_inflight=2, max_queue=32) as svc:
+                gate = threading.Event()
+                calls = []
+
+                def fn(deadline):
+                    calls.append(1)
+                    gate.wait(10)
+                    return "the answer"
+
+                tasks = [
+                    asyncio.ensure_future(
+                        svc._serve("cells", ("t",), fn, 0.02)
+                    )
+                    for _ in range(n)
+                ]
+                results = await asyncio.gather(*tasks, return_exceptions=True)
+                for r in results:
+                    assert isinstance(r, repro_errors.TimeoutError)
+                    assert r.stage == "cells"
+                gate.set()
+                # The abandoned compute still completes; wait for its
+                # in-flight entry to drain so the next request provably
+                # computes fresh rather than piggybacking.
+                while len(svc._coalesce):
+                    await asyncio.sleep(0.005)
+                answer = await svc._serve("cells", ("t",), fn, 30.0)
+                assert answer.value == "the answer"
+                assert len(calls) == 2
+
+        asyncio.run(main())
