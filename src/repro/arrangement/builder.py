@@ -10,11 +10,17 @@ Two algorithms are provided with identical output:
 
 * :func:`planarize` (the default) — an x-interval sweep: segments are
   processed in order of their left endpoint while an active set holds
-  the segments whose x-interval is still open, and only candidates whose
-  y-intervals also overlap reach the exact intersection test.  Pairs
-  separated in x never meet at all; the rest are mostly rejected by the
-  cheap y comparison.  Worst-case quadratic (everything overlapping),
-  but near-linear in tested pairs on real corpora.
+  the segments whose x-interval is still open.  The surviving candidate
+  pairs are gathered into index buckets and classified *in bulk* by the
+  vectorized filters of :mod:`repro.geometry.batchkernel`: one vector
+  op rejects every bbox-disjoint pair and certifies every clearly
+  disjoint or properly crossing pair, so only certified crossings (one
+  exact rational evaluation each) and genuinely ambiguous pairs
+  (degeneracies, near-degeneracies) cost scalar work.  Coordinates too
+  large for ``float``, or :func:`~repro.geometry.fastkernel.exact_mode`,
+  fall back to the scalar per-pair sweep.  Worst-case quadratic
+  (everything overlapping), but near-linear in scalar work on real
+  corpora.
 * :func:`planarize_allpairs` — the seed quadratic all-pairs method:
   exact, simple, and the reference the sweep is tested against.
 
@@ -29,11 +35,33 @@ from __future__ import annotations
 
 from typing import Iterable, Sequence
 
+import numpy as np
+
 from ..geometry import Point, Segment
-from ..geometry.fastkernel import counters
+from ..geometry import batchkernel
+from ..geometry.fastkernel import counters, filter_enabled
 from ..instrument import stage
 
 __all__ = ["planarize", "planarize_allpairs"]
+
+
+def _point_sort_key(p: Point):
+    """Lexicographic sort key with float short-circuit.
+
+    ``(float(x), x, float(y), y)`` orders exactly like ``(x, y)``:
+    ``float(Fraction)`` is correctly rounded, hence monotone, so a
+    strict float inequality decides the exact comparison, and equal
+    floats defer to the exact ``Fraction`` in the next slot.  Almost
+    every comparison resolves on the cheap float; the rationals only
+    arbitrate genuine float ties.  Raises ``OverflowError`` on
+    coordinates too large for ``float`` — callers fall back to the
+    all-exact key.
+    """
+    return (float(p.x), p.x, float(p.y), p.y)
+
+
+def _segment_sort_key(s: Segment):
+    return _point_sort_key(s.a) + _point_sort_key(s.b)
 
 
 def _pieces_from_cuts(
@@ -43,15 +71,21 @@ def _pieces_from_cuts(
     for seg, cut in zip(segs, cuts):
         # Every cut point is an intersection computed *on* the segment,
         # so the containment filter of Segment.split_at reduces to
-        # dropping the endpoints; lexicographic order equals the order
-        # along the segment because endpoints are lex-sorted.
-        interior = sorted(
-            (p for p in cut if p != seg.a and p != seg.b),
-            key=Point.lex_key,
-        )
-        stops = [seg.a, *interior, seg.b]
+        # dropping the endpoints (hash-based: the set difference reuses
+        # the stored hashes instead of rational equality per element);
+        # lexicographic order equals the order along the segment because
+        # endpoints are lex-sorted.
+        interior = cut.difference(seg.endpoints())
+        try:
+            stops = sorted(interior, key=_point_sort_key)
+        except OverflowError:
+            stops = sorted(interior, key=Point.lex_key)
+        stops = [seg.a, *stops, seg.b]
         pieces.update(Segment(p, q) for p, q in zip(stops, stops[1:]))
-    return sorted(pieces, key=lambda s: (s.a.lex_key(), s.b.lex_key()))
+    try:
+        return sorted(pieces, key=_segment_sort_key)
+    except OverflowError:
+        return sorted(pieces, key=lambda s: (s.a.lex_key(), s.b.lex_key()))
 
 
 def _record(cuts: list[set[Point]], i: int, j: int, kind: str, payload) -> None:
@@ -80,33 +114,89 @@ def planarize(segments: Iterable[Segment]) -> list[Segment]:
     segs: list[Segment] = list(dict.fromkeys(segments))
     cuts: list[set[Point]] = [set() for _ in segs]
     with stage("planarize.sweep", segments=len(segs)):
-        # Endpoints are stored in lexicographic order, so a.x is the
-        # left x-bound and b.x the right one.
-        order = sorted(range(len(segs)), key=lambda i: segs[i].a.lex_key())
-        active: list[int] = []
-        for i in order:
-            s = segs[i]
-            s_xmin = s.a.x
-            if s.a.y <= s.b.y:
-                s_ymin, s_ymax = s.a.y, s.b.y
-            else:
-                s_ymin, s_ymax = s.b.y, s.a.y
-            still: list[int] = []
-            for j in active:
-                t = segs[j]
-                if t.b.x < s_xmin:
-                    continue  # x-interval closed: nothing later overlaps
-                still.append(j)
-                if max(t.a.y, t.b.y) < s_ymin or s_ymax < min(t.a.y, t.b.y):
-                    counters.planarize_pairs_pruned += 1
-                    continue
-                counters.planarize_pairs_tested += 1
-                kind, payload = s.intersect(t)
-                _record(cuts, i, j, kind, payload)
-            still.append(i)
-            active = still
+        arr = batchkernel.segments_to_array(segs) if filter_enabled() else None
+        if arr is None:
+            _sweep_scalar(segs, cuts)
+        else:
+            _sweep_batched(segs, arr, cuts)
     with stage("planarize.pieces"):
         return _pieces_from_cuts(segs, cuts)
+
+
+def _sweep_batched(
+    segs: list[Segment], arr: np.ndarray, cuts: list[set[Point]]
+) -> None:
+    """Collect candidate pairs with the x-sweep, classify them in bulk.
+
+    The active-set removal compares *rounded* right bounds against the
+    incoming left bound; ``float(Fraction)`` is monotone, so a strict
+    float ``<`` certifies the exact x-separation the scalar sweep tests.
+    Float ties conservatively keep the pair as a candidate — the batched
+    bbox verdict then rejects it, so output (not just correctness, also
+    the exact piece list) is unchanged.
+    """
+    # Endpoints are stored in lexicographic order, so column 0 is the
+    # left x-bound and column 2 the right one.
+    order = sorted(range(len(segs)), key=lambda i: segs[i].a.lex_key())
+    right_x = arr[:, 2]
+    pair_i: list[int] = []
+    pair_j: list[int] = []
+    active: list[int] = []
+    for i in order:
+        left_x = arr[i, 0]
+        still: list[int] = []
+        for j in active:
+            if right_x[j] < left_x:
+                continue  # x-interval certified closed
+            still.append(j)
+            pair_i.append(i)
+            pair_j.append(j)
+        still.append(i)
+        active = still
+    if not pair_i:
+        return
+    ia = np.asarray(pair_i, dtype=np.intp)
+    ja = np.asarray(pair_j, dtype=np.intp)
+    verdicts = batchkernel.classify_pairs_counted(arr[ia], arr[ja])
+    n_pruned = int(np.count_nonzero(verdicts == batchkernel.BBOX_REJECT))
+    counters.planarize_pairs_pruned += n_pruned
+    counters.planarize_pairs_tested += len(pair_i) - n_pruned
+    for k in np.flatnonzero(verdicts == batchkernel.CERT_CROSS).tolist():
+        i, j = pair_i[k], pair_j[k]
+        s, t = segs[i], segs[j]
+        kind, payload = batchkernel.crossing_point(s.a, s.b, t.a, t.b)
+        _record(cuts, i, j, kind, payload)
+    for k in np.flatnonzero(verdicts == batchkernel.AMBIGUOUS).tolist():
+        i, j = pair_i[k], pair_j[k]
+        kind, payload = segs[i].intersect(segs[j])
+        _record(cuts, i, j, kind, payload)
+
+
+def _sweep_scalar(segs: list[Segment], cuts: list[set[Point]]) -> None:
+    """Per-pair sweep used under exact mode or float-overflow coords."""
+    order = sorted(range(len(segs)), key=lambda i: segs[i].a.lex_key())
+    active: list[int] = []
+    for i in order:
+        s = segs[i]
+        s_xmin = s.a.x
+        if s.a.y <= s.b.y:
+            s_ymin, s_ymax = s.a.y, s.b.y
+        else:
+            s_ymin, s_ymax = s.b.y, s.a.y
+        still: list[int] = []
+        for j in active:
+            t = segs[j]
+            if t.b.x < s_xmin:
+                continue  # x-interval closed: nothing later overlaps
+            still.append(j)
+            if max(t.a.y, t.b.y) < s_ymin or s_ymax < min(t.a.y, t.b.y):
+                counters.planarize_pairs_pruned += 1
+                continue
+            counters.planarize_pairs_tested += 1
+            kind, payload = s.intersect(t)
+            _record(cuts, i, j, kind, payload)
+        still.append(i)
+        active = still
 
 
 def planarize_allpairs(segments: Iterable[Segment]) -> list[Segment]:

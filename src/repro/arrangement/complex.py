@@ -23,8 +23,9 @@ counterclockwise consecutive edge pairs around each vertex).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Iterable
+from dataclasses import dataclass
+
+import numpy as np
 
 from ..errors import ArrangementError
 from ..geometry import Point, Segment
@@ -39,6 +40,7 @@ from .labeling import (
     compute_labels,
     compute_labels_reference,
 )
+from .soa import LABEL_CHARS, LABEL_CODES, ComplexArrays
 
 __all__ = ["Cell", "CellComplex", "build_complex", "CW", "CCW"]
 
@@ -57,9 +59,15 @@ class Cell:
     label: Label
 
 
-@dataclass
 class CellComplex:
     """The reduced cell complex of an instance, with geometry attached.
+
+    The authoritative storage is the array-backed
+    :class:`~repro.arrangement.soa.ComplexArrays` in :attr:`arrays`; the
+    dict/frozenset attributes below are materialized lazily from it on
+    first access, so existing callers see exactly the seed API while
+    vectorized consumers (the compiled evaluator, the benches) read the
+    arrays directly.
 
     Attributes
     ----------
@@ -82,25 +90,120 @@ class CellComplex:
         Geometric witnesses (not part of the abstract invariant).
     """
 
-    names: tuple[str, ...]
-    cells: dict[str, Cell]
-    exterior_face: str
-    incidences: frozenset[tuple[str, str]]
-    orientation: frozenset[tuple[str, str, str, str]]
-    endpoints: dict[str, tuple[str, ...]]
-    vertex_points: dict[str, Point] = field(default_factory=dict)
-    edge_polylines: dict[str, list[Point]] = field(default_factory=dict)
-    face_samples: dict[str, Point] = field(default_factory=dict)
-    # Lazy accessor caches (derived data, excluded from equality/repr).
-    _cells_by_dim: dict[int, list[Cell]] | None = field(
-        default=None, init=False, repr=False, compare=False
-    )
-    _face_edge_map: dict[str, list[str]] | None = field(
-        default=None, init=False, repr=False, compare=False
-    )
-    _interior_faces_by_name: dict[str, list[str]] | None = field(
-        default=None, init=False, repr=False, compare=False
-    )
+    def __init__(self, arrays: ComplexArrays):
+        self.arrays = arrays
+        self._cells: dict[str, Cell] | None = None
+        self._incidences: frozenset[tuple[str, str]] | None = None
+        self._orientation: frozenset[tuple[str, str, str, str]] | None = None
+        self._endpoints: dict[str, tuple[str, ...]] | None = None
+        self._vertex_points: dict[str, Point] | None = None
+        self._edge_polylines: dict[str, list[Point]] | None = None
+        self._face_samples: dict[str, Point] | None = None
+        # Lazy accessor caches (derived data, excluded from equality).
+        self._cells_by_dim: dict[int, list[Cell]] | None = None
+        self._face_edge_map: dict[str, list[str]] | None = None
+        self._interior_faces_by_name: dict[str, list[str]] | None = None
+
+    # -- identity ---------------------------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        # The views are pure functions of the arrays (and injective: every
+        # array field surfaces in some view), so array equality is exactly
+        # the seed dataclass's field-by-field view equality.
+        if not isinstance(other, CellComplex):
+            return NotImplemented
+        return self.arrays == other.arrays
+
+    __hash__ = None  # mutable, like the seed dataclass (eq without hash)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        nv, ne, nf = self.counts()
+        return (
+            f"CellComplex(names={self.names!r}, "
+            f"vertices={nv}, edges={ne}, faces={nf}, "
+            f"exterior_face={self.exterior_face!r})"
+        )
+
+    # -- lazy views over the arrays ---------------------------------------------
+
+    @property
+    def names(self) -> tuple[str, ...]:
+        return self.arrays.names
+
+    @property
+    def exterior_face(self) -> str:
+        return self.arrays.cell_ids[self.arrays.exterior_face]
+
+    @property
+    def cells(self) -> dict[str, Cell]:
+        if self._cells is None:
+            arr = self.arrays
+            dims = arr.dims.tolist()
+            label_rows = arr.labels.tolist()
+            self._cells = {
+                cid: Cell(
+                    cid,
+                    dims[i],
+                    tuple(LABEL_CHARS[c] for c in label_rows[i]),
+                )
+                for i, cid in enumerate(arr.cell_ids)
+            }
+        return self._cells
+
+    @property
+    def incidences(self) -> frozenset[tuple[str, str]]:
+        if self._incidences is None:
+            ids = self.arrays.cell_ids
+            self._incidences = frozenset(
+                (ids[a], ids[b]) for a, b in self.arrays.incidence.tolist()
+            )
+        return self._incidences
+
+    @property
+    def orientation(self) -> frozenset[tuple[str, str, str, str]]:
+        if self._orientation is None:
+            ids = self.arrays.cell_ids
+            orient: set[tuple[str, str, str, str]] = set()
+            for v, e1, e2 in self.arrays.ccw.tolist():
+                orient.add((CCW, ids[v], ids[e1], ids[e2]))
+                orient.add((CW, ids[v], ids[e2], ids[e1]))
+            self._orientation = frozenset(orient)
+        return self._orientation
+
+    @property
+    def endpoints(self) -> dict[str, tuple[str, ...]]:
+        if self._endpoints is None:
+            ids = self.arrays.cell_ids
+            self._endpoints = {
+                f"e{k}": tuple(ids[g] for g in row if g >= 0)
+                for k, row in enumerate(self.arrays.edge_endpoints.tolist())
+            }
+        return self._endpoints
+
+    @property
+    def vertex_points(self) -> dict[str, Point]:
+        if self._vertex_points is None:
+            self._vertex_points = {
+                f"v{i}": p for i, p in enumerate(self.arrays.vertex_points)
+            }
+        return self._vertex_points
+
+    @property
+    def edge_polylines(self) -> dict[str, list[Point]]:
+        if self._edge_polylines is None:
+            self._edge_polylines = {
+                f"e{k}": pts
+                for k, pts in enumerate(self.arrays.edge_polylines)
+            }
+        return self._edge_polylines
+
+    @property
+    def face_samples(self) -> dict[str, Point]:
+        if self._face_samples is None:
+            self._face_samples = {
+                f"f{i}": p for i, p in enumerate(self.arrays.face_samples)
+            }
+        return self._face_samples
 
     # -- convenience accessors -------------------------------------------------
 
@@ -127,7 +230,8 @@ class CellComplex:
 
     def counts(self) -> tuple[int, int, int]:
         """(vertex count, edge count, face count)."""
-        return (len(self.vertices), len(self.edges), len(self.faces))
+        arr = self.arrays
+        return (arr.n_vertices, arr.n_edges, arr.n_faces)
 
     def label(self, cell_id: str) -> Label:
         return self.cells[cell_id].label
@@ -262,28 +366,52 @@ def _reduce(sub: Subdivision, labels: LabelMap) -> CellComplex:
             chain_of_dart[pd] = index
             chain_of_dart[sub.twin(pd)] = index
 
-    # -- cell ids ---------------------------------------------------------------
+    # -- cell numbering ---------------------------------------------------------
     kept_vertices = [v for v in range(n_vertices) if keep[v]]
-    vertex_id = {v: f"v{i}" for i, v in enumerate(kept_vertices)}
-    edge_id = {k: f"e{k}" for k in range(len(chains))}
+    nv = len(kept_vertices)
+    ne = len(chains)
+    vertex_local = {v: i for i, v in enumerate(kept_vertices)}
     # The unbounded face is always f0, matching the paper's notation.
     face_order = [sub.unbounded_face_index] + [
         f.index for f in sub.faces if f.index != sub.unbounded_face_index
     ]
-    face_id = {f: f"f{i}" for i, f in enumerate(face_order)}
+    nf = len(face_order)
+    face_local = {f: i for i, f in enumerate(face_order)}
 
-    cells: dict[str, Cell] = {}
-    vertex_points: dict[str, Point] = {}
-    for v in kept_vertices:
-        cid = vertex_id[v]
-        cells[cid] = Cell(cid, 0, labels.vertex_labels[v])
-        vertex_points[cid] = sub.vertices[v]
+    cell_ids = tuple(
+        sorted(
+            [f"v{i}" for i in range(nv)]
+            + [f"e{k}" for k in range(ne)]
+            + [f"f{i}" for i in range(nf)]
+        )
+    )
+    gid = {cid: i for i, cid in enumerate(cell_ids)}
+    vertex_gidx = np.array(
+        [gid[f"v{i}"] for i in range(nv)], dtype=np.int32
+    )
+    edge_gidx = np.array([gid[f"e{k}"] for k in range(ne)], dtype=np.int32)
+    face_gidx = np.array([gid[f"f{i}"] for i in range(nf)], dtype=np.int32)
 
-    endpoints: dict[str, tuple[str, ...]] = {}
-    edge_polylines: dict[str, list[Point]] = {}
+    n_cells = len(cell_ids)
+    n_names = len(labels.names)
+    dims = np.empty(n_cells, dtype=np.int8)
+    dims[vertex_gidx] = 0
+    dims[edge_gidx] = 1
+    dims[face_gidx] = 2
+    label_rows = np.empty((n_cells, n_names), dtype=np.uint8)
+
+    vertex_points: list[Point] = []
+    for i, v in enumerate(kept_vertices):
+        label_rows[vertex_gidx[i]] = [
+            LABEL_CODES[ch] for ch in labels.vertex_labels[v]
+        ]
+        vertex_points.append(sub.vertices[v])
+
+    endpoint_rows = np.full((ne, 2), -1, dtype=np.int32)
+    edge_polylines: list[list[Point]] = []
     chain_faces: dict[int, set[int]] = {}
+    inc: set[tuple[int, int]] = set()
     for k, path in enumerate(chains):
-        cid = edge_id[k]
         first_piece = path[0] // 2
         label = labels.piece_labels[first_piece]
         for pd in path:
@@ -291,66 +419,94 @@ def _reduce(sub: Subdivision, labels: LabelMap) -> CellComplex:
                 raise ArrangementError(
                     "chain crosses a sign-class change; smoothing bug"
                 )
-        cells[cid] = Cell(cid, 1, label)
+        eg = int(edge_gidx[k])
+        label_rows[eg] = [LABEL_CODES[ch] for ch in label]
         tail_v = sub.dart_tail[path[0]]
         head_v = sub.dart_head[path[-1]]
-        eps = []
+        eps: list[int] = []
         if keep[tail_v]:
-            eps.append(vertex_id[tail_v])
+            eps.append(int(vertex_gidx[vertex_local[tail_v]]))
         if keep[head_v] and (head_v != tail_v or not eps):
-            eps.append(vertex_id[head_v])
+            eps.append(int(vertex_gidx[vertex_local[head_v]]))
         elif keep[head_v] and head_v == tail_v:
             pass  # loop at a vertex: single endpoint entry
-        endpoints[cid] = tuple(sorted(set(eps)))
+        # Ascending global index equals the seed's sorted-id order.
+        for col, vg in enumerate(sorted(set(eps))):
+            endpoint_rows[k, col] = vg
+            inc.add((vg, eg))
         pts = [sub.vertices[sub.dart_tail[d]] for d in path]
         pts.append(sub.vertices[sub.dart_head[path[-1]]])
-        edge_polylines[cid] = pts
+        edge_polylines.append(pts)
         faces_here: set[int] = set()
         for pd in path:
             faces_here.add(sub.face_of_dart(pd))
             faces_here.add(sub.face_of_dart(sub.twin(pd)))
         chain_faces[k] = faces_here
+        for f in faces_here:
+            inc.add((eg, int(face_gidx[face_local[f]])))
 
-    face_samples: dict[str, Point] = {}
+    face_samples: list[Point] = [None] * nf  # type: ignore[list-item]
     for f in sub.faces:
-        cid = face_id[f.index]
-        cells[cid] = Cell(cid, 2, labels.face_labels[f.index])
-        face_samples[cid] = sub.face_sample(f.index)
+        local = face_local[f.index]
+        label_rows[face_gidx[local]] = [
+            LABEL_CODES[ch] for ch in labels.face_labels[f.index]
+        ]
+        face_samples[local] = sub.face_sample(f.index)
 
-    # -- incidences --------------------------------------------------------------
-    inc: set[tuple[str, str]] = set()
-    for k in range(len(chains)):
-        for vid in endpoints[edge_id[k]]:
-            inc.add((vid, edge_id[k]))
-        for f in chain_faces[k]:
-            inc.add((edge_id[k], face_id[f]))
     for v in kept_vertices:
         faces_at_v: set[int] = set()
         for d in sub.out_darts[v]:
             faces_at_v.add(sub.face_of_dart(d))
             faces_at_v.add(sub.face_of_dart(sub.twin(d)))
+        vg = int(vertex_gidx[vertex_local[v]])
         for f in faces_at_v:
-            inc.add((vertex_id[v], face_id[f]))
+            inc.add((vg, int(face_gidx[face_local[f]])))
 
-    # -- orientation --------------------------------------------------------------
-    orient: set[tuple[str, str, str, str]] = set()
+    # -- orientation (CCW triples; the CW half is the mirror image) -------------
+    ccw_set: set[tuple[int, int, int]] = set()
     for v in kept_vertices:
         ring = sub.out_darts[v]  # already CCW
         k = len(ring)
+        vg = int(vertex_gidx[vertex_local[v]])
         for i in range(k):
-            e1 = edge_id[chain_of_dart[ring[i]]]
-            e2 = edge_id[chain_of_dart[ring[(i + 1) % k]]]
-            orient.add((CCW, vertex_id[v], e1, e2))
-            orient.add((CW, vertex_id[v], e2, e1))
+            e1 = int(edge_gidx[chain_of_dart[ring[i]]])
+            e2 = int(edge_gidx[chain_of_dart[ring[(i + 1) % k]]])
+            ccw_set.add((vg, e1, e2))
 
-    return CellComplex(
+    incidence = (
+        np.array(sorted(inc), dtype=np.int32)
+        if inc
+        else np.empty((0, 2), dtype=np.int32)
+    )
+    ccw = (
+        np.array(sorted(ccw_set), dtype=np.int32)
+        if ccw_set
+        else np.empty((0, 3), dtype=np.int32)
+    )
+
+    vertex_xy: np.ndarray | None = np.empty((nv, 2), dtype=np.float64)
+    try:
+        for i, p in enumerate(vertex_points):
+            vertex_xy[i, 0] = float(p.x)
+            vertex_xy[i, 1] = float(p.y)
+    except OverflowError:
+        vertex_xy = None
+
+    arrays = ComplexArrays(
         names=labels.names,
-        cells=cells,
-        exterior_face=face_id[sub.unbounded_face_index],
-        incidences=frozenset(inc),
-        orientation=frozenset(orient),
-        endpoints=endpoints,
+        cell_ids=cell_ids,
+        dims=dims,
+        labels=label_rows,
+        incidence=incidence,
+        ccw=ccw,
+        edge_endpoints=endpoint_rows,
+        exterior_face=int(face_gidx[0]),
+        vertex_gidx=vertex_gidx,
+        edge_gidx=edge_gidx,
+        face_gidx=face_gidx,
+        vertex_xy=vertex_xy,
         vertex_points=vertex_points,
         edge_polylines=edge_polylines,
         face_samples=face_samples,
     )
+    return CellComplex(arrays)

@@ -15,7 +15,9 @@ canonical name order used throughout the invariant pipeline.
 :func:`compute_labels` is the indexed fast path: it classifies
 region-major (one region against all samples) so per-region state is
 hoisted out of the sample loop, rejects samples outside a region's
-bounding box without calling ``classify`` at all, and for segment-rich
+bounding box with one vectorized float comparison over the whole sample
+array (sound because ``float(Fraction)`` rounding is monotone; float
+ties conservatively fall through to the exact test), and for segment-rich
 regions consults a uniform grid over the boundary segments — a sample
 falling in a grid cell that no boundary segment's bbox touches shares
 the (cached) location of every other point of that cell, because a
@@ -29,7 +31,10 @@ from __future__ import annotations
 
 from math import floor
 
+import numpy as np
+
 from ..geometry import BBox, Location, Point
+from ..geometry.batchkernel import points_to_array
 from ..regions import Region, SpatialInstance
 from .dcel import Subdivision
 
@@ -186,17 +191,49 @@ def _samples_of(subdivision: Subdivision) -> list[Point]:
     return samples
 
 
+def _column_for(
+    index: RegionIndex, samples: list[Point], pts: np.ndarray | None
+) -> list[str]:
+    """One region's location codes for every sample.
+
+    When the rounded sample coordinates are available, a single pair of
+    vectorized comparisons rejects every sample strictly outside the
+    region's bounding box: ``float(Fraction)`` is correctly rounded and
+    hence monotone, so a strict float inequality against the rounded
+    bbox bound certifies the exact one — exactly the comparison
+    ``RegionIndex.classify`` would answer EXTERIOR to.  Only survivors
+    (including float ties, which stay conservative) reach the exact
+    classifier, so the column is bit-identical to the scalar scan.
+    """
+    classify = index.classify
+    if pts is not None:
+        box = index.box
+        try:
+            fx0, fy0 = float(box.xmin), float(box.ymin)
+            fx1, fy1 = float(box.xmax), float(box.ymax)
+        except OverflowError:
+            pass
+        else:
+            xs, ys = pts[:, 0], pts[:, 1]
+            inside = ~((xs < fx0) | (xs > fx1) | (ys < fy0) | (ys > fy1))
+            col = [EXTERIOR] * len(samples)
+            for k in np.flatnonzero(inside).tolist():
+                col[k] = _CODES[classify(samples[k])]
+            return col
+    return [_CODES[classify(p)] for p in samples]
+
+
 def compute_labels(
     instance: SpatialInstance, subdivision: Subdivision
 ) -> LabelMap:
     """Label all cells of *subdivision* against *instance* (indexed)."""
     names = tuple(sorted(instance.names()))
     samples = _samples_of(subdivision)
+    pts = points_to_array(samples)
     columns: list[list[str]] = []
     for name in names:
         index = RegionIndex(instance.ext(name))
-        classify = index.classify
-        columns.append([_CODES[classify(p)] for p in samples])
+        columns.append(_column_for(index, samples, pts))
     labels = [tuple(col[k] for col in columns) for k in range(len(samples))]
     n_v = len(subdivision.vertices)
     n_p = len(subdivision.pieces)

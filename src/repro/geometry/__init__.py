@@ -5,7 +5,7 @@ computes over :class:`fractions.Fraction` coordinates, so all predicates
 are exact.  See :mod:`repro.geometry.point` for the coercion rules.
 """
 
-from . import fastkernel
+from . import batchkernel, fastkernel
 from .angle import ccw_sorted, direction_compare, pseudo_angle_class
 from .bbox import BBox
 from .point import Point, Q, centroid, interpolate, midpoint

@@ -83,9 +83,17 @@ class KernelCounters:
         path, delegated to the exact classifier, and rejected outright
         by the bounding-box prescreen.
     ``planarize_pairs_tested`` / ``planarize_pairs_pruned``
-        Candidate segment pairs that reached ``Segment.intersect`` in
-        the sweep planarizer vs pairs rejected by its y-interval check
+        Candidate segment pairs classified (or delegated to the scalar
+        kernel) by the sweep planarizer vs pairs rejected outright by
+        its bounding-box prescreen — the batched vector test on the
+        default path, the y-interval check on the scalar fallback path
         (pairs separated in x never even meet in the active set).
+    ``batch_pairs`` / ``batch_certified`` / ``batch_fallback``
+        Segment pairs classified by the vectorized batch kernel
+        (:mod:`repro.geometry.batchkernel`): total pairs, pairs whose
+        verdict the float filter certified in-batch, and ambiguous
+        pairs delegated to the scalar kernel (which also counts them
+        under the ``intersect_*`` / ``orientation_*`` families).
     """
 
     __slots__ = (
@@ -96,6 +104,9 @@ class KernelCounters:
         "intersect_bbox_reject",
         "planarize_pairs_tested",
         "planarize_pairs_pruned",
+        "batch_pairs",
+        "batch_certified",
+        "batch_fallback",
     )
 
     def __init__(self) -> None:

@@ -48,6 +48,9 @@ from bisect import bisect_left, bisect_right
 from fractions import Fraction
 from typing import Callable, Mapping, Sequence
 
+import numpy as np
+
+from ..arrangement.soa import mask_from_bool
 from ..errors import QueryError
 from ..geometry import Location, Point
 from ..instrument import Deadline, add_counter_source, stage
@@ -241,7 +244,111 @@ class CompiledCellModel:
         self.max_faces = max_faces
         self.max_regions = max_regions
         self.deadline = deadline
-        cx = complex
+        arrays = getattr(complex, "arrays", None)
+        if arrays is not None:
+            self._init_from_arrays(arrays)
+        else:
+            self._init_from_cells(complex)
+
+    def _init_from_arrays(self, arrays) -> None:
+        """Build the bitset machinery straight from the SoA arrays.
+
+        ``arrays.cell_ids`` is already the sorted-id numbering this
+        model uses (bit *i* == ``cell_ids[i]``), so the label, closure,
+        and star masks come out of grouped array scans and
+        ``np.packbits`` instead of per-cell dict lookups.  The resulting
+        masks are identical to :meth:`_init_from_cells` on the view
+        dicts — the compiled-vs-reference equivalence suite checks the
+        answers, and the construction mirrors it relation for relation.
+        """
+        self.cell_ids: tuple[str, ...] = arrays.cell_ids
+        self._index = {cid: i for i, cid in enumerate(arrays.cell_ids)}
+        n = arrays.n_cells
+        self.all_cells_mask = (1 << n) - 1
+
+        # Faces in sorted-id order: the enumeration's anchor order
+        # (ascending global index == ascending id among faces).
+        self.face_indices = np.sort(arrays.face_gidx).tolist()
+        self.face_rank = {fi: r for r, fi in enumerate(self.face_indices)}
+
+        inc = arrays.incidence
+        dims = arrays.dims.tolist()
+
+        # Group incidence rows by the upper cell to get each face's
+        # down-set as one slice, packed into a bitset per face.
+        by_upper = np.argsort(inc[:, 1], kind="stable")
+        upper_sorted = inc[by_upper, 1]
+        lower_sorted = inc[by_upper, 0]
+        face_arr = np.asarray(self.face_indices, dtype=inc.dtype)
+        flags = np.zeros(n, dtype=bool)
+        down_of_face: dict[int, int] = {}
+        for fi, s, e in zip(
+            self.face_indices,
+            np.searchsorted(upper_sorted, face_arr, side="left").tolist(),
+            np.searchsorted(upper_sorted, face_arr, side="right").tolist(),
+        ):
+            rows = lower_sorted[s:e]
+            flags[rows] = True
+            down_of_face[fi] = mask_from_bool(flags)
+            flags[rows] = False
+        # Face closure: the face bit plus everything beneath it.
+        self.closure_of_face = {
+            fi: (1 << fi) | mask for fi, mask in down_of_face.items()
+        }
+
+        neighbors: list[list[int]] = [[] for _ in range(n)]
+        for ia, ib in inc.tolist():
+            neighbors[ia].append(ib)
+            neighbors[ib].append(ia)
+        self.cell_neighbors = neighbors
+
+        # Group rows by the lower cell: each edge's faces and each
+        # vertex's star come out as one slice.
+        by_lower = np.argsort(inc[:, 0], kind="stable")
+        low_sorted = inc[by_lower, 0]
+        up_sorted = inc[by_lower, 1]
+
+        # Edge -> mask of its (one or two) incident faces.
+        self.edge_entries: list[tuple[int, int]] = []
+        face_adj: dict[int, list[int]] = {fi: [] for fi in self.face_indices}
+        edge_order = np.sort(arrays.edge_gidx)
+        for ie, s, e in zip(
+            edge_order.tolist(),
+            np.searchsorted(low_sorted, edge_order, side="left").tolist(),
+            np.searchsorted(low_sorted, edge_order, side="right").tolist(),
+        ):
+            fmask = 0
+            fs = []
+            for ib in up_sorted[s:e].tolist():
+                if dims[ib] == 2:
+                    fmask |= 1 << ib
+                    fs.append(ib)
+            if fmask:
+                self.edge_entries.append((1 << ie, fmask))
+            if len(set(fs)) == 2:
+                f1, f2 = sorted(set(fs))
+                face_adj[f1].append(f2)
+                face_adj[f2].append(f1)
+        self.face_adj = face_adj
+
+        # Vertex -> mask of incident edges and faces (the star).
+        self.vertex_entries: list[tuple[int, int]] = []
+        vertex_order = np.sort(arrays.vertex_gidx)
+        for iv, s, e in zip(
+            vertex_order.tolist(),
+            np.searchsorted(low_sorted, vertex_order, side="left").tolist(),
+            np.searchsorted(low_sorted, vertex_order, side="right").tolist(),
+        ):
+            smask = 0
+            for ib in up_sorted[s:e].tolist():
+                smask |= 1 << ib
+            if smask:
+                self.vertex_entries.append((1 << iv, smask))
+
+        self.ext_bit = 1 << arrays.exterior_face
+
+    def _init_from_cells(self, cx) -> None:
+        """Dict-walk construction for complexes without SoA arrays."""
         self.cell_ids: tuple[str, ...] = tuple(sorted(cx.cells))
         index = {cid: i for i, cid in enumerate(self.cell_ids)}
         self._index = index
@@ -307,6 +414,18 @@ class CompiledCellModel:
         """``ext(name)`` for every instance name, as compiled regions."""
         cx = self.complex
         named: dict[str, CompiledRegion] = {}
+        arrays = getattr(cx, "arrays", None)
+        if arrays is not None:
+            # One vectorized comparison per (name, sign) over the label
+            # code matrix; the packed bitsets use the same bit == cell
+            # index convention as self._index.
+            for pos, name in enumerate(cx.names):
+                interior = arrays.label_mask(pos, "o")
+                boundary = arrays.label_mask(pos, "b")
+                named[name] = CompiledRegion(
+                    interior, interior | boundary, ("ext", name)
+                )
+            return named
         for pos, name in enumerate(cx.names):
             interior = 0
             boundary = 0

@@ -10,9 +10,13 @@ An :class:`InvariantPipeline` turns a corpus of
   and re-runs against a disk cache all skip recomputation;
 * **parallel computation** — the cold misses of a batch are mapped over
   a worker pool (``serial`` / ``threads`` / ``processes``); the process
-  backend ships instances as JSON (exact rationals survive the trip) and
-  is the one that scales on multi-core machines, since invariant
-  computation is pure Python and GIL-bound;
+  backend ships closed-form instances through a per-batch shared-memory
+  arena (:mod:`repro.pipeline.shm` — each task's pickled message is a
+  ``(name, offset, size)`` descriptor, the coordinates travel as one
+  int64 array read zero-copy in the worker) with a per-instance JSON
+  fallback for regions the array codec cannot carry (exact rationals
+  survive either trip), and is the backend that scales on multi-core
+  machines, since invariant computation is pure Python and GIL-bound;
 * **hash-bucketed equivalence** — :meth:`equivalence_groups` buckets
   invariants by their complete canonical hash and runs the backtracking
   isomorphism search only within buckets, so the quadratic pairwise
@@ -68,9 +72,11 @@ __all__ = [
     "InvariantPipeline",
     "topologically_equivalent_batch",
     "BACKENDS",
+    "DISPATCH_MODES",
 ]
 
 BACKENDS = ("serial", "threads", "processes")
+DISPATCH_MODES = ("arrays", "json")
 
 
 def _teardown_process_pool(pool: ProcessPoolExecutor) -> None:
@@ -95,18 +101,35 @@ def _teardown_process_pool(pool: ProcessPoolExecutor) -> None:
             pass
 
 
-def _invariant_task_json(args: tuple):
-    """Process-pool worker: ``(key, instance JSON, drawn fault, trace?)``
-    in, invariant JSON out.  The fault decision was drawn by the parent
-    at submit time (deterministic schedules survive the process hop).
-    When the parent is tracing, the spans recorded in this interpreter
-    are captured and piggybacked on the result for re-parenting."""
-    key, instance_json, fault, traced = args
-    from ..io import instance_from_json, invariant_to_json
+def _invariant_task(args: tuple):
+    """Process-pool worker: ``(key, payload, drawn fault, trace?)`` in,
+    invariant JSON out.  The payload is either ``("json", text)`` or a
+    ``("shm", name, offset, size)`` descriptor of a window in the
+    batch's shared-memory arena (see :mod:`repro.pipeline.shm`), which
+    is decoded zero-copy in place.  The fault decision was drawn by the
+    parent at submit time (deterministic schedules survive the process
+    hop).  When the parent is tracing, the spans recorded in this
+    interpreter are captured and piggybacked on the result for
+    re-parenting."""
+    key, payload, fault, traced = args
+    from ..io import invariant_to_json
 
     with tracing.capture(force=traced) as cap:
         faults.execute_in_worker(fault, key)
-        value = invariant_to_json(invariant(instance_from_json(instance_json)))
+        if payload[0] == "shm":
+            from ..io import instance_from_buffer
+            from .shm import read_task_payload
+
+            window = read_task_payload(*payload[1:])
+            try:
+                inst = instance_from_buffer(window)
+            finally:
+                window.release()
+        else:
+            from ..io import instance_from_json
+
+            inst = instance_from_json(payload[1])
+        value = invariant_to_json(invariant(inst))
     return tracing.pack_result(value, cap)
 
 
@@ -138,6 +161,14 @@ class InvariantPipeline:
     max_pool_respawns:
         How many times a broken pool is respawned per batch before the
         remaining tasks degrade to the next backend in the chain.
+    dispatch:
+        How the process backend ships instances to workers:
+        ``"arrays"`` (default) packs closed-form instances into a
+        shared-memory arena and sends ``(name, offset, size)``
+        descriptors (instances the array codec cannot carry fall back
+        to JSON per instance); ``"json"`` forces the seed behaviour of
+        pickling a JSON string per task.  Results are identical either
+        way; only transfer cost differs.
     """
 
     def __init__(
@@ -150,11 +181,18 @@ class InvariantPipeline:
         retry: RetryPolicy | None = None,
         task_timeout: float | None = None,
         max_pool_respawns: int = 2,
+        dispatch: str = "arrays",
     ):
         if backend not in BACKENDS:
             raise PipelineError(
                 f"unknown backend {backend!r}; expected one of {BACKENDS}"
             )
+        if dispatch not in DISPATCH_MODES:
+            raise PipelineError(
+                f"unknown dispatch {dispatch!r}; "
+                f"expected one of {DISPATCH_MODES}"
+            )
+        self.dispatch = dispatch
         self.backend = backend
         self.workers = workers or os.cpu_count() or 1
         # `cache or ...` would discard an injected empty cache (len 0 is
@@ -398,19 +436,36 @@ class InvariantPipeline:
                 ),
                 respawn=self._respawn_threads,
             )
+        shm_batch = None
         if "processes" in chain:
             from ..io import instance_to_json, invariant_from_json
 
-            payloads = {
-                key: instance_to_json(inst) for key, inst in misses.items()
-            }
+            payloads: dict[str, tuple] = {}
+            if self.dispatch == "arrays":
+                from ..io import instance_to_buffer
+                from .shm import ShmBatch
+
+                blobs: dict[str, bytes] = {}
+                for key, inst in misses.items():
+                    blob = instance_to_buffer(inst)
+                    if blob is not None:
+                        blobs[key] = blob
+                if blobs:
+                    shm_batch = ShmBatch.create(blobs)
+                    for key in blobs:
+                        payloads[key] = ("shm", *shm_batch.descriptor(key))
+                self.stats.count("dispatch_shm", len(blobs))
+            json_keys = [key for key in misses if key not in payloads]
+            self.stats.count("dispatch_json", len(json_keys))
+            for key in json_keys:
+                payloads[key] = ("json", instance_to_json(misses[key]))
             # Drawn in the parent at submit time, like the fault payload:
             # the worker interpreter cannot see the parent's tracer.
             traced = tracing.current_tracer() is not None
             runners["processes"] = ExecutorRunner(
                 "processes",
                 submit=lambda key, fault: self._process_pool().submit(
-                    _invariant_task_json, (key, payloads[key], fault, traced)
+                    _invariant_task, (key, payloads[key], fault, traced)
                 ),
                 respawn=self._respawn_processes,
                 decode=invariant_from_json,
@@ -425,7 +480,14 @@ class InvariantPipeline:
             task_timeout=self.task_timeout,
             max_pool_respawns=self.max_pool_respawns,
         )
-        return mapper.run(list(misses))
+        try:
+            return mapper.run(list(misses))
+        finally:
+            # Workers that already mapped the arena keep reading after
+            # the unlink; nothing retries a descriptor past this point
+            # because the mapper has fully drained the batch.
+            if shm_batch is not None:
+                shm_batch.close()
 
     # -- equivalence --------------------------------------------------------
 

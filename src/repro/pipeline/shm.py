@@ -1,0 +1,128 @@
+"""Shared-memory transport for process-pool task payloads.
+
+The process backend used to pickle a JSON string per task through the
+executor's call pipe.  Here the parent packs every encodable payload of
+a batch into **one** :class:`multiprocessing.shared_memory.SharedMemory`
+arena and sends each worker only a ``(segment name, offset, size)``
+descriptor — a few dozen bytes through the pipe regardless of payload
+size.  The worker maps the segment once, keeps the mapping across tasks
+of the batch, and reads its window zero-copy as a ``memoryview``.
+
+Lifecycle: the parent owns the segment and unlinks it as soon as the
+batch's map completes (``finally``-guarded, so a failed batch cannot
+leak ``/dev/shm`` entries).  On Linux an unlinked segment stays valid
+for processes that already mapped it, and a worker killed mid-read
+releases its mapping with the process — there is no cleanup path that
+depends on worker cooperation.
+
+CPython 3.11's :class:`SharedMemory` registers *attachments* with the
+``resource_tracker`` as if they were owned segments (the ``track=False``
+escape hatch only lands in 3.13).  That is harmless here: pool workers
+inherit the parent's tracker process (both fork and spawn pass the
+tracker fd down), so a worker attach re-registers a name the tracker
+already holds — an idempotent no-op on the tracker's name set — and the
+parent's unlink removes it exactly once.  Workers must *not* unregister
+the name themselves: with a shared tracker that would strip the
+parent's registration and turn the parent's unlink into a tracker-side
+``KeyError``, and lose crash cleanup in the window before unlink.
+"""
+
+from __future__ import annotations
+
+from multiprocessing import shared_memory
+
+__all__ = ["ShmBatch", "read_task_payload"]
+
+# Blob starts are 8-byte aligned so int64 views inside a window stay
+# aligned no matter where the window lands in the arena.
+_ALIGN = 8
+
+
+def _aligned(n: int) -> int:
+    return n + (-n % _ALIGN)
+
+
+class ShmBatch:
+    """One batch's payloads packed into a single shared-memory arena."""
+
+    __slots__ = ("shm", "_windows", "_closed")
+
+    def __init__(
+        self,
+        shm: shared_memory.SharedMemory,
+        windows: dict[str, tuple[int, int]],
+    ):
+        self.shm = shm
+        self._windows = windows
+        self._closed = False
+
+    @classmethod
+    def create(cls, blobs: dict[str, bytes]) -> "ShmBatch":
+        """Pack *blobs* (key → encoded payload) into a fresh arena."""
+        total = sum(_aligned(len(b)) for b in blobs.values())
+        shm = shared_memory.SharedMemory(create=True, size=max(total, 1))
+        windows: dict[str, tuple[int, int]] = {}
+        pos = 0
+        for key, blob in blobs.items():
+            size = len(blob)
+            shm.buf[pos : pos + size] = blob
+            windows[key] = (pos, size)
+            pos += _aligned(size)
+        return cls(shm, windows)
+
+    def descriptor(self, key: str) -> tuple[str, int, int]:
+        """The ``(segment name, offset, size)`` triple for one payload —
+        the whole cross-process message for that task."""
+        offset, size = self._windows[key]
+        return (self.shm.name, offset, size)
+
+    @property
+    def nbytes(self) -> int:
+        """Arena size in bytes (payloads plus alignment padding)."""
+        return self.shm.size
+
+    def close(self) -> None:
+        """Unmap and unlink the arena.  Idempotent."""
+        if self._closed:
+            return
+        self._closed = True
+        try:
+            self.shm.close()
+        except BufferError:  # pragma: no cover - exported view leak
+            pass
+        try:
+            self.shm.unlink()
+        except FileNotFoundError:  # pragma: no cover - already gone
+            pass
+
+    def __enter__(self) -> "ShmBatch":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+# Worker-side attachment cache: one mapping per segment, reused across
+# every task of a batch (and replaced when the next batch arrives).
+_attached: tuple[str, shared_memory.SharedMemory] | None = None
+
+
+def read_task_payload(name: str, offset: int, size: int) -> memoryview:
+    """A worker's zero-copy view of its payload window.
+
+    Maps the segment on first use and caches the mapping; subsequent
+    tasks of the same batch only slice.  The returned ``memoryview``
+    aliases shared pages — consume it before the parent's batch ends
+    (task execution is inside the batch by construction).
+    """
+    global _attached
+    if _attached is None or _attached[0] != name:
+        if _attached is not None:
+            try:
+                _attached[1].close()
+            except BufferError:  # pragma: no cover - stale view export
+                pass
+        # Attaching re-registers the name with the shared resource
+        # tracker; idempotent, and cleared by the parent's unlink.
+        _attached = (name, shared_memory.SharedMemory(name=name))
+    return _attached[1].buf[offset : offset + size]

@@ -46,6 +46,10 @@ class PipelineStats:
         self.invariants_computed = 0
         self.buckets = 0
         self.isomorphism_calls = 0
+        # Process-dispatch accounting: how many cold misses travelled
+        # as shared-memory array descriptors vs pickled JSON strings.
+        self.dispatch_shm = 0
+        self.dispatch_json = 0
         # Resilience accounting (see repro.pipeline.resilience): how
         # often the batch machinery had to retry, give up, or degrade.
         self.retries = 0
@@ -190,6 +194,8 @@ class PipelineStats:
                 "invariants_computed": self.invariants_computed,
                 "buckets": self.buckets,
                 "isomorphism_calls": self.isomorphism_calls,
+                "dispatch_shm": self.dispatch_shm,
+                "dispatch_json": self.dispatch_json,
                 "spans": {
                     name: dict(cell)
                     for name, cell in sorted(self.span_rollup.items())

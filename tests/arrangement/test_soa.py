@@ -1,0 +1,202 @@
+"""Tests for the array-backed (SoA) cell-complex storage.
+
+The arrays are the source of truth and the ``CellComplex`` dict /
+frozenset views are derived from them, so the two representations must
+tell exactly the same story; the compiled evaluator's bitset
+construction must come out identical whether built from the arrays or
+from a dict walk of the views.
+"""
+
+import numpy as np
+import pytest
+
+from repro.arrangement import build_complex
+from repro.arrangement.soa import (
+    LABEL_CHARS,
+    LABEL_CODES,
+    mask_from_bool,
+)
+from repro.datasets import all_figures, fig_1b, fig_7a
+from repro.geometry import Point
+from repro.logic.compiled import CompiledCellModel
+from repro.regions import Poly, Rect, SpatialInstance
+
+
+def overlapping_pair():
+    return SpatialInstance(
+        {"A": Rect(0, 0, 4, 4), "B": Rect(2, 2, 6, 6)}
+    )
+
+
+class _ViewsOnly:
+    """Wrap a complex, hiding ``arrays`` so consumers take the dict path."""
+
+    def __init__(self, cx):
+        self._cx = cx
+
+    def __getattr__(self, name):
+        if name == "arrays":
+            raise AttributeError(name)
+        return getattr(self._cx, name)
+
+
+class TestArraysMatchViews:
+    @pytest.fixture(scope="class", params=["pair", "fig_1b", "fig_7a"])
+    def cx(self, request):
+        inst = {
+            "pair": overlapping_pair,
+            "fig_1b": fig_1b,
+            "fig_7a": fig_7a,
+        }[request.param]()
+        return build_complex(inst)
+
+    def test_cell_ids_and_dims(self, cx):
+        arrays = cx.arrays
+        assert arrays.cell_ids == tuple(sorted(cx.cells))
+        for i, cid in enumerate(arrays.cell_ids):
+            assert arrays.dims[i] == cx.cells[cid].dim
+            assert cid[0] == "vef"[arrays.dims[i]]
+
+    def test_labels_round_trip(self, cx):
+        arrays = cx.arrays
+        for i, cid in enumerate(arrays.cell_ids):
+            want = cx.cells[cid].label
+            got = tuple(
+                LABEL_CHARS[code] for code in arrays.labels[i].tolist()
+            )
+            assert got == want
+
+    def test_incidence_rows_are_the_view_pairs(self, cx):
+        arrays = cx.arrays
+        ids = arrays.cell_ids
+        from_rows = {
+            (ids[a], ids[b]) for a, b in arrays.incidence.tolist()
+        }
+        assert from_rows == set(cx.incidences)
+
+    def test_ccw_rows_mirror_to_orientation(self, cx):
+        arrays = cx.arrays
+        ids = arrays.cell_ids
+        rebuilt = set()
+        for v, e1, e2 in arrays.ccw.tolist():
+            rebuilt.add(("ccw", ids[v], ids[e1], ids[e2]))
+            rebuilt.add(("cw", ids[v], ids[e2], ids[e1]))
+        assert rebuilt == set(cx.orientation)
+
+    def test_edge_endpoints_match_view(self, cx):
+        arrays = cx.arrays
+        ids = arrays.cell_ids
+        for k, row in enumerate(arrays.edge_endpoints.tolist()):
+            want = cx.endpoints[f"e{k}"]
+            got = tuple(ids[v] for v in row if v >= 0)
+            assert got == want
+
+    def test_exterior_face(self, cx):
+        assert (
+            cx.arrays.cell_ids[cx.arrays.exterior_face] == cx.exterior_face
+        )
+
+    def test_gidx_maps(self, cx):
+        arrays = cx.arrays
+        for i in range(arrays.n_vertices):
+            assert arrays.cell_ids[arrays.vertex_gidx[i]] == f"v{i}"
+        for k in range(arrays.n_edges):
+            assert arrays.cell_ids[arrays.edge_gidx[k]] == f"e{k}"
+        for i in range(arrays.n_faces):
+            assert arrays.cell_ids[arrays.face_gidx[i]] == f"f{i}"
+
+    def test_vertex_xy_rounds_the_witnesses(self, cx):
+        arrays = cx.arrays
+        assert arrays.vertex_xy is not None
+        for i, p in enumerate(arrays.vertex_points):
+            assert arrays.vertex_xy[i, 0] == float(p.x)
+            assert arrays.vertex_xy[i, 1] == float(p.y)
+
+    def test_nbytes_counts_the_combinatorial_arrays(self, cx):
+        arrays = cx.arrays
+        floor = (
+            arrays.dims.nbytes
+            + arrays.labels.nbytes
+            + arrays.incidence.nbytes
+            + arrays.ccw.nbytes
+        )
+        assert arrays.nbytes() >= floor > 0
+
+    def test_label_masks_match_dict_scan(self, cx):
+        arrays = cx.arrays
+        for pos in range(len(arrays.names)):
+            for char in LABEL_CHARS:
+                mask = arrays.label_mask(pos, char)
+                want = 0
+                for i, cid in enumerate(arrays.cell_ids):
+                    if cx.cells[cid].label[pos] == char:
+                        want |= 1 << i
+                assert mask == want
+
+
+class TestEquality:
+    def test_same_instance_builds_equal(self):
+        assert build_complex(overlapping_pair()) == build_complex(
+            overlapping_pair()
+        )
+
+    def test_different_instances_differ(self):
+        a = build_complex(overlapping_pair())
+        b = build_complex(SpatialInstance({"A": Rect(0, 0, 1, 1)}))
+        assert a != b
+
+    def test_label_change_differs(self):
+        tri = Poly((Point(0, 0), Point(4, 0), Point(0, 4)))
+        a = build_complex(SpatialInstance({"A": tri}))
+        b = build_complex(SpatialInstance({"B": tri}))
+        assert a.arrays != b.arrays or a.arrays.names != b.arrays.names
+
+
+class TestMaskFromBool:
+    def test_empty(self):
+        assert mask_from_bool(np.zeros(0, dtype=bool)) == 0
+
+    def test_bit_positions(self):
+        flags = np.zeros(130, dtype=bool)
+        for i in (0, 1, 63, 64, 65, 127, 128, 129):
+            flags[i] = True
+        mask = mask_from_bool(flags)
+        assert mask == sum(1 << i for i in np.flatnonzero(flags).tolist())
+
+    def test_label_codes_cover_chars(self):
+        assert sorted(LABEL_CODES.values()) == [0, 1, 2]
+        for char, code in LABEL_CODES.items():
+            assert LABEL_CHARS[code] == char
+
+
+class TestCompiledModelPaths:
+    """The bitset machinery must be identical from arrays and from views."""
+
+    @pytest.mark.parametrize("figure", sorted(all_figures()))
+    def test_init_paths_agree(self, figure):
+        cx = build_complex(all_figures()[figure])
+        fast = CompiledCellModel(cx, 1 << 20, 1 << 20)
+        slow = CompiledCellModel(_ViewsOnly(cx), 1 << 20, 1 << 20)
+        assert fast.cell_ids == slow.cell_ids
+        assert fast._index == slow._index
+        assert fast.all_cells_mask == slow.all_cells_mask
+        assert fast.face_indices == slow.face_indices
+        assert fast.face_rank == slow.face_rank
+        assert fast.closure_of_face == slow.closure_of_face
+        assert fast.ext_bit == slow.ext_bit
+        assert fast.edge_entries == slow.edge_entries
+        assert fast.vertex_entries == slow.vertex_entries
+        assert {k: sorted(v) for k, v in fast.face_adj.items()} == {
+            k: sorted(v) for k, v in slow.face_adj.items()
+        }
+        assert [sorted(ns) for ns in fast.cell_neighbors] == [
+            sorted(ns) for ns in slow.cell_neighbors
+        ]
+        names = cx.names
+        fm = fast.label_masks(names)
+        sm = slow.label_masks(names)
+        assert set(fm) == set(sm)
+        for name in fm:
+            assert fm[name].interior == sm[name].interior
+            assert fm[name].closure == sm[name].closure
+            assert fm[name].boundary == sm[name].boundary

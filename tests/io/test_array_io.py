@@ -1,0 +1,111 @@
+"""Tests for the columnar binary instance codec."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.datasets import all_figures
+from repro.errors import ReproError
+from repro.geometry import Point
+from repro.invariant.canonical import instance_key
+from repro.io import instance_from_buffer, instance_to_buffer
+from repro.regions import AlgRegion, Poly, Rect, RectUnion, SpatialInstance
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("figure", sorted(all_figures()))
+    def test_figures_round_trip_exactly(self, figure):
+        inst = all_figures()[figure]
+        buf = instance_to_buffer(inst)
+        assert buf is not None
+        back = instance_from_buffer(buf)
+        assert instance_key(back) == instance_key(inst)
+        assert sorted(back.names()) == sorted(inst.names())
+
+    def test_exact_rationals_survive(self):
+        inst = SpatialInstance(
+            {
+                "A": Rect(
+                    Fraction(1, 3),
+                    Fraction(-7, 11),
+                    Fraction(22, 7),
+                    Fraction(355, 113),
+                )
+            }
+        )
+        back = instance_from_buffer(instance_to_buffer(inst))
+        r = back.ext("A")
+        assert (r.x1, r.y1, r.x2, r.y2) == (
+            Fraction(1, 3),
+            Fraction(-7, 11),
+            Fraction(22, 7),
+            Fraction(355, 113),
+        )
+
+    def test_all_region_kinds(self):
+        inst = SpatialInstance(
+            {
+                "R": Rect(0, 0, 2, 2),
+                "U": RectUnion([Rect(0, 0, 2, 2), Rect(1, 1, 3, 3)]),
+                "P": Poly((Point(0, 0), Point(4, 0), Point(0, 4))),
+            }
+        )
+        back = instance_from_buffer(instance_to_buffer(inst))
+        assert isinstance(back.ext("R"), Rect)
+        assert isinstance(back.ext("U"), RectUnion)
+        assert isinstance(back.ext("P"), Poly)
+        assert instance_key(back) == instance_key(inst)
+
+    def test_memoryview_input(self):
+        inst = SpatialInstance({"A": Rect(0, 0, 2, 2)})
+        buf = instance_to_buffer(inst)
+        back = instance_from_buffer(memoryview(buf))
+        assert instance_key(back) == instance_key(inst)
+
+
+class TestFallbacks:
+    def test_alg_region_is_not_encodable(self):
+        inst = SpatialInstance({"C": AlgRegion.circle(0, 0, 2, n=8)})
+        assert instance_to_buffer(inst) is None
+
+    def test_mixed_instance_with_alg_region_falls_back(self):
+        inst = SpatialInstance(
+            {"A": Rect(0, 0, 2, 2), "C": AlgRegion.circle(0, 0, 1, n=8)}
+        )
+        assert instance_to_buffer(inst) is None
+
+    def test_huge_numerator_falls_back(self):
+        inst = SpatialInstance(
+            {"A": Rect(0, 0, Fraction(1 << 63, 3), 1)}
+        )
+        assert instance_to_buffer(inst) is None
+
+    def test_huge_denominator_falls_back(self):
+        inst = SpatialInstance(
+            {"A": Rect(0, 0, 1, Fraction(1, (1 << 62) + 1))}
+        )
+        assert instance_to_buffer(inst) is None
+
+    def test_int64_headroom_is_encodable(self):
+        limit = (1 << 62) - 1
+        inst = SpatialInstance({"A": Rect(0, 0, limit, limit)})
+        back = instance_from_buffer(instance_to_buffer(inst))
+        assert back.ext("A").x2 == limit
+
+
+class TestMalformedBuffers:
+    def test_wrong_magic(self):
+        with pytest.raises(ReproError):
+            instance_from_buffer(b"NOPE" + b"\0" * 32)
+
+    def test_unknown_kind(self):
+        import json
+        import struct
+
+        header = json.dumps(
+            {"v": 1, "regions": [["A", "blob"]]}
+        ).encode()
+        buf = b"RAI1" + struct.pack("<I", len(header)) + header
+        buf += b"\0" * ((-len(buf)) % 8)
+        with pytest.raises(ReproError):
+            instance_from_buffer(buf)
