@@ -39,6 +39,7 @@ more traffic).
 import argparse
 import asyncio
 import json
+import resource
 import time
 from collections import Counter, deque
 from pathlib import Path
@@ -208,6 +209,9 @@ class Recorder:
                 else 0.0
             ),
             "computes": delta.get("service.computes", 0),
+            "peak_rss_kib": resource.getrusage(
+                resource.RUSAGE_SELF
+            ).ru_maxrss,
         }
 
 

@@ -1,0 +1,380 @@
+"""Segment-store scaling — persisting a 100k-instance corpus.
+
+The serving layers bottom out in persistent invariant storage; this
+benchmark measures the segment store doing the north-star job: one
+segment file set holding a grid-class corpus of 100k+ instances, with
+index probes instead of directory scans.
+
+Workload: translated copies of a handful of template topologies laid
+out on a square grid (distinct geometry — distinct ``instance_key`` —
+per instance; the invariant structure repeats, which is exactly the
+grid/corpus shape the paper's figure datasets scale into).  Every
+record embeds its geometry via the RAI1 columnar codec, so the stored
+corpus is self-contained: keys, invariants, geometries, bboxes.
+
+Measured (all written to ``BENCH_store.json``):
+
+* bulk-ingest throughput (records/s) and amortized bytes/instance of
+  the sealed file set (record payload + envelope + footer index);
+* point-lookup latency, cold (fresh open, faulting mmap pages) and
+  warm, p50/p99 over a seeded sample — a lookup is the full
+  ``get()``: index probe, zero-copy decode, ``T_I`` materialization;
+* window-query latency through the z-order index vs. the same answer
+  by linear scan over every record envelope, plus the speedup;
+* pipeline ``bulk_load`` throughput (cold invariant computation
+  streaming into the store) on a smaller corpus;
+* compaction: bytes before/after rewriting live records once a slice
+  of the corpus has been overwritten and another slice deleted.
+
+Acceptance thresholds (enforced in full *and* smoke mode):
+
+* amortized bytes/instance <= 1 KiB for the grid-class corpus;
+* warm point-lookup p99 under 1 ms;
+* window query >= 10x faster than the linear scan;
+* every sampled stored invariant has the template's canonical hash
+  bit-identically.
+
+Run as a pytest benchmark (``pytest benchmarks/bench_store.py``) or as
+a script::
+
+    PYTHONPATH=src python benchmarks/bench_store.py          # 100k corpus
+    PYTHONPATH=src python benchmarks/bench_store.py --smoke  # CI smoke
+"""
+
+import argparse
+import json
+import math
+import random
+import resource
+import shutil
+import tempfile
+import time
+from pathlib import Path
+
+from repro import (
+    InvariantPipeline,
+    Rect,
+    SpatialInstance,
+    canonical_hash,
+    instance_key,
+    invariant,
+)
+from repro.store import SegmentStore
+
+FULL_N = 100_000
+SMOKE_N = 5_000
+PIPELINE_N_FULL = 1_000
+PIPELINE_N_SMOKE = 150
+LOOKUP_SAMPLE = 1_000
+WINDOW_REPS = 20
+SCAN_REPS = 3
+
+BYTES_PER_INSTANCE_CEIL = 1024
+WARM_P99_MS_CEIL = 1.0
+WINDOW_SPEEDUP_FLOOR = 10.0
+
+#: Cell pitch of the corpus grid; template geometries fit in one cell.
+PITCH = 8
+
+
+def _percentile(samples, q):
+    if not samples:
+        return 0.0
+    ordered = sorted(samples)
+    rank = max(0, min(len(ordered) - 1, int(q * len(ordered) + 0.5) - 1))
+    return ordered[rank]
+
+
+# -- corpus -------------------------------------------------------------------
+
+
+def _templates():
+    """Template geometries at the origin, each under one cell pitch."""
+
+    def one_rect():
+        inst = SpatialInstance()
+        inst.add("A", Rect(0, 0, 3, 3))
+        return inst
+
+    def overlapping():
+        inst = SpatialInstance()
+        inst.add("A", Rect(0, 0, 4, 4))
+        inst.add("B", Rect(2, 2, 6, 6))
+        return inst
+
+    def disjoint():
+        inst = SpatialInstance()
+        inst.add("A", Rect(0, 0, 2, 2))
+        inst.add("B", Rect(4, 0, 6, 2))
+        return inst
+
+    def nested():
+        inst = SpatialInstance()
+        inst.add("A", Rect(0, 0, 6, 6))
+        inst.add("B", Rect(2, 2, 4, 4))
+        return inst
+
+    return [one_rect(), overlapping(), disjoint(), nested()]
+
+
+def _translate(template: SpatialInstance, dx: int, dy: int):
+    """A rect-only translated copy plus its float bbox — cheap enough
+    to build 100k times (no polygonalization, no exact bbox pass)."""
+    inst = SpatialInstance()
+    xmin = ymin = math.inf
+    xmax = ymax = -math.inf
+    for name in sorted(template.names()):
+        r = template.ext(name)
+        inst.add(
+            name,
+            Rect(r.x1 + dx, r.y1 + dy, r.x2 + dx, r.y2 + dy),
+        )
+        xmin = min(xmin, float(r.x1) + dx)
+        ymin = min(ymin, float(r.y1) + dy)
+        xmax = max(xmax, float(r.x2) + dx)
+        ymax = max(ymax, float(r.y2) + dy)
+    return inst, (xmin, ymin, xmax, ymax)
+
+
+def build_corpus_keys(store: SegmentStore, n: int) -> tuple[list, dict]:
+    """Ingest *n* grid-laid instances; returns (keys, template hashes).
+
+    Invariants are computed once per template — a translated copy has
+    the identical ``T_I`` (translation is a homeomorphism of the
+    plane), so recomputing 100k of them would measure the pipeline,
+    not the store.  ``instance_key`` is still derived per instance
+    from the real geometry.
+    """
+    templates = _templates()
+    tinvs = [invariant(t) for t in templates]
+    thashes = [canonical_hash(t) for t in tinvs]
+    side = int(math.ceil(math.sqrt(n)))
+    keys = []
+    expected = {}
+    for i in range(n):
+        template_i = i % len(templates)
+        dx = (i % side) * PITCH
+        dy = (i // side) * PITCH
+        inst, bbox = _translate(templates[template_i], dx, dy)
+        key = instance_key(inst)
+        store.put(
+            key,
+            tinvs[template_i],
+            instance=inst,
+            bbox=bbox,
+            canonical_hash=thashes[template_i],
+        )
+        keys.append(key)
+        expected[key] = thashes[template_i]
+    return keys, expected
+
+
+# -- measurements -------------------------------------------------------------
+
+
+def run(n: int, pipeline_n: int, root: Path) -> dict:
+    rng = random.Random(20260808)
+    row: dict = {"n": n}
+
+    # Ingest into one segment file set.
+    store = SegmentStore(root / "corpus")
+    t0 = time.perf_counter()
+    keys, expected = build_corpus_keys(store, n)
+    ingest_s = time.perf_counter() - t0
+    store.close()  # seals: footer indexes persisted
+    nbytes = sum(
+        p.stat().st_size for p in (root / "corpus").glob("seg-*.seg")
+    )
+    row["ingest_seconds"] = ingest_s
+    row["ingest_per_sec"] = n / ingest_s if ingest_s > 0 else 0.0
+    row["file_bytes"] = nbytes
+    row["bytes_per_instance"] = nbytes / n
+
+    # Point lookups: cold (fresh open) then warm, full get() both.
+    sample = rng.sample(keys, min(LOOKUP_SAMPLE, len(keys)))
+    store = SegmentStore(root / "corpus")
+    cold = []
+    for key in sample:
+        t0 = time.perf_counter()
+        value = store.get(key)
+        cold.append(time.perf_counter() - t0)
+        assert value is not None
+    warm = []
+    hash_checks = 0
+    for key in sample:
+        t0 = time.perf_counter()
+        value = store.get(key)
+        warm.append(time.perf_counter() - t0)
+        assert canonical_hash(value) == expected[key], (
+            "stored invariant lost its canonical hash"
+        )
+        hash_checks += 1
+    row["cold_lookup_p50_ms"] = _percentile(cold, 0.50) * 1e3
+    row["cold_lookup_p99_ms"] = _percentile(cold, 0.99) * 1e3
+    row["warm_lookup_p50_ms"] = _percentile(warm, 0.50) * 1e3
+    row["warm_lookup_p99_ms"] = _percentile(warm, 0.99) * 1e3
+    row["hash_checks"] = hash_checks
+
+    # Window queries: z-order index vs linear envelope scan.
+    side = int(math.ceil(math.sqrt(n))) * PITCH
+    span = max(PITCH * 4, side // 20)  # ~5% of the world per axis
+    windows = []
+    for _ in range(WINDOW_REPS):
+        wx = rng.uniform(0, side - span)
+        wy = rng.uniform(0, side - span)
+        windows.append((wx, wy, wx + span, wy + span))
+    index_times, results = [], []
+    for w in windows:
+        t0 = time.perf_counter()
+        results.append(store.window_query(*w))
+        index_times.append(time.perf_counter() - t0)
+    scan_times = []
+    for w, expected_keys in list(zip(windows, results))[:SCAN_REPS]:
+        t0 = time.perf_counter()
+        got = store.window_query_scan(*w)
+        scan_times.append(time.perf_counter() - t0)
+        assert got == expected_keys, "index and scan answers diverged"
+    index_mean = sum(index_times) / len(index_times)
+    scan_mean = sum(scan_times) / len(scan_times)
+    row["window_hits_mean"] = sum(len(r) for r in results) / len(results)
+    row["window_index_ms"] = index_mean * 1e3
+    row["window_scan_ms"] = scan_mean * 1e3
+    row["window_speedup"] = (
+        scan_mean / index_mean if index_mean > 0 else math.inf
+    )
+
+    # Pipeline bulk load: cold invariant computation streaming in.
+    corpus = []
+    for i in range(pipeline_n):
+        inst = SpatialInstance()
+        inst.add("A", Rect(0, 0, 3 + (i % 5), 3))
+        inst.add("B", Rect(2, 1, 5 + (i % 7), 4))
+        corpus.append(
+            _translate(inst, (i % 40) * PITCH, (i // 40) * PITCH)[0]
+        )
+    bulk_store = SegmentStore(root / "bulk")
+    with InvariantPipeline() as pipeline:
+        t0 = time.perf_counter()
+        loaded = bulk_store.bulk_load(corpus, pipeline=pipeline)
+        bulk_s = time.perf_counter() - t0
+    bulk_store.close()
+    row["bulk_load_n"] = loaded
+    row["bulk_load_seconds"] = bulk_s
+    row["bulk_load_per_sec"] = loaded / bulk_s if bulk_s > 0 else 0.0
+
+    # Compaction after churn: overwrite 10%, delete 5%.
+    churn = rng.sample(keys, max(1, len(keys) // 10))
+    templates = _templates()
+    tinv = invariant(templates[0])
+    thash = canonical_hash(tinv)
+    for key in churn:
+        inst = store.get_instance(key)
+        store.put(key, tinv, instance=inst, canonical_hash=thash)
+    deleted = rng.sample(keys, max(1, len(keys) // 20))
+    for key in deleted:
+        store.delete(key)
+    before = store.nbytes
+    stats = store.compact()
+    row["compaction_before_bytes"] = stats["before"]
+    row["compaction_after_bytes"] = stats["after"]
+    row["compaction_ratio"] = (
+        stats["after"] / stats["before"] if stats["before"] else 1.0
+    )
+    row["live_after_compaction"] = stats["live"]
+    assert len(store) == n - len(set(deleted)), "compaction lost records"
+    for key in deleted[:20]:
+        assert store.get(key) is None, "tombstone resurrected by compaction"
+    store.close()
+
+    row["peak_rss_kib"] = resource.getrusage(
+        resource.RUSAGE_SELF
+    ).ru_maxrss
+    return row
+
+
+def check_thresholds(row: dict) -> None:
+    assert row["bytes_per_instance"] <= BYTES_PER_INSTANCE_CEIL, (
+        f"{row['bytes_per_instance']:.0f} B/instance exceeds the "
+        f"{BYTES_PER_INSTANCE_CEIL} B amortized ceiling"
+    )
+    assert row["warm_lookup_p99_ms"] < WARM_P99_MS_CEIL, (
+        f"warm lookup p99 {row['warm_lookup_p99_ms']:.3f} ms breaches "
+        f"the {WARM_P99_MS_CEIL} ms SLO"
+    )
+    assert row["window_speedup"] >= WINDOW_SPEEDUP_FLOOR, (
+        f"window query only {row['window_speedup']:.1f}x faster than "
+        f"the linear scan (floor {WINDOW_SPEEDUP_FLOOR}x)"
+    )
+    assert row["hash_checks"] > 0
+
+
+# -- pytest entry points ------------------------------------------------------
+
+
+def test_store_smoke(tmp_path):
+    """A miniature full pass with every threshold assert on."""
+    row = run(1_500, 60, tmp_path)
+    check_thresholds(row)
+    assert row["peak_rss_kib"] > 0
+
+
+# -- CLI ----------------------------------------------------------------------
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help=f"{SMOKE_N}-instance corpus with full thresholds "
+        "(CI acceptance check)",
+    )
+    parser.add_argument(
+        "-n",
+        type=int,
+        default=None,
+        help="override the corpus size",
+    )
+    parser.add_argument(
+        "--out",
+        type=Path,
+        default=Path(__file__).resolve().parent.parent
+        / "BENCH_store.json",
+        help="where the measurements are written",
+    )
+    args = parser.parse_args(argv)
+
+    n = args.n or (SMOKE_N if args.smoke else FULL_N)
+    pipeline_n = PIPELINE_N_SMOKE if args.smoke else PIPELINE_N_FULL
+    root = Path(tempfile.mkdtemp(prefix="bench_store_"))
+    try:
+        row = run(n, pipeline_n, root)
+    finally:
+        shutil.rmtree(root, ignore_errors=True)
+    check_thresholds(row)
+
+    payload = {
+        "benchmark": "segment_store",
+        "workload": "translated grid-class templates + pipeline bulk_load",
+        "mode": "smoke" if args.smoke else "full",
+        "thresholds": {
+            "bytes_per_instance_ceil": BYTES_PER_INSTANCE_CEIL,
+            "warm_p99_ms_ceil": WARM_P99_MS_CEIL,
+            "window_speedup_floor": WINDOW_SPEEDUP_FLOOR,
+        },
+        "row": row,
+    }
+    args.out.write_text(json.dumps(payload, indent=2) + "\n")
+    print(
+        f"n={row['n']}: {row['bytes_per_instance']:.0f} B/instance, "
+        f"ingest {row['ingest_per_sec']:.0f}/s, "
+        f"warm p99 {row['warm_lookup_p99_ms']:.3f} ms, "
+        f"window {row['window_speedup']:.0f}x vs scan, "
+        f"bulk {row['bulk_load_per_sec']:.0f}/s, "
+        f"compaction {row['compaction_ratio']:.2f} -> {args.out}"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -52,6 +52,7 @@ from .errors import (
     SchemaError,
     ServiceClosedError,
     ServiceError,
+    StoreError,
     UnknownInstanceError,
     ValidationError,
     WorkerError,
@@ -93,6 +94,7 @@ from .regions import (
     SpatialInstance,
 )
 from .service import QueryAnswer, QueryService
+from .store import SegmentStore
 from .tracing import Trace, Tracer
 
 __version__ = "1.0.0"
@@ -129,8 +131,10 @@ __all__ = [
     "RetryPolicy",
     "SchemaError",
     "Segment",
+    "SegmentStore",
     "ServiceClosedError",
     "ServiceError",
+    "StoreError",
     "SimplePolygon",
     "SpatialInstance",
     "TopologicalInvariant",

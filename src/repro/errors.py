@@ -126,6 +126,11 @@ class TimeoutError(ComputeError, TimeoutError):
     :class:`TimeoutError` so generic timeout handlers catch it."""
 
 
+class StoreError(ReproError):
+    """The segment store hit malformed data or an invalid operation
+    (torn record, checksum mismatch, append to a sealed segment, ...)."""
+
+
 class ServiceError(ReproError):
     """A request to the query service failed at the service layer (as
     opposed to inside the evaluation it wraps).  Carries an HTTP-style

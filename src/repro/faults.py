@@ -35,6 +35,12 @@ Injection points
 ``encode_garbage``
     The disk-cache encoder emits undecodable text (checksum *valid*,
     payload rotten — the read path must quarantine on decode failure).
+``store_torn_append``
+    A segment-store append writes only a prefix of the record and dies
+    (modelling a crash mid-append; reopening must truncate the torn
+    tail and recover every fully-written record).  Listed in
+    :data:`STORE_POINTS`, not :data:`POINTS`, so seeded plans built
+    from the default point set keep their historical schedules.
 
 The worker-side points are drawn by the *parent* at submit time — the
 decision ships with the task — so counting stays centralized and
@@ -61,6 +67,7 @@ __all__ = [
     "POINTS",
     "WORKER_POINTS",
     "CACHE_POINTS",
+    "STORE_POINTS",
     "Fault",
     "FaultPlan",
     "InjectedFailure",
@@ -74,6 +81,10 @@ __all__ = [
 WORKER_POINTS = ("worker_crash", "worker_hang", "invariant_raises")
 CACHE_POINTS = ("cache_bitflip", "encode_garbage")
 POINTS = WORKER_POINTS + CACHE_POINTS
+# Kept out of POINTS: FaultPlan.seeded schedules drawn from the default
+# point set must stay bit-identical across releases.
+STORE_POINTS = ("store_torn_append",)
+_ALL_POINTS = POINTS + STORE_POINTS
 
 
 class InjectedFailure(RuntimeError):
@@ -99,9 +110,10 @@ class Fault:
         key: str | None = None,
         hang_seconds: float = 0.05,
     ):
-        if point not in POINTS:
+        if point not in _ALL_POINTS:
             raise ValueError(
-                f"unknown injection point {point!r}; expected one of {POINTS}"
+                f"unknown injection point {point!r}; expected one of "
+                f"{_ALL_POINTS}"
             )
         if times < 1:
             raise ValueError("a fault must fire at least once")

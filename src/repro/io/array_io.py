@@ -108,7 +108,12 @@ def instance_to_buffer(instance: SpatialInstance) -> bytes | None:
 
 def _take(arr: np.ndarray, pos: int, count: int) -> list[Fraction]:
     chunk = arr[pos : pos + count]
-    return [Fraction(int(n), int(d)) for n, d in chunk.tolist()]
+    try:
+        return [Fraction(int(n), int(d)) for n, d in chunk.tolist()]
+    except ZeroDivisionError as exc:
+        raise ReproError(
+            "bad array-instance buffer: zero-denominator coordinate"
+        ) from exc
 
 
 def instance_from_buffer(buf: bytes | memoryview) -> SpatialInstance:
@@ -118,21 +123,62 @@ def instance_from_buffer(buf: bytes | memoryview) -> SpatialInstance:
     the coordinate array in place without copying the buffer.
     """
     view = memoryview(buf)
+    if len(view) < 8:
+        raise ReproError(
+            f"bad array-instance buffer: {len(view)} bytes is shorter "
+            "than the fixed header"
+        )
     if bytes(view[:4]) != _MAGIC:
         raise ReproError("bad array-instance buffer: wrong magic")
     (header_len,) = struct.unpack("<I", view[4:8])
-    header = json.loads(bytes(view[8 : 8 + header_len]).decode("utf-8"))
+    if 8 + header_len > len(view):
+        raise ReproError(
+            "bad array-instance buffer: truncated header "
+            f"(claims {header_len} bytes, {len(view) - 8} available)"
+        )
+    try:
+        header = json.loads(bytes(view[8 : 8 + header_len]).decode("utf-8"))
+    except (ValueError, UnicodeDecodeError) as exc:
+        raise ReproError(
+            f"bad array-instance buffer: garbled header ({exc})"
+        ) from exc
+    if not isinstance(header, dict) or not isinstance(
+        header.get("regions"), list
+    ):
+        raise ReproError(
+            "bad array-instance buffer: header is not a region table"
+        )
     offset = 8 + header_len + ((-(8 + header_len)) % 8)
     total = 0
     for spec in header["regions"]:
+        if (
+            not isinstance(spec, list)
+            or len(spec) < 2
+            or not isinstance(spec[0], str)
+        ):
+            raise ReproError(
+                f"bad array-instance buffer: malformed region spec {spec!r}"
+            )
         if spec[1] == "rect":
             total += 4
-        elif spec[1] == "rect_union":
-            total += spec[2] * 4
-        elif spec[1] == "poly":
-            total += spec[2] * 2
+        elif spec[1] in ("rect_union", "poly"):
+            if (
+                len(spec) < 3
+                or not isinstance(spec[2], int)
+                or spec[2] < 1
+            ):
+                raise ReproError(
+                    "bad array-instance buffer: "
+                    f"malformed region spec {spec!r}"
+                )
+            total += spec[2] * (4 if spec[1] == "rect_union" else 2)
         else:
             raise ReproError(f"unknown array-region kind {spec[1]!r}")
+    if offset + 16 * total > len(view):
+        raise ReproError(
+            "bad array-instance buffer: coordinate block truncated "
+            f"(needs {16 * total} bytes, {len(view) - offset} available)"
+        )
     arr = np.frombuffer(view, dtype="<i8", count=2 * total, offset=offset)
     arr = arr.reshape(total, 2)
     inst = SpatialInstance()

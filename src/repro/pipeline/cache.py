@@ -36,6 +36,15 @@ with the :mod:`repro.io` JSON codec, but any content-addressed artifact
 can ride the same machinery by passing ``encode``/``decode`` — the
 compiled query engine stores its disc-region universes this way, keyed
 by ``instance_key`` plus the enumeration parameters.
+
+A third tier can sit behind (or, with ``store_primary``, in front of)
+the per-key JSON files: a :class:`~repro.store.SegmentStore` holding
+binary invariant records in mmap'd segments.  The store tier only
+engages for the default invariant codec — custom ``encode``/``decode``
+artifacts are not segment records — and is write-through on ``put``.
+:meth:`migrate` walks the disk directory once, rewriting legacy
+pre-envelope entries as checksummed envelopes and (when a store is
+attached) copying every readable entry into the segment store.
 """
 
 from __future__ import annotations
@@ -78,6 +87,8 @@ class InvariantCache:
         disk_dir: str | os.PathLike | None = None,
         encode: Callable[[Any], str] | None = None,
         decode: Callable[[str], Any] | None = None,
+        store=None,
+        store_primary: bool = False,
     ):
         if maxsize < 1:
             raise ValueError("cache maxsize must be positive")
@@ -87,14 +98,21 @@ class InvariantCache:
         self.disk_dir = Path(disk_dir) if disk_dir is not None else None
         if self.disk_dir is not None:
             self.disk_dir.mkdir(parents=True, exist_ok=True)
+        # The segment-store tier carries invariants only: custom codecs
+        # write artifacts the store's record format does not model.
+        self.store = store if (encode is None and decode is None) else None
+        self.store_primary = store_primary and self.store is not None
         self._lock = threading.Lock()
         self._memory: OrderedDict[str, Any] = OrderedDict()
         self.hits = 0
         self.misses = 0
         self.disk_hits = 0
+        self.store_hits = 0
         self.evictions = 0
         self.quarantined = 0
         self.disk_write_failures = 0
+        self.store_write_failures = 0
+        self.legacy_reads = 0
 
     def __len__(self) -> int:
         with self._lock:
@@ -103,7 +121,9 @@ class InvariantCache:
     def get(self, key: str) -> Any | None:
         """The cached artifact for *key*, or None.
 
-        Memory first; on a disk hit the entry is promoted into memory.
+        Memory first, then the persistent tiers — segment store before
+        the per-key files when ``store_primary``, after them otherwise.
+        Any persistent hit is promoted into memory.
         """
         with self._lock:
             hit = self._memory.get(key)
@@ -111,11 +131,24 @@ class InvariantCache:
                 self._memory.move_to_end(key)
                 self.hits += 1
                 return hit
-        loaded = self._load_disk(key)
+        from_store = False
+        if self.store_primary:
+            loaded = self._load_store(key)
+            from_store = loaded is not None
+            if loaded is None:
+                loaded = self._load_disk(key)
+        else:
+            loaded = self._load_disk(key)
+            if loaded is None:
+                loaded = self._load_store(key)
+                from_store = loaded is not None
         with self._lock:
             if loaded is not None:
                 self.hits += 1
-                self.disk_hits += 1
+                if from_store:
+                    self.store_hits += 1
+                else:
+                    self.disk_hits += 1
                 self._store_memory(key, loaded)
             else:
                 self.misses += 1
@@ -126,6 +159,14 @@ class InvariantCache:
             self._store_memory(key, value)
         if self.disk_dir is not None:
             self._store_disk(key, value)
+        if self.store is not None:
+            try:
+                self.store.put(key, value)
+            except Exception:
+                # A torn/poisoned segment must not fail the batch any
+                # more than a full disk does.
+                with self._lock:
+                    self.store_write_failures += 1
 
     def clear(self, disk: bool = False) -> None:
         """Drop the memory layer (and the disk layer when *disk*)."""
@@ -209,9 +250,80 @@ class InvariantCache:
         # Legacy unversioned entry (raw payload text) or foreign file:
         # decode directly; failures are a miss, not an error.
         try:
-            return decode(text)
+            value = decode(text)
         except Exception:
             return None
+        with self._lock:
+            self.legacy_reads += 1
+        return value
+
+    def _load_store(self, key: str) -> Any | None:
+        if self.store is None:
+            return None
+        try:
+            return self.store.get(key)
+        except Exception:
+            return None
+
+    def migrate(self, store=None) -> dict[str, int]:
+        """One pass over the disk directory: rewrite every legacy
+        (pre-envelope) entry as a checksummed envelope, and copy every
+        readable entry into *store* (default: the attached segment
+        store, if any).  Returns ``{"scanned", "rewritten", "copied"}``.
+
+        Envelope rewriting works for any codec; the store copy only
+        happens in default invariant mode (see the class docstring).
+        """
+        if store is None:
+            store = self.store
+        scanned = rewritten = copied = 0
+        if self.disk_dir is None:
+            return {"scanned": 0, "rewritten": 0, "copied": 0}
+        decode = self._decode
+        if decode is None:
+            from ..io import invariant_from_json as decode
+        for path in sorted(self.disk_dir.glob("*.json")):
+            scanned += 1
+            key = path.stem
+            try:
+                text = path.read_text()
+            except OSError:
+                continue
+            payload = None
+            try:
+                data = json.loads(text)
+                if (
+                    isinstance(data, dict)
+                    and data.get("v") == ENVELOPE_VERSION
+                    and isinstance(data.get("sha256"), str)
+                    and isinstance(data.get("payload"), str)
+                    and _checksum(data["payload"]) == data["sha256"]
+                ):
+                    payload = data["payload"]
+            except ValueError:
+                pass
+            legacy = payload is None
+            if legacy:
+                payload = text
+            try:
+                value = decode(payload)
+            except Exception:
+                continue  # the read path will quarantine or miss
+            if legacy:
+                self._store_disk(key, value)
+                rewritten += 1
+            if store is not None and self._decode is None:
+                try:
+                    store.put(key, value)
+                    copied += 1
+                except Exception:
+                    with self._lock:
+                        self.store_write_failures += 1
+        return {
+            "scanned": scanned,
+            "rewritten": rewritten,
+            "copied": copied,
+        }
 
     def _store_disk(self, key: str, value: Any) -> None:
         encode = self._encode

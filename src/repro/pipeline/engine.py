@@ -148,6 +148,11 @@ class InvariantPipeline:
         create a private one.
     cache_size / disk_cache_dir:
         Configuration for the private cache when *cache* is None.
+    store / store_primary:
+        A :class:`~repro.store.SegmentStore` to attach as the private
+        cache's persistent tier (behind the per-key files by default,
+        in front of them with ``store_primary=True``).  Ignored when an
+        explicit *cache* is passed — configure that cache directly.
     retry:
         A :class:`~repro.pipeline.resilience.RetryPolicy`, or None for
         the default (3 attempts, capped exponential backoff with
@@ -182,6 +187,8 @@ class InvariantPipeline:
         task_timeout: float | None = None,
         max_pool_respawns: int = 2,
         dispatch: str = "arrays",
+        store=None,
+        store_primary: bool = False,
     ):
         if backend not in BACKENDS:
             raise PipelineError(
@@ -200,7 +207,12 @@ class InvariantPipeline:
         self.cache = (
             cache
             if cache is not None
-            else InvariantCache(maxsize=cache_size, disk_dir=disk_cache_dir)
+            else InvariantCache(
+                maxsize=cache_size,
+                disk_dir=disk_cache_dir,
+                store=store,
+                store_primary=store_primary,
+            )
         )
         self.retry = retry if retry is not None else RetryPolicy()
         self.task_timeout = task_timeout
@@ -384,6 +396,7 @@ class InvariantPipeline:
                             failures[key] = out
                     self.stats.count("invariants_computed", computed)
                 self.stats.set_gauge("disk_hits", self.cache.disk_hits)
+                self.stats.set_gauge("store_hits", self.cache.store_hits)
                 self.stats.set_gauge("quarantined", self.cache.quarantined)
                 self.stats.set_gauge(
                     "disk_write_failures", self.cache.disk_write_failures

@@ -42,6 +42,7 @@ class PipelineStats:
         self.cache_hits = 0
         self.cache_misses = 0
         self.disk_hits = 0
+        self.store_hits = 0
         self.instances_seen = 0
         self.invariants_computed = 0
         self.buckets = 0
@@ -190,6 +191,7 @@ class PipelineStats:
                 "cache_hits": self.cache_hits,
                 "cache_misses": self.cache_misses,
                 "disk_hits": self.disk_hits,
+                "store_hits": self.store_hits,
                 "instances_seen": self.instances_seen,
                 "invariants_computed": self.invariants_computed,
                 "buckets": self.buckets,
@@ -272,7 +274,8 @@ class PipelineStats:
             f"cache: {data['cache_hits']} hits / "
             f"{data['cache_misses']} misses "
             f"({self.hit_rate():.0%} hit rate, "
-            f"{data['disk_hits']} from disk)",
+            f"{data['disk_hits']} from disk, "
+            f"{data['store_hits']} from store)",
             f"equivalence: {data['buckets']} buckets, "
             f"{data['isomorphism_calls']} isomorphism searches",
         ]

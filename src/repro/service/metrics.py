@@ -36,6 +36,9 @@ class ServiceCounters:
         (queued, coalesced, or mid-evaluation).
     ``errors``
         Requests that failed for any other reason.
+    ``store_registers``
+        Instances registered by key out of the segment store
+        (:meth:`QueryService.register_from_store`).
     """
 
     __slots__ = (
@@ -45,6 +48,7 @@ class ServiceCounters:
         "shed",
         "timeouts",
         "errors",
+        "store_registers",
     )
 
     def __init__(self) -> None:

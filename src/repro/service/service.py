@@ -123,6 +123,11 @@ class QueryService:
     slo_targets:
         Per-endpoint latency SLO overrides (seconds), merged over
         :data:`DEFAULT_SLOS`.
+    store:
+        A :class:`~repro.store.SegmentStore` to resolve instances from:
+        :meth:`register` accepts a bare content key and loads the
+        geometry the store recorded for it, so a service can front a
+        persisted corpus without re-shipping geometries.
     """
 
     def __init__(
@@ -132,9 +137,13 @@ class QueryService:
         max_queue: int = 32,
         default_timeout: float | None = None,
         slo_targets: dict[str, float] | None = None,
+        store=None,
     ):
         self._owns_pipeline = pipeline is None
         self.pipeline = pipeline if pipeline is not None else InvariantPipeline()
+        self.store = (
+            store if store is not None else self.pipeline.cache.store
+        )
         self.stats = self.pipeline.stats
         self.default_timeout = default_timeout
         self._instances: dict[str, tuple[SpatialInstance, str]] = {}
@@ -157,6 +166,33 @@ class QueryService:
     def register(self, name: str, instance: SpatialInstance) -> str:
         """Store *instance* under *name*; returns its content key."""
         key = instance_key(instance)
+        self._instances[name] = (instance, key)
+        return key
+
+    def register_from_store(self, name: str, key: str) -> str:
+        """Register the instance the segment store persisted under
+        *key* (a 64-hex ``instance_key`` digest, e.g. from
+        ``store.keys()`` or a window query).  The stored record must
+        carry its geometry (``bulk_load`` embeds it by default).
+
+        Raises :class:`~repro.errors.UnknownInstanceError` when the
+        service has no store, the key misses, or the record was stored
+        without geometry.
+        """
+        if self.store is None:
+            raise UnknownInstanceError(
+                "no segment store attached to this service",
+                endpoint="register",
+                name=name,
+            )
+        instance = self.store.get_instance(key)
+        if instance is None:
+            raise UnknownInstanceError(
+                f"segment store has no geometry for key {key[:12]}…",
+                endpoint="register",
+                name=name,
+            )
+        counters.count("store_registers")
         self._instances[name] = (instance, key)
         return key
 

@@ -1,0 +1,33 @@
+"""Persistent invariant storage: mmap segments, succinct ``T_I``
+records, z-order window queries.
+
+The public surface is :class:`SegmentStore` (a directory of append-only
+segment files with newest-wins semantics) plus the codec pair for
+callers that frame records themselves.  See :mod:`repro.store.segment`
+for the on-disk layout and crash model, :mod:`repro.store.codec` for
+the record format, and :mod:`repro.store.zindex` for the Morton-range
+window-query machinery.
+"""
+
+from .codec import (
+    StoredRecord,
+    decode_complex,
+    decode_record,
+    encode_complex,
+    encode_record,
+)
+from .segment import Segment
+from .store import SegmentStore
+from .zindex import morton_codes, morton_ranges
+
+__all__ = [
+    "SegmentStore",
+    "Segment",
+    "StoredRecord",
+    "encode_record",
+    "decode_record",
+    "encode_complex",
+    "decode_complex",
+    "morton_codes",
+    "morton_ranges",
+]

@@ -1,0 +1,547 @@
+"""The segment store: a directory of append-only segments.
+
+:class:`SegmentStore` manages ``seg-NNNNN.seg`` files under one root
+directory.  The highest-numbered segment is *active* (writable,
+dict-indexed); every earlier one is *sealed* (read-only, probed through
+its mmap'd footer).  When the active segment outgrows
+``max_segment_bytes`` it is sealed in place and a fresh one is opened.
+Reads resolve **newest-wins**: the active segment first, then sealed
+segments newest to oldest; a tombstone record shadows every older
+version of its key.
+
+Values are the compact binary records of :mod:`repro.store.codec` —
+invariants (with optional embedded geometry) under the caller's key,
+cell complexes under a derived per-key namespace — so a ``get`` is an
+index probe plus a zero-copy decode over the mmap, never a pickle.
+
+Opening a store heals it: a segment with a torn tail (crash
+mid-append) is truncated to its last fully-written record and
+re-sealed, per the envelope discipline in :mod:`repro.store.segment`.
+Compaction rewrites the live records into one fresh segment (newest
+number, so it wins), fsyncs, then unlinks the inputs; tombstones that
+still shadow an older record are carried along, which keeps deletes
+in force even if a crash lands between the rename and the unlinks.
+
+Every operation tallies into a module-level ``store.*`` counter family
+registered with :mod:`repro.instrument`, so store traffic shows up in
+:class:`~repro.pipeline.PipelineStats` next to ``kernel.*`` and
+``cache'``s counters.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+from pathlib import Path
+from typing import TYPE_CHECKING, Iterable, Iterator, Sequence
+
+from ..errors import InstanceError, StoreError
+from ..instrument import add_counter_source
+from . import codec
+from .segment import (
+    KIND_COMPLEX,
+    KIND_INVARIANT,
+    KIND_TOMBSTONE,
+    Segment,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..arrangement.soa import ComplexArrays
+    from ..invariant import TopologicalInvariant
+    from ..regions import SpatialInstance
+
+__all__ = ["SegmentStore"]
+
+_DEFAULT_SEGMENT_BYTES = 64 << 20
+
+# -- store.* counters ---------------------------------------------------------
+
+_tally_lock = threading.Lock()
+_tally: dict[str, int] = {}
+
+
+def _count(name: str, n: int = 1) -> None:
+    with _tally_lock:
+        key = f"store.{name}"
+        _tally[key] = _tally.get(key, 0) + n
+
+
+def _snapshot() -> dict[str, int]:
+    with _tally_lock:
+        return dict(_tally)
+
+
+add_counter_source(_snapshot)
+
+
+def _raw_key(key: str | bytes) -> bytes:
+    if isinstance(key, str):
+        try:
+            raw = bytes.fromhex(key)
+        except ValueError as exc:
+            raise StoreError(f"store keys must be hex digests: {key!r}") from exc
+    else:
+        raw = bytes(key)
+    if len(raw) != 32:
+        raise StoreError(
+            f"store keys must be 32 bytes (sha256); got {len(raw)}"
+        )
+    return raw
+
+
+def _cx_key(raw: bytes) -> bytes:
+    """The namespace key a complex is stored under for instance *raw*."""
+    return hashlib.sha256(raw + b":complex").digest()
+
+
+def _safe_float_bbox(instance) -> tuple | None:
+    """The instance bbox as floats, or None when it has no finite
+    float image (empty instance, astronomically large rationals)."""
+    try:
+        box = instance.bbox()
+        return (
+            float(box.xmin),
+            float(box.ymin),
+            float(box.xmax),
+            float(box.ymax),
+        )
+    except (OverflowError, ValueError, ArithmeticError, InstanceError):
+        return None
+
+
+class SegmentStore:
+    """An append-only, mmap-backed store of invariants keyed by
+    ``instance_key`` digests (hex strings or raw 32-byte keys).
+
+    Thread-safe for interleaved puts/gets under one process; the sealed
+    read path is lock-free after open.
+    """
+
+    def __init__(
+        self,
+        root: str | Path,
+        max_segment_bytes: int = _DEFAULT_SEGMENT_BYTES,
+        sync_appends: bool = False,
+    ):
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.max_segment_bytes = max(1 << 12, int(max_segment_bytes))
+        self.sync_appends = sync_appends
+        self._lock = threading.RLock()
+        self._sealed: list[Segment] = []
+        self._active: Segment | None = None
+        self._open_all()
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def _seg_paths(self) -> list[Path]:
+        return sorted(self.root.glob("seg-*.seg"))
+
+    def _next_number(self) -> int:
+        paths = self._seg_paths()
+        if not paths:
+            return 0
+        return max(int(p.stem.split("-")[1]) for p in paths) + 1
+
+    def _open_all(self) -> None:
+        paths = self._seg_paths()
+        for path in paths[:-1]:
+            seg = Segment(path, readonly=True)
+            if not seg.sealed:
+                # Torn or footerless file: heal it — truncate the tail,
+                # rebuild and persist the index — then map read-only.
+                seg.close()
+                writable = Segment(path, readonly=False)
+                if writable.truncated_bytes:
+                    _count("truncated_bytes", writable.truncated_bytes)
+                _count("recovered_segments")
+                writable.seal()
+                writable.close()
+                seg = Segment(path, readonly=True)
+            self._sealed.append(seg)
+        if paths:
+            active = Segment(paths[-1], readonly=False)
+            if active.recovered:
+                _count("recovered_segments")
+                if active.truncated_bytes:
+                    _count("truncated_bytes", active.truncated_bytes)
+            self._active = active
+        else:
+            self._active = Segment(self.root / "seg-00000.seg")
+
+    def close(self, seal: bool = True) -> None:
+        """Close every segment; by default the active one is sealed
+        first so the next open skips the recovery scan."""
+        with self._lock:
+            if self._active is not None:
+                if seal and not self._active._poisoned:
+                    if len(self._active):
+                        self._active.seal()
+                self._active.close()
+                self._active = None
+            for seg in self._sealed:
+                seg.close()
+            self._sealed.clear()
+
+    def __enter__(self) -> "SegmentStore":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def flush(self, sync: bool = False) -> None:
+        with self._lock:
+            if self._active is not None:
+                self._active.flush(sync=sync)
+
+    def _roll_if_full(self) -> None:
+        if self._active.data_end < self.max_segment_bytes:
+            return
+        self._active.seal()
+        self._active.close()
+        sealed = Segment(self._active.path, readonly=True)
+        self._sealed.append(sealed)
+        number = self._next_number()
+        self._active = Segment(self.root / f"seg-{number:05d}.seg")
+        _count("segments_rolled")
+
+    # -- writes -------------------------------------------------------------
+
+    def put(
+        self,
+        key: str | bytes,
+        invariant: "TopologicalInvariant",
+        instance: "SpatialInstance | None" = None,
+        bbox: tuple | None = None,
+        canonical_hash: str | None = None,
+    ) -> int:
+        """Store *invariant* under *key*; returns the encoded payload
+        size in bytes.  *instance* (when given) is embedded via the
+        RAI1 columnar codec and used to derive the spatial-index bbox
+        unless an explicit *bbox* ``(xmin, ymin, xmax, ymax)`` is
+        passed."""
+        raw = _raw_key(key)
+        payload = codec.encode_record(
+            invariant, instance=instance, canonical_hash=canonical_hash
+        )
+        if bbox is None and instance is not None:
+            bbox = _safe_float_bbox(instance)
+        with self._lock:
+            self._active.append(raw, payload, KIND_INVARIANT, bbox)
+            if self.sync_appends:
+                self._active.flush(sync=True)
+            self._roll_if_full()
+        _count("puts")
+        _count("put_bytes", len(payload))
+        return len(payload)
+
+    def put_complex(self, key: str | bytes, arrays: "ComplexArrays") -> bool:
+        """Store the cell complex for *key* (derived namespace key).
+        Returns False when the complex is not array-encodable."""
+        raw = _raw_key(key)
+        payload = codec.encode_complex(arrays)
+        if payload is None:
+            _count("complex_fallbacks")
+            return False
+        with self._lock:
+            self._active.append(_cx_key(raw), payload, KIND_COMPLEX)
+            if self.sync_appends:
+                self._active.flush(sync=True)
+            self._roll_if_full()
+        _count("complex_puts")
+        return True
+
+    def delete(self, key: str | bytes) -> None:
+        """Tombstone *key* (and its complex, if any): subsequent gets
+        miss, compaction drops the shadowed records."""
+        raw = _raw_key(key)
+        with self._lock:
+            self._active.append(raw, b"", KIND_TOMBSTONE)
+            if self._find(_cx_key(raw)) is not None:
+                self._active.append(_cx_key(raw), b"", KIND_TOMBSTONE)
+            self._roll_if_full()
+        _count("tombstones")
+
+    # -- reads --------------------------------------------------------------
+
+    def _find(self, raw: bytes):
+        """Newest ``(segment, entry)`` for *raw*, tombstones included."""
+        active = self._active
+        if active is not None:
+            entry = active.get_entry(raw)
+            if entry is not None:
+                return active, entry
+        for seg in reversed(self._sealed):
+            entry = seg.get_entry(raw)
+            if entry is not None:
+                return seg, entry
+        return None
+
+    def get_record(self, key: str | bytes) -> codec.StoredRecord | None:
+        """The newest stored record for *key*, decoded zero-copy over
+        the segment mmap, or None (missing or tombstoned)."""
+        raw = _raw_key(key)
+        with self._lock:
+            found = self._find(raw)
+            if found is None or found[1].kind == KIND_TOMBSTONE:
+                _count("misses")
+                return None
+            seg, entry = found
+            payload = seg.payload(entry)
+        _count("hits")
+        return codec.decode_record(payload)
+
+    def get(self, key: str | bytes) -> "TopologicalInvariant | None":
+        """The newest invariant for *key*, or None."""
+        record = self.get_record(key)
+        if record is None:
+            return None
+        return record.invariant()
+
+    def get_instance(self, key: str | bytes) -> "SpatialInstance | None":
+        """The embedded geometry for *key*, when the record carries
+        one."""
+        record = self.get_record(key)
+        if record is None or not record.has_instance:
+            return None
+        return record.instance()
+
+    def get_complex(self, key: str | bytes) -> "ComplexArrays | None":
+        """The stored cell complex for *key*, or None."""
+        raw = _cx_key(_raw_key(key))
+        with self._lock:
+            found = self._find(raw)
+            if found is None or found[1].kind == KIND_TOMBSTONE:
+                return None
+            seg, entry = found
+            payload = seg.payload(entry)
+        _count("complex_hits")
+        return codec.decode_complex(payload)
+
+    def __contains__(self, key: str | bytes) -> bool:
+        raw = _raw_key(key)
+        with self._lock:
+            found = self._find(raw)
+        return found is not None and found[1].kind != KIND_TOMBSTONE
+
+    def keys(self) -> Iterator[str]:
+        """Hex keys of all live invariant records, newest-wins."""
+        seen: set[bytes] = set()
+        with self._lock:
+            segments = [self._active, *reversed(self._sealed)]
+            for seg in segments:
+                if seg is None:
+                    continue
+                for raw, entry in seg.live_items():
+                    if raw in seen:
+                        continue
+                    seen.add(raw)
+                    if entry.kind == KIND_INVARIANT:
+                        yield raw.hex()
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.keys())
+
+    @property
+    def nbytes(self) -> int:
+        with self._lock:
+            total = 0
+            if self._active is not None:
+                total += self._active.nbytes
+            total += sum(seg.nbytes for seg in self._sealed)
+            return total
+
+    # -- window queries -----------------------------------------------------
+
+    def window_query(
+        self, xmin: float, ymin: float, xmax: float, ymax: float
+    ) -> list[str]:
+        """Hex keys of live instances whose stored bbox intersects the
+        window — Morton-range scans over the per-segment z-order
+        indexes, then a newest-wins resolve of each candidate."""
+        _count("window_queries")
+        candidates: set[bytes] = set()
+        with self._lock:
+            segments = [self._active, *self._sealed]
+            for seg in segments:
+                if seg is None:
+                    continue
+                candidates.update(
+                    seg.window_candidates(xmin, ymin, xmax, ymax)
+                )
+            out = []
+            for raw in candidates:
+                found = self._find(raw)
+                if found is None or found[1].kind != KIND_INVARIANT:
+                    continue
+                bbox = found[1].bbox
+                if (
+                    bbox[0] == bbox[0]  # not NaN
+                    and not (
+                        bbox[2] < xmin
+                        or bbox[0] > xmax
+                        or bbox[3] < ymin
+                        or bbox[1] > ymax
+                    )
+                ):
+                    out.append(raw.hex())
+        _count("window_hits", len(out))
+        out.sort()
+        return out
+
+    def window_query_scan(
+        self, xmin: float, ymin: float, xmax: float, ymax: float
+    ) -> list[str]:
+        """The same answer by brute force: walk every record envelope
+        in every segment (no index) — the baseline the benchmark pits
+        the z-order index against."""
+        newest: dict[bytes, tuple[int, tuple]] = {}
+        scanned = 0
+        with self._lock:
+            segments = [*self._sealed, self._active]
+            for seg in segments:
+                if seg is None:
+                    continue
+                for raw, entry in seg.scan():
+                    scanned += 1
+                    newest[raw] = (entry.kind, entry.bbox)
+        _count("scan_records", scanned)
+        out = []
+        for raw, (kind, bbox) in newest.items():
+            if kind != KIND_INVARIANT or bbox[0] != bbox[0]:
+                continue
+            if not (
+                bbox[2] < xmin
+                or bbox[0] > xmax
+                or bbox[3] < ymin
+                or bbox[1] > ymax
+            ):
+                out.append(raw.hex())
+        out.sort()
+        return out
+
+    # -- bulk ingest --------------------------------------------------------
+
+    def bulk_load(
+        self,
+        corpus: "Iterable[SpatialInstance] | Sequence[SpatialInstance]",
+        pipeline=None,
+        batch_size: int = 256,
+        store_geometry: bool = True,
+    ) -> int:
+        """Stream *corpus* through ``pipeline.compute_batch`` and
+        persist every (instance, invariant) pair; returns the number of
+        records written.  Duplicate geometries collapse to one record
+        (same instance key, newest wins)."""
+        from ..invariant.canonical import canonical_hash, instance_key
+        from ..pipeline import InvariantPipeline
+
+        if pipeline is None:
+            pipeline = InvariantPipeline()
+        loaded = 0
+        batch: list = []
+
+        def _drain() -> None:
+            nonlocal loaded
+            invariants = pipeline.compute_batch(batch)
+            for inst, t in zip(batch, invariants):
+                self.put(
+                    instance_key(inst),
+                    t,
+                    instance=inst if store_geometry else None,
+                    canonical_hash=canonical_hash(t),
+                )
+                loaded += 1
+            batch.clear()
+
+        for inst in corpus:
+            batch.append(inst)
+            if len(batch) >= batch_size:
+                _drain()
+        if batch:
+            _drain()
+        self.flush()
+        _count("bulk_loaded", loaded)
+        return loaded
+
+    # -- compaction ---------------------------------------------------------
+
+    def compact(self) -> dict:
+        """Rewrite live records into one fresh segment and drop the
+        inputs.  Returns ``{"before", "after", "live", "dropped"}``
+        byte/record stats.
+
+        Tombstones still shadowing an older record are copied into the
+        output: if a crash lands after the new segment is visible but
+        before the inputs are unlinked, reopening sees both and the
+        delete stays in force (the survivor tombstone is dropped by the
+        next compaction once nothing is left to shadow).
+        """
+        with self._lock:
+            if self._active is not None and len(self._active):
+                self._active.seal()
+                self._active.close()
+                self._sealed.append(
+                    Segment(self._active.path, readonly=True)
+                )
+                self._active = None
+            elif self._active is not None:
+                self._active.close()
+                self._active.path.unlink(missing_ok=True)
+                self._active = None
+            inputs = list(self._sealed)
+            before = sum(seg.nbytes for seg in inputs)
+            put_keys: set[bytes] = set()
+            for seg in inputs:
+                for raw, entry in seg.scan():
+                    if entry.kind != KIND_TOMBSTONE:
+                        put_keys.add(raw)
+            newest: dict[bytes, tuple[Segment, object]] = {}
+            for seg in inputs:  # oldest → newest; later wins
+                for raw, entry in seg.live_items():
+                    newest[raw] = (seg, entry)
+            number = self._next_number()
+            tmp = self.root / f"compact-{number:05d}.tmp"
+            tmp.unlink(missing_ok=True)
+            out = Segment(tmp)
+            live = dropped = 0
+            for raw in sorted(newest):
+                seg, entry = newest[raw]
+                if entry.kind == KIND_TOMBSTONE:
+                    if raw in put_keys:
+                        out.append(raw, b"", KIND_TOMBSTONE)
+                    dropped += 1
+                    continue
+                out.append(
+                    raw,
+                    bytes(seg.payload(entry)),
+                    entry.kind,
+                    None if entry.bbox[0] != entry.bbox[0] else entry.bbox,
+                )
+                live += 1
+            out.seal()
+            out.close()
+            final = self.root / f"seg-{number:05d}.seg"
+            tmp.rename(final)
+            for seg in inputs:
+                seg.close()
+                seg.path.unlink(missing_ok=True)
+            self._sealed = [Segment(final, readonly=True)]
+            self._active = Segment(
+                self.root / f"seg-{number + 1:05d}.seg"
+            )
+            after = self._sealed[0].nbytes
+        _count("compactions")
+        _count("compaction_reclaimed_bytes", max(0, before - after))
+        return {
+            "before": before,
+            "after": after,
+            "live": live,
+            "dropped": dropped,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"SegmentStore({self.root}, {len(self._sealed)} sealed"
+            f" + {'1 active' if self._active else 'no active'})"
+        )

@@ -1,0 +1,174 @@
+"""Z-order (Morton) spatial keys for the segment store.
+
+The store's secondary index answers "which stored instances have a
+bounding box intersecting this window?" without scanning the segment.
+Each indexed record contributes one point — the quantized *min corner*
+of its bbox — mapped to a 32-bit Morton code (16 bits per axis, bits
+interleaved), and the per-segment index keeps the codes sorted.  A
+window query then
+
+1. grows the window left/down by the segment's largest bbox extent
+   (a box whose min corner lies outside the grown window cannot reach
+   the window), quantizes it to a cell rectangle,
+2. decomposes that cell rectangle into a bounded number of contiguous
+   Morton ranges (:func:`morton_ranges` — a quadtree descent that emits
+   a whole quad's range as soon as the quad is inside the rectangle,
+   and stops splitting when the range budget is hit, over-covering
+   rather than over-splitting), and
+3. binary-searches each range in the sorted code array; the survivors
+   are filtered against their exact stored bboxes.
+
+Every step over-approximates, never under: quantization is floor/ceil
+outward, partial quads are emitted whole when the budget runs out, and
+the final bbox filter restores exactness (at float64 resolution — the
+index stores rounded rational bounds, see :mod:`repro.store.segment`).
+
+Quantization is per segment: the footer records the segment's world
+bounds and scale, so segments over different corpora keep full 16-bit
+resolution each.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "GRID_BITS",
+    "GRID_CELLS",
+    "interleave2",
+    "morton_codes",
+    "quantize",
+    "morton_ranges",
+]
+
+#: Bits per axis; codes are ``2 * GRID_BITS`` wide.
+GRID_BITS = 16
+GRID_CELLS = 1 << GRID_BITS
+
+
+def interleave2(x: np.ndarray) -> np.ndarray:
+    """Spread the low 16 bits of *x* into the even bit positions.
+
+    Vectorized magic-number bit spreading; input values must be below
+    ``GRID_CELLS``.
+    """
+    v = x.astype(np.uint64)
+    v = (v | (v << 8)) & np.uint64(0x00FF00FF)
+    v = (v | (v << 4)) & np.uint64(0x0F0F0F0F)
+    v = (v | (v << 2)) & np.uint64(0x33333333)
+    v = (v | (v << 1)) & np.uint64(0x55555555)
+    return v
+
+
+def morton_codes(qx: np.ndarray, qy: np.ndarray) -> np.ndarray:
+    """Morton codes (uint64) of quantized cell coordinates."""
+    return interleave2(qx) | (interleave2(qy) << np.uint64(1))
+
+
+def quantize(
+    values: np.ndarray, origin: float, scale: float
+) -> np.ndarray:
+    """Map world coordinates onto the ``[0, GRID_CELLS)`` cell grid.
+
+    *scale* is cells per world unit.  Out-of-range values clamp to the
+    boundary cells, which keeps the mapping total (a record appended
+    after the bounds were fixed still lands in the nearest edge cell —
+    conservative for range queries that clamp the same way).
+    """
+    cells = np.floor((np.asarray(values, dtype=np.float64) - origin) * scale)
+    return np.clip(cells, 0, GRID_CELLS - 1).astype(np.uint64)
+
+
+def _quad_ranges(
+    out: list[tuple[int, int]],
+    code: int,
+    level: int,
+    qx0: int,
+    qx1: int,
+    qy0: int,
+    qy1: int,
+    x0: int,
+    y0: int,
+    budget: int,
+) -> None:
+    """Descend one quad (origin ``(x0, y0)``, side ``2**level``).
+
+    Appends ``(lo, hi)`` half-open Morton ranges to *out*.  When *out*
+    already holds *budget* ranges, partial quads are emitted whole —
+    over-coverage the exact bbox filter removes later.
+    """
+    side = 1 << level
+    if qx1 < x0 or qx0 > x0 + side - 1 or qy1 < y0 or qy0 > y0 + side - 1:
+        return
+    span = 1 << (2 * level)
+    if (
+        qx0 <= x0
+        and x0 + side - 1 <= qx1
+        and qy0 <= y0
+        and y0 + side - 1 <= qy1
+    ) or level == 0 or len(out) >= budget:
+        if out and out[-1][1] == code:
+            out[-1] = (out[-1][0], code + span)  # merge adjacent
+        else:
+            out.append((code, code + span))
+        return
+    half = side >> 1
+    step = span >> 2
+    # Children in Morton order: (0,0), (1,0), (0,1), (1,1).
+    _quad_ranges(out, code, level - 1, qx0, qx1, qy0, qy1, x0, y0, budget)
+    _quad_ranges(
+        out, code + step, level - 1, qx0, qx1, qy0, qy1, x0 + half, y0, budget
+    )
+    _quad_ranges(
+        out,
+        code + 2 * step,
+        level - 1,
+        qx0,
+        qx1,
+        qy0,
+        qy1,
+        x0,
+        y0 + half,
+        budget,
+    )
+    _quad_ranges(
+        out,
+        code + 3 * step,
+        level - 1,
+        qx0,
+        qx1,
+        qy0,
+        qy1,
+        x0 + half,
+        y0 + half,
+        budget,
+    )
+
+
+def morton_ranges(
+    qx0: int, qx1: int, qy0: int, qy1: int, max_ranges: int = 64
+) -> list[tuple[int, int]]:
+    """Half-open Morton-code ranges covering the cell rectangle
+    ``[qx0, qx1] x [qy0, qy1]`` (inclusive cell bounds).
+
+    The union of the ranges is a superset of the rectangle's codes
+    (exact when the budget suffices), sorted and non-overlapping, with
+    at most ``max_ranges + 3`` entries (the descent checks the budget
+    before splitting, and a split adds at most four).
+    """
+    if qx1 < qx0 or qy1 < qy0:
+        return []
+    out: list[tuple[int, int]] = []
+    _quad_ranges(
+        out,
+        0,
+        GRID_BITS,
+        int(qx0),
+        int(qx1),
+        int(qy0),
+        int(qy1),
+        0,
+        0,
+        max(1, max_ranges),
+    )
+    return out

@@ -109,3 +109,91 @@ class TestMalformedBuffers:
         buf += b"\0" * ((-len(buf)) % 8)
         with pytest.raises(ReproError):
             instance_from_buffer(buf)
+
+    def test_too_short_for_fixed_header(self):
+        for n in range(8):
+            with pytest.raises(ReproError):
+                instance_from_buffer(b"RAI1"[:n].ljust(n, b"\0"))
+
+    def test_header_length_overruns_buffer(self):
+        import struct
+
+        buf = b"RAI1" + struct.pack("<I", 10_000) + b'{"v": 1}'
+        with pytest.raises(ReproError):
+            instance_from_buffer(buf)
+
+    def test_garbled_header_json(self):
+        import struct
+
+        header = b'{"v": 1, "regions": [[A'
+        buf = b"RAI1" + struct.pack("<I", len(header)) + header
+        with pytest.raises(ReproError):
+            instance_from_buffer(buf)
+
+    def test_header_not_a_region_table(self):
+        import json
+        import struct
+
+        for payload in ([1, 2, 3], {"v": 1}, {"regions": "nope"}):
+            header = json.dumps(payload).encode()
+            buf = b"RAI1" + struct.pack("<I", len(header)) + header
+            with pytest.raises(ReproError):
+                instance_from_buffer(buf)
+
+    def test_malformed_region_specs(self):
+        import json
+        import struct
+
+        bad_specs = (
+            ["A"],  # missing kind
+            [3, "rect"],  # non-string name
+            "rect",  # not a list
+            ["A", "poly"],  # missing count
+            ["A", "poly", "three"],  # non-int count
+            ["A", "rect_union", 0],  # non-positive count
+        )
+        for spec in bad_specs:
+            header = json.dumps({"v": 1, "regions": [spec]}).encode()
+            buf = b"RAI1" + struct.pack("<I", len(header)) + header
+            buf += b"\0" * ((-len(buf)) % 8)
+            with pytest.raises(ReproError):
+                instance_from_buffer(buf)
+
+    def test_truncated_coordinate_block(self):
+        inst = SpatialInstance({"A": Rect(0, 0, 2, 2)})
+        buf = instance_to_buffer(inst)
+        with pytest.raises(ReproError):
+            instance_from_buffer(buf[:-8])
+
+    def test_zero_denominator_coordinate(self):
+        import numpy as np
+
+        inst = SpatialInstance({"A": Rect(0, 0, 2, 2)})
+        buf = bytearray(instance_to_buffer(inst))
+        arr = np.frombuffer(buf[-64:], dtype="<i8").copy()
+        arr[1::2] = 0  # every denominator
+        buf[-64:] = arr.tobytes()
+        with pytest.raises(ReproError):
+            instance_from_buffer(bytes(buf))
+
+    def test_truncation_fuzz_is_structural(self):
+        import random
+
+        inst = SpatialInstance(
+            {
+                "R": Rect(0, 0, 2, 2),
+                "U": RectUnion([Rect(0, 0, 2, 2), Rect(1, 1, 3, 3)]),
+                "P": Poly((Point(0, 0), Point(4, 0), Point(0, 4))),
+            }
+        )
+        buf = instance_to_buffer(inst)
+        rng = random.Random(13)
+        cuts = {1, 7, 8, len(buf) - 1} | {
+            rng.randrange(1, len(buf)) for _ in range(40)
+        }
+        for cut in sorted(cuts):
+            try:
+                instance_from_buffer(buf[:cut])
+            except ReproError:
+                pass  # structured failure: the contract
+            # Anything else propagates and fails the test.

@@ -180,3 +180,60 @@ class TestDiskIntegrity:
         assert cache.disk_write_failures == 1
         assert cache.get(key) is not None  # memory layer still serves
         assert list(tmp_path.glob("*.tmp-*")) == []  # tmp cleaned up
+
+
+class TestLegacyMigration:
+    """Counting raw legacy reads and rewriting them as envelopes (and
+    into the segment store) via migrate()."""
+
+    def _write_legacy(self, tmp_path):
+        from repro.io import invariant_to_json
+
+        key = instance_key(fig_1c())
+        t = invariant(fig_1c())
+        tmp_path.mkdir(parents=True, exist_ok=True)
+        (tmp_path / f"{key}.json").write_text(invariant_to_json(t))
+        return key, t
+
+    def test_legacy_reads_counted(self, tmp_path):
+        key, t = self._write_legacy(tmp_path)
+        cache = InvariantCache(disk_dir=tmp_path)
+        assert cache.get(key) == t
+        assert cache.legacy_reads == 1
+        # An envelope entry does not tick the counter.
+        cache2 = InvariantCache(disk_dir=tmp_path)
+        cache2.put(instance_key(_inst(1)), invariant(_inst(1)))
+        cache2.get(instance_key(_inst(1)))
+        assert cache2.legacy_reads == 0
+
+    def test_migrate_rewrites_envelopes(self, tmp_path):
+        import json
+
+        key, t = self._write_legacy(tmp_path)
+        cache = InvariantCache(disk_dir=tmp_path)
+        report = cache.migrate()
+        assert report["scanned"] == 1
+        assert report["rewritten"] == 1
+        data = json.loads((tmp_path / f"{key}.json").read_text())
+        assert data["v"] == 1  # now a checksummed envelope
+        fresh = InvariantCache(disk_dir=tmp_path)
+        assert fresh.get(key) == t
+        assert fresh.legacy_reads == 0
+
+    def test_migrate_copies_into_store(self, tmp_path):
+        from repro.store import SegmentStore
+
+        key, t = self._write_legacy(tmp_path / "disk")
+        store = SegmentStore(tmp_path / "seg")
+        cache = InvariantCache(disk_dir=tmp_path / "disk")
+        report = cache.migrate(store=store)
+        assert report["copied"] == 1
+        assert store.get(key) is not None
+        store.close()
+
+    def test_migrate_skips_envelopes(self, tmp_path):
+        cache = InvariantCache(disk_dir=tmp_path)
+        cache.put(instance_key(fig_1c()), invariant(fig_1c()))
+        report = cache.migrate()
+        assert report["scanned"] == 1
+        assert report["rewritten"] == 0

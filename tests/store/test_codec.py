@@ -1,0 +1,174 @@
+"""The succinct ``T_I`` record codec: exact round trips and hostility
+to malformed buffers."""
+
+import random
+
+import pytest
+
+from repro import (
+    Rect,
+    SpatialInstance,
+    canonical_form,
+    canonical_hash,
+    invariant,
+)
+from repro.arrangement import build_complex
+from repro.datasets import all_figures, mixed_corpus
+from repro.errors import ReproError, StoreError
+from repro.invariant.canonical import instance_key
+from repro.regions import AlgRegion
+from repro.store import (
+    decode_complex,
+    decode_record,
+    encode_complex,
+    encode_record,
+)
+
+
+class TestInvariantRoundTrip:
+    @pytest.mark.parametrize("figure", sorted(all_figures()))
+    def test_figures_are_canonically_bit_identical(self, figure):
+        t = invariant(all_figures()[figure])
+        rec = decode_record(encode_record(t))
+        back = rec.invariant()
+        assert canonical_form(back) == canonical_form(t)
+        assert canonical_hash(back) == canonical_hash(t)
+
+    def test_mixed_corpus_round_trips(self):
+        for inst in mixed_corpus(12, seed=5):
+            t = invariant(inst)
+            back = decode_record(encode_record(t)).invariant()
+            assert canonical_hash(back) == canonical_hash(t)
+
+    def test_free_loops_survive(self):
+        # A lone rectangle's boundary is a free loop: the edge is
+        # *present* in the endpoints mapping with an empty tuple, which
+        # canonical_form distinguishes from an absent edge.
+        t = invariant(SpatialInstance({"A": Rect(0, 0, 3, 3)}))
+        assert any(ends == () for ends in t.endpoints.values())
+        back = decode_record(encode_record(t)).invariant()
+        assert any(ends == () for ends in back.endpoints.values())
+        assert canonical_form(back) == canonical_form(t)
+
+    def test_canonical_hash_rides_in_the_header(self):
+        t = invariant(SpatialInstance({"A": Rect(0, 0, 2, 2)}))
+        h = canonical_hash(t)
+        rec = decode_record(encode_record(t, canonical_hash=h))
+        assert rec.canonical_hash == h
+        assert decode_record(encode_record(t)).canonical_hash is None
+
+    def test_embedded_geometry_round_trips(self):
+        inst = SpatialInstance(
+            {"A": Rect(0, 0, 4, 4), "B": Rect(2, 2, 6, 6)}
+        )
+        t = invariant(inst)
+        rec = decode_record(encode_record(t, instance=inst))
+        assert rec.has_instance
+        assert instance_key(rec.instance()) == instance_key(inst)
+
+    def test_non_columnar_geometry_uses_json_block(self):
+        inst = SpatialInstance({"C": AlgRegion.circle(0, 0, 2, n=8)})
+        t = invariant(inst)
+        rec = decode_record(encode_record(t, instance=inst))
+        assert rec.has_instance
+        assert instance_key(rec.instance()) == instance_key(inst)
+
+    def test_record_without_geometry_has_no_instance(self):
+        t = invariant(SpatialInstance({"A": Rect(0, 0, 2, 2)}))
+        rec = decode_record(encode_record(t))
+        assert not rec.has_instance
+        assert rec.instance() is None
+
+
+class TestComplexRoundTrip:
+    def test_arrays_round_trip_exactly(self):
+        inst = SpatialInstance(
+            {"A": Rect(0, 0, 4, 4), "B": Rect(2, 2, 6, 6)}
+        )
+        arrays = build_complex(inst).arrays
+        buf = encode_complex(arrays)
+        assert buf is not None
+        back = decode_complex(buf)
+        assert back.n_vertices == arrays.n_vertices
+        assert back.n_edges == arrays.n_edges
+        assert back.n_faces == arrays.n_faces
+        assert (back.edge_endpoints == arrays.edge_endpoints).all()
+        assert (back.incidence == arrays.incidence).all()
+        assert back.exterior_face == arrays.exterior_face
+        assert back.names == arrays.names
+        # Rational witnesses are exact — Fractions, not floats.
+        assert back.vertex_points == arrays.vertex_points
+        assert back.face_samples == arrays.face_samples
+
+
+class TestMalformedBuffers:
+    """decode_record must fail *structurally* (StoreError) on torn or
+    garbled input — never with an uncontrolled exception type."""
+
+    def _payload(self):
+        inst = SpatialInstance(
+            {"A": Rect(0, 0, 4, 4), "B": Rect(2, 2, 6, 6)}
+        )
+        t = invariant(inst)
+        return encode_record(
+            t, instance=inst, canonical_hash=canonical_hash(t)
+        )
+
+    def test_empty_and_tiny_buffers(self):
+        for n in (0, 1, 4, 7, 8, 11):
+            with pytest.raises(StoreError):
+                decode_record(b"\0" * n)
+
+    def test_wrong_magic(self):
+        buf = bytearray(self._payload())
+        buf[:4] = b"NOPE"
+        with pytest.raises(StoreError):
+            decode_record(bytes(buf))
+
+    def test_every_truncation_point_is_structural(self):
+        buf = self._payload()
+        rng = random.Random(7)
+        cuts = {1, 7, 8, 12, len(buf) - 1} | {
+            rng.randrange(1, len(buf)) for _ in range(40)
+        }
+        for cut in sorted(cuts):
+            try:
+                decode_record(buf[:cut]).invariant()
+            except ReproError:
+                pass  # StoreError or another structured failure: fine
+            # Any other exception type propagates and fails the test.
+
+    def test_header_bitflips_are_structural(self):
+        buf = self._payload()
+        rng = random.Random(11)
+        for _ in range(60):
+            garbled = bytearray(buf)
+            garbled[rng.randrange(len(garbled))] ^= 1 << rng.randrange(8)
+            try:
+                rec = decode_record(bytes(garbled))
+                rec.invariant()
+                if rec.has_instance:
+                    rec.instance()
+            except ReproError:
+                pass
+
+    def test_bad_version_and_kind(self):
+        t = invariant(SpatialInstance({"A": Rect(0, 0, 2, 2)}))
+        buf = encode_record(t)
+        import json
+        import struct
+
+        header_len = struct.unpack("<I", buf[4:8])[0]
+        header = json.loads(buf[8 : 8 + header_len])
+        for mutation in ({"v": 99}, {"k": "blob"}):
+            bad = dict(header, **mutation)
+            raw = json.dumps(bad).encode()
+            rebuilt = (
+                buf[:4]
+                + struct.pack("<I", len(raw))
+                + raw
+                + b"\0" * ((-(8 + len(raw))) % 8)
+                + buf[8 + header_len + ((-(8 + header_len)) % 8) :]
+            )
+            with pytest.raises(StoreError):
+                decode_record(rebuilt)

@@ -1,0 +1,346 @@
+"""SegmentStore behaviour: round trips, reopen, windows, compaction,
+rolling, and the cache/pipeline/service wiring."""
+
+import random
+
+import pytest
+
+from repro import (
+    InvariantPipeline,
+    Rect,
+    SpatialInstance,
+    canonical_hash,
+    instance_key,
+    invariant,
+)
+from repro.arrangement import build_complex
+from repro.errors import StoreError, UnknownInstanceError
+from repro.instrument import counter_delta, counter_snapshot
+from repro.pipeline import InvariantCache
+from repro.store import SegmentStore
+
+
+def _inst(i: int) -> SpatialInstance:
+    return SpatialInstance(
+        {"A": Rect(i * 8, 0, i * 8 + 3, 3), "B": Rect(i * 8 + 1, 1, i * 8 + 5, 4)}
+    )
+
+
+def _fill(store, n, start=0):
+    """Put n instances; returns {key: (invariant, canonical_hash)}."""
+    out = {}
+    for i in range(start, start + n):
+        inst = _inst(i)
+        t = invariant(inst)
+        key = instance_key(inst)
+        store.put(
+            key, t, instance=inst, canonical_hash=canonical_hash(t)
+        )
+        out[key] = (t, canonical_hash(t))
+    return out
+
+
+class TestRoundTrip:
+    def test_put_get_canonically_identical(self, tmp_path):
+        store = SegmentStore(tmp_path)
+        corpus = _fill(store, 4)
+        for key, (t, h) in corpus.items():
+            assert canonical_hash(store.get(key)) == h
+            rec = store.get_record(key)
+            assert rec.canonical_hash == h
+        store.close()
+
+    def test_geometry_rides_along(self, tmp_path):
+        store = SegmentStore(tmp_path)
+        inst = _inst(0)
+        key = instance_key(inst)
+        store.put(key, invariant(inst), instance=inst)
+        assert instance_key(store.get_instance(key)) == key
+        store.close()
+
+    def test_missing_key_is_none(self, tmp_path):
+        store = SegmentStore(tmp_path)
+        assert store.get("ab" * 32) is None
+        assert store.get_instance("ab" * 32) is None
+        assert "ab" * 32 not in store
+        store.close()
+
+    def test_bad_keys_rejected(self, tmp_path):
+        store = SegmentStore(tmp_path)
+        with pytest.raises(StoreError):
+            store.get("not-hex")
+        with pytest.raises(StoreError):
+            store.get(b"short")
+        store.close()
+
+    def test_raw_and_hex_keys_alias(self, tmp_path):
+        store = SegmentStore(tmp_path)
+        inst = _inst(1)
+        t = invariant(inst)
+        key = instance_key(inst)
+        store.put(bytes.fromhex(key), t)
+        assert store.get(key) is not None
+        store.close()
+
+    def test_complex_round_trip(self, tmp_path):
+        store = SegmentStore(tmp_path)
+        inst = _inst(0)
+        key = instance_key(inst)
+        arrays = build_complex(inst).arrays
+        assert store.put_complex(key, arrays)
+        back = store.get_complex(key)
+        assert back.n_cells == arrays.n_cells
+        assert (back.incidence == arrays.incidence).all()
+        store.close()
+
+
+class TestPersistence:
+    def test_reopen_serves_sealed_records(self, tmp_path):
+        store = SegmentStore(tmp_path)
+        corpus = _fill(store, 6)
+        store.close()  # seals the active segment
+        fresh = SegmentStore(tmp_path)
+        assert len(fresh) == 6
+        for key, (_, h) in corpus.items():
+            assert canonical_hash(fresh.get(key)) == h
+        fresh.close()
+
+    def test_newest_wins_within_and_across_segments(self, tmp_path):
+        store = SegmentStore(tmp_path)
+        inst = _inst(0)
+        key = instance_key(inst)
+        t_old = invariant(inst)
+        t_new = invariant(_inst(9))  # different topology class? same is
+        store.put(key, t_old)
+        store.put(key, t_new)  # same segment overwrite
+        assert canonical_hash(store.get(key)) == canonical_hash(t_new)
+        store.close()
+        fresh = SegmentStore(tmp_path)
+        fresh.put(key, t_old)  # later segment shadows sealed one
+        assert canonical_hash(fresh.get(key)) == canonical_hash(t_old)
+        assert len(fresh) == 1
+        fresh.close()
+
+    def test_tombstones_shadow_and_persist(self, tmp_path):
+        store = SegmentStore(tmp_path)
+        corpus = _fill(store, 3)
+        victim = next(iter(corpus))
+        store.delete(victim)
+        assert store.get(victim) is None
+        assert victim not in store
+        assert len(store) == 2
+        store.close()
+        fresh = SegmentStore(tmp_path)
+        assert fresh.get(victim) is None
+        assert len(fresh) == 2
+        assert victim not in set(fresh.keys())
+        fresh.close()
+
+    def test_segment_rolling(self, tmp_path):
+        store = SegmentStore(tmp_path, max_segment_bytes=1 << 12)
+        corpus = _fill(store, 12)
+        assert len(list(tmp_path.glob("seg-*.seg"))) >= 2
+        for key, (_, h) in corpus.items():
+            assert canonical_hash(store.get(key)) == h
+        store.close()
+        fresh = SegmentStore(tmp_path, max_segment_bytes=1 << 12)
+        assert len(fresh) == 12
+        fresh.close()
+
+
+class TestWindowQueries:
+    def _random_corpus(self, store, n, seed=3):
+        rng = random.Random(seed)
+        t = invariant(SpatialInstance({"A": Rect(0, 0, 3, 3)}))
+        keys = []
+        for _ in range(n):
+            x, y = rng.randrange(0, 400), rng.randrange(0, 400)
+            inst = SpatialInstance({"A": Rect(x, y, x + 3, y + 3)})
+            key = instance_key(inst)
+            store.put(key, t, instance=inst)
+            keys.append(key)
+        return keys
+
+    def test_index_matches_linear_scan(self, tmp_path):
+        store = SegmentStore(tmp_path, max_segment_bytes=1 << 13)
+        self._random_corpus(store, 60)
+        windows = [(0, 0, 50, 50), (100, 100, 260, 180), (390, 390, 500, 500)]
+        for w in windows:  # active segment: brute in-dict path
+            assert store.window_query(*w) == store.window_query_scan(*w)
+        store.close()
+        fresh = SegmentStore(tmp_path)  # sealed: Morton-range path
+        hits = 0
+        for w in windows:
+            got = fresh.window_query(*w)
+            assert got == fresh.window_query_scan(*w)
+            hits += len(got)
+        assert hits > 0
+        fresh.close()
+
+    def test_deletes_and_overwrites_respected(self, tmp_path):
+        store = SegmentStore(tmp_path)
+        keys = self._random_corpus(store, 30)
+        w = (0, 0, 400, 400)
+        before = store.window_query(*w)
+        assert set(before) == set(keys)
+        store.delete(keys[7])
+        got = store.window_query(*w)
+        assert keys[7] not in got
+        assert got == store.window_query_scan(*w)
+        store.close()
+
+    def test_unindexed_records_are_invisible_to_windows(self, tmp_path):
+        store = SegmentStore(tmp_path)
+        inst = _inst(0)
+        key = instance_key(inst)
+        store.put(key, invariant(inst))  # no geometry, no bbox
+        assert store.window_query(-1e9, -1e9, 1e9, 1e9) == []
+        assert store.get(key) is not None
+        store.close()
+
+
+class TestCompaction:
+    def test_reclaims_churn_and_preserves_live_set(self, tmp_path):
+        store = SegmentStore(tmp_path, max_segment_bytes=1 << 12)
+        corpus = _fill(store, 10)
+        keys = list(corpus)
+        for key in keys[:5]:  # overwrite churn
+            store.put(key, corpus[key][0])
+        for key in keys[5:7]:
+            store.delete(key)
+        before = store.nbytes
+        stats = store.compact()
+        assert stats["after"] < before
+        assert stats["live"] == 8
+        assert len(store) == 8
+        for key in keys[5:7]:
+            assert store.get(key) is None
+        for key in keys[:5] + keys[7:]:
+            assert canonical_hash(store.get(key)) == corpus[key][1]
+        # And the compacted layout survives a reopen.
+        store.close()
+        fresh = SegmentStore(tmp_path)
+        assert len(fresh) == 8
+        assert fresh.get(keys[5]) is None
+        w = fresh.window_query(-1e9, -1e9, 1e9, 1e9)
+        assert w == fresh.window_query_scan(-1e9, -1e9, 1e9, 1e9)
+        fresh.close()
+
+    def test_counters_flow(self, tmp_path):
+        base = counter_snapshot()
+        store = SegmentStore(tmp_path)
+        corpus = _fill(store, 3)
+        key = next(iter(corpus))
+        store.get(key)
+        store.get("ab" * 32)
+        store.delete(key)
+        store.compact()
+        delta = counter_delta(base, counter_snapshot())
+        assert delta.get("store.puts", 0) >= 3
+        assert delta.get("store.hits", 0) >= 1
+        assert delta.get("store.misses", 0) >= 1
+        assert delta.get("store.tombstones", 0) == 1
+        assert delta.get("store.compactions", 0) == 1
+        store.close()
+
+
+class TestCacheTier:
+    def test_store_backs_the_cache(self, tmp_path):
+        inst = _inst(0)
+        key = instance_key(inst)
+        t = invariant(inst)
+        store = SegmentStore(tmp_path / "seg")
+        store.put(key, t)
+        cache = InvariantCache(maxsize=4, store=store)
+        loaded = cache.get(key)
+        assert canonical_hash(loaded) == canonical_hash(t)
+        assert cache.store_hits == 1
+        cache.get(key)  # promoted to memory
+        assert cache.store_hits == 1
+        store.close()
+
+    def test_put_writes_through(self, tmp_path):
+        inst = _inst(1)
+        key = instance_key(inst)
+        store = SegmentStore(tmp_path / "seg")
+        cache = InvariantCache(maxsize=4, store=store)
+        cache.put(key, invariant(inst))
+        assert store.get(key) is not None
+        store.close()
+
+    def test_store_primary_skips_disk(self, tmp_path):
+        inst = _inst(2)
+        key = instance_key(inst)
+        t = invariant(inst)
+        store = SegmentStore(tmp_path / "seg")
+        store.put(key, t)
+        cache = InvariantCache(
+            maxsize=4,
+            disk_dir=tmp_path / "disk",
+            store=store,
+            store_primary=True,
+        )
+        assert cache.get(key) is not None
+        assert cache.store_hits == 1
+        assert cache.disk_hits == 0
+        store.close()
+
+    def test_pipeline_store_tier_and_gauge(self, tmp_path):
+        store = SegmentStore(tmp_path / "seg")
+        corpus = [_inst(i) for i in range(4)]
+        with InvariantPipeline(store=store) as warm:
+            hashes = [
+                canonical_hash(warm.compute(inst)) for inst in corpus
+            ]
+        with InvariantPipeline(store=store) as cold:
+            again = [
+                canonical_hash(cold.compute(inst)) for inst in corpus
+            ]
+            stats = cold.stats.as_dict()
+        assert again == hashes
+        assert stats["store_hits"] == len(corpus)
+        assert stats["invariants_computed"] == 0
+        store.close()
+
+
+class TestServiceRegistration:
+    def test_register_from_store(self, tmp_path):
+        import asyncio
+
+        from repro.service import QueryService
+
+        inst = _inst(0)
+        key = instance_key(inst)
+        t = invariant(inst)
+        store = SegmentStore(tmp_path / "seg")
+        store.put(key, t, instance=inst)
+
+        async def main():
+            svc = QueryService(store=store)
+            try:
+                assert svc.register_from_store("db", key) == key
+                answer = await svc.invariant_of("db")
+                assert canonical_hash(answer.value) == canonical_hash(t)
+            finally:
+                await svc.aclose()
+
+        asyncio.run(main())
+        store.close()
+
+    def test_register_unknown_key_raises(self, tmp_path):
+        import asyncio
+
+        from repro.service import QueryService
+
+        store = SegmentStore(tmp_path / "seg")
+
+        async def main():
+            svc = QueryService(store=store)
+            try:
+                with pytest.raises(UnknownInstanceError):
+                    svc.register_from_store("db", "ab" * 32)
+            finally:
+                await svc.aclose()
+
+        asyncio.run(main())
+        store.close()
