@@ -53,6 +53,7 @@ from .errors import (
     ServiceClosedError,
     ServiceError,
     StoreError,
+    StoreUnavailableError,
     UnknownInstanceError,
     ValidationError,
     WorkerError,
@@ -94,7 +95,7 @@ from .regions import (
     SpatialInstance,
 )
 from .service import QueryAnswer, QueryService
-from .store import SegmentStore
+from .store import MirroredStore, Scrubber, SegmentStore
 from .tracing import Trace, Tracer
 
 __version__ = "1.0.0"
@@ -112,6 +113,7 @@ __all__ = [
     "InvariantError",
     "InvariantPipeline",
     "Location",
+    "MirroredStore",
     "Outcome",
     "OverloadError",
     "ParseError",
@@ -130,11 +132,13 @@ __all__ = [
     "ReproError",
     "RetryPolicy",
     "SchemaError",
+    "Scrubber",
     "Segment",
     "SegmentStore",
     "ServiceClosedError",
     "ServiceError",
     "StoreError",
+    "StoreUnavailableError",
     "SimplePolygon",
     "SpatialInstance",
     "TopologicalInvariant",

@@ -128,7 +128,34 @@ class TimeoutError(ComputeError, TimeoutError):
 
 class StoreError(ReproError):
     """The segment store hit malformed data or an invalid operation
-    (torn record, checksum mismatch, append to a sealed segment, ...)."""
+    (torn record, checksum mismatch, append to a sealed segment, a
+    failed fsync, a full disk, ...).
+
+    Structured so callers can react without parsing messages:
+
+    Attributes
+    ----------
+    op:
+        The store operation that failed (``"append"``, ``"read"``,
+        ``"seal"``, ``"fsync"``, ``"open"``, ...), when known.
+    path:
+        The segment file involved, when known.
+    errno:
+        The OS error number (``ENOSPC``, ``EIO``, ...) when the failure
+        wrapped an :class:`OSError`, else None.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        op: str | None = None,
+        path: str | None = None,
+        errno: int | None = None,
+    ):
+        super().__init__(message)
+        self.op = op
+        self.path = path
+        self.errno = errno
 
 
 class ServiceError(ReproError):
@@ -195,3 +222,27 @@ class ServiceClosedError(ServiceError):
     request."""
 
     status = 503
+
+
+class StoreUnavailableError(ServiceError):
+    """The service's circuit breaker is open: recent store reads
+    failed consecutively, so further reads are short-circuited until a
+    half-open probe succeeds.  Retrying after backoff is safe — the
+    request never touched the store.
+
+    Attributes
+    ----------
+    breaker_state:
+        The breaker state that rejected the request (``"open"``).
+    """
+
+    status = 503
+
+    def __init__(
+        self,
+        message: str,
+        endpoint: str | None = None,
+        breaker_state: str = "open",
+    ):
+        super().__init__(message, endpoint=endpoint)
+        self.breaker_state = breaker_state

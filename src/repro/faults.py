@@ -41,6 +41,33 @@ Injection points
     tail and recover every fully-written record).  Listed in
     :data:`STORE_POINTS`, not :data:`POINTS`, so seeded plans built
     from the default point set keep their historical schedules.
+``store_read_bitflip``
+    One byte of a stored record's payload is flipped *on disk* before
+    a read (at-rest corruption: bit rot, a bad sector).  The flip is
+    persistent — the read path must detect the checksum mismatch and
+    raise a structured :class:`~repro.errors.StoreError`; a mirrored
+    store must fail over to a healthy replica and read-repair.
+``store_fsync_lost``
+    An ``fsync`` on the active segment fails with ``EIO`` (the
+    "fsyncgate" failure mode: the kernel dropped dirty pages and the
+    write is silently gone).  The segment must be poisoned — its
+    buffered tail can no longer be trusted — and the store must roll
+    to a fresh segment, raising a structured error for the append.
+``store_disk_full``
+    A segment append fails with ``ENOSPC``.  The append must fail
+    structurally, the active segment must stay truncated to its last
+    complete record, and the store must remain readable.
+``store_seal_crash``
+    Sealing dies after the footer bytes are written but before the
+    trailer validates (modelling a crash mid-seal).  Reopening must
+    fall back to the recovery scan: no record is lost, the footer is
+    rebuilt at the next successful seal.
+
+All four new points live in :data:`STORE_POINTS` beside
+``store_torn_append`` for the same reason it does: seeded plans drawn
+from the default :data:`POINTS` set must stay bit-identical across
+releases.  Plans over :data:`STORE_POINTS` gained new draws in the
+release that introduced these points and are versioned by that fact.
 
 The worker-side points are drawn by the *parent* at submit time — the
 decision ships with the task — so counting stays centralized and
@@ -83,7 +110,13 @@ CACHE_POINTS = ("cache_bitflip", "encode_garbage")
 POINTS = WORKER_POINTS + CACHE_POINTS
 # Kept out of POINTS: FaultPlan.seeded schedules drawn from the default
 # point set must stay bit-identical across releases.
-STORE_POINTS = ("store_torn_append",)
+STORE_POINTS = (
+    "store_torn_append",
+    "store_read_bitflip",
+    "store_fsync_lost",
+    "store_disk_full",
+    "store_seal_crash",
+)
 _ALL_POINTS = POINTS + STORE_POINTS
 
 

@@ -10,17 +10,20 @@ deadlines, and per-endpoint SLO rollups.
 
 See :mod:`repro.service.service` for the serving core,
 :mod:`repro.service.coalesce` and :mod:`repro.service.admission` for
-the two concurrency disciplines, and :mod:`repro.service.metrics` for
-the ``service.*`` counter family.
+the two concurrency disciplines, :mod:`repro.service.breaker` for the
+store-read circuit breaker, and :mod:`repro.service.metrics` for the
+``service.*`` counter family.
 """
 
 from .admission import AdmissionController
+from .breaker import CircuitBreaker
 from .coalesce import CoalesceTable
 from .metrics import ServiceCounters, counters
 from .service import DEFAULT_SLOS, QueryAnswer, QueryService
 
 __all__ = [
     "AdmissionController",
+    "CircuitBreaker",
     "CoalesceTable",
     "DEFAULT_SLOS",
     "QueryAnswer",

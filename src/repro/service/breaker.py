@@ -1,0 +1,119 @@
+"""A circuit breaker for the service's store reads.
+
+Classic three-state breaker (Nygard's *Release It!* pattern), sized for
+one failure domain — the segment store behind a service:
+
+* ``closed`` — requests flow; consecutive failures are counted, and the
+  *threshold*-th in a row trips the breaker open.  Any success resets
+  the count (the store is item-addressed: one corrupt record does not
+  mean the next read will fail).
+* ``open`` — requests are refused without touching the store (the
+  caller raises :class:`~repro.errors.StoreUnavailableError`, a
+  structured 503).  After ``reset_after`` seconds the next request is
+  let through as a *probe*.
+* ``half_open`` — exactly one probe is in flight; its success closes
+  the breaker, its failure re-opens it and re-arms the timer.
+
+The clock is injectable so tests (and seeded chaos runs) can drive the
+open→half-open transition deterministically instead of sleeping.
+Thread-safe; the service calls it from the event loop but the store
+lives in a world of executor threads.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable
+
+__all__ = ["CircuitBreaker"]
+
+
+class CircuitBreaker:
+    """Consecutive-failure circuit breaker with half-open probing."""
+
+    def __init__(
+        self,
+        threshold: int = 5,
+        reset_after: float = 30.0,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        if threshold < 1:
+            raise ValueError("threshold must be >= 1")
+        if reset_after < 0:
+            raise ValueError("reset_after must be >= 0")
+        self.threshold = int(threshold)
+        self.reset_after = float(reset_after)
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._state = "closed"
+        self._failures = 0
+        self._opened_at = 0.0
+        self._probing = False
+
+    @property
+    def state(self) -> str:
+        with self._lock:
+            return self._state
+
+    @property
+    def consecutive_failures(self) -> int:
+        with self._lock:
+            return self._failures
+
+    def allow(self) -> bool:
+        """May a request proceed right now?  In ``open`` state this
+        flips to ``half_open`` (returning True exactly once — the
+        probe) when ``reset_after`` has elapsed."""
+        with self._lock:
+            if self._state == "closed":
+                return True
+            if self._state == "open":
+                if self._clock() - self._opened_at >= self.reset_after:
+                    self._state = "half_open"
+                    self._probing = True
+                    return True
+                return False
+            # half_open: one probe at a time.
+            if self._probing:
+                return False
+            self._probing = True
+            return True
+
+    def record_success(self) -> None:
+        """A permitted request succeeded."""
+        with self._lock:
+            self._failures = 0
+            self._probing = False
+            self._state = "closed"
+
+    def record_failure(self) -> bool:
+        """A permitted request failed; returns True when this failure
+        tripped (or re-tripped) the breaker open."""
+        with self._lock:
+            if self._state == "half_open":
+                # The probe failed: straight back to open, timer
+                # re-armed.
+                self._state = "open"
+                self._probing = False
+                self._opened_at = self._clock()
+                return True
+            self._failures += 1
+            if self._state == "closed" and self._failures >= self.threshold:
+                self._state = "open"
+                self._opened_at = self._clock()
+                return True
+            return False
+
+    def snapshot(self) -> dict:
+        """State for the health endpoint."""
+        with self._lock:
+            return {
+                "state": self._state,
+                "consecutive_failures": self._failures,
+                "threshold": self.threshold,
+                "reset_after": self.reset_after,
+            }
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"CircuitBreaker({self.state}, failures={self.consecutive_failures})"

@@ -39,6 +39,21 @@ class ServiceCounters:
     ``store_registers``
         Instances registered by key out of the segment store
         (:meth:`QueryService.register_from_store`).
+    ``store_read_errors``
+        Store reads that failed with a structured
+        :class:`~repro.errors.StoreError` (fed to the circuit
+        breaker).
+    ``breaker_opens``
+        Times the store-read circuit breaker tripped open (including
+        re-opens after a failed half-open probe).
+    ``breaker_probes``
+        Half-open probes the breaker let through.
+    ``breaker_short_circuits``
+        Store reads refused without touching the store because the
+        breaker was open.
+    ``drains``
+        Graceful drains completed (service close with in-flight work
+        allowed to finish).
     """
 
     __slots__ = (
@@ -49,6 +64,11 @@ class ServiceCounters:
         "timeouts",
         "errors",
         "store_registers",
+        "store_read_errors",
+        "breaker_opens",
+        "breaker_probes",
+        "breaker_short_circuits",
+        "drains",
     )
 
     def __init__(self) -> None:

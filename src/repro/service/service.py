@@ -49,6 +49,8 @@ from .. import tracing
 from ..errors import (
     OverloadError,
     ServiceClosedError,
+    StoreError,
+    StoreUnavailableError,
     TimeoutError,
     UnknownInstanceError,
 )
@@ -59,6 +61,7 @@ from ..logic.pointlogic import evaluate_point, evaluate_real
 from ..pipeline import InvariantPipeline
 from ..regions import SpatialInstance
 from .admission import AdmissionController
+from .breaker import CircuitBreaker
 from .coalesce import CoalesceTable
 from .metrics import counters
 
@@ -124,10 +127,20 @@ class QueryService:
         Per-endpoint latency SLO overrides (seconds), merged over
         :data:`DEFAULT_SLOS`.
     store:
-        A :class:`~repro.store.SegmentStore` to resolve instances from:
+        A :class:`~repro.store.SegmentStore` (or
+        :class:`~repro.store.MirroredStore`) to resolve instances from:
         :meth:`register` accepts a bare content key and loads the
         geometry the store recorded for it, so a service can front a
         persisted corpus without re-shipping geometries.
+    breaker_threshold / breaker_reset_after:
+        Store-read circuit breaker tuning: trip open after this many
+        *consecutive* structured store failures; let a half-open probe
+        through after this many seconds.  While open, store reads fail
+        fast with :class:`~repro.errors.StoreUnavailableError` (503).
+    scrubber:
+        An optional :class:`~repro.store.Scrubber` whose progress
+        :meth:`health` should surface (also settable later via the
+        ``scrubber`` attribute).
     """
 
     def __init__(
@@ -138,6 +151,9 @@ class QueryService:
         default_timeout: float | None = None,
         slo_targets: dict[str, float] | None = None,
         store=None,
+        breaker_threshold: int = 5,
+        breaker_reset_after: float = 30.0,
+        scrubber=None,
     ):
         self._owns_pipeline = pipeline is None
         self.pipeline = pipeline if pipeline is not None else InvariantPipeline()
@@ -158,6 +174,11 @@ class QueryService:
         # cheap and coalescing absorbs the duplicates.
         self._pipeline_lock = threading.Lock()
         self._closed = False
+        self._draining = False
+        self._breaker = CircuitBreaker(
+            threshold=breaker_threshold, reset_after=breaker_reset_after
+        )
+        self.scrubber = scrubber
         for endpoint, target in {**DEFAULT_SLOS, **(slo_targets or {})}.items():
             self.stats.set_slo_target(endpoint, target)
 
@@ -185,7 +206,9 @@ class QueryService:
                 endpoint="register",
                 name=name,
             )
-        instance = self.store.get_instance(key)
+        instance = self._store_read(
+            "register", self.store.get_instance, key
+        )
         if instance is None:
             raise UnknownInstanceError(
                 f"segment store has no geometry for key {key[:12]}…",
@@ -195,6 +218,34 @@ class QueryService:
         counters.count("store_registers")
         self._instances[name] = (instance, key)
         return key
+
+    def _store_read(self, endpoint: str, fn, *args):
+        """One store read through the circuit breaker.
+
+        While the breaker is open the store is not touched at all —
+        the request fails fast with a structured 503 — and a corrupt
+        or failing store degrades the service to "unavailable for
+        store-backed requests", never to wrong answers or pile-ups of
+        slow failures."""
+        if not self._breaker.allow():
+            counters.count("breaker_short_circuits")
+            raise StoreUnavailableError(
+                "store reads are circuit-broken after repeated "
+                "failures; retry after backoff",
+                endpoint=endpoint,
+                breaker_state=self._breaker.state,
+            )
+        if self._breaker.state == "half_open":
+            counters.count("breaker_probes")
+        try:
+            result = fn(*args)
+        except StoreError:
+            counters.count("store_read_errors")
+            if self._breaker.record_failure():
+                counters.count("breaker_opens")
+            raise
+        self._breaker.record_success()
+        return result
 
     def forget(self, name: str) -> None:
         self._instances.pop(name, None)
@@ -343,9 +394,12 @@ class QueryService:
         leader/follower/shed split deterministic under event-loop
         scheduling.
         """
-        if self._closed:
+        if self._closed or self._draining:
             raise ServiceClosedError(
-                "service is closed", endpoint=endpoint
+                "service is draining"
+                if self._draining and not self._closed
+                else "service is closed",
+                endpoint=endpoint,
             )
         counters.count("requests")
         if timeout is None:
@@ -513,10 +567,82 @@ class QueryService:
         total = counters.requests
         return counters.coalesced / total if total else 0.0
 
+    @property
+    def breaker(self) -> CircuitBreaker:
+        return self._breaker
+
+    def health(self) -> dict:
+        """A liveness/diagnostics snapshot: lifecycle state, admission
+        pressure, breaker state, replica status, and scrub progress.
+        Cheap enough to poll — no store reads, no locks beyond the
+        replica-status snapshot."""
+        store_status: dict = {"attached": self.store is not None}
+        if self.store is not None:
+            replica_status = getattr(self.store, "replica_status", None)
+            if replica_status is not None:
+                replicas = replica_status()
+                store_status["replicas"] = replicas
+                store_status["replicas_up"] = sum(
+                    1 for r in replicas if r["up"]
+                )
+            store_status["closed"] = getattr(self.store, "closed", False)
+        return {
+            "status": (
+                "closed"
+                if self._closed
+                else "draining"
+                if self._draining
+                else "degraded"
+                if self._breaker.state != "closed"
+                else "ok"
+            ),
+            "admission": {
+                "inflight": self._admission.active,
+                "queued": self._admission.waiting,
+            },
+            "breaker": self._breaker.snapshot(),
+            "store": store_status,
+            "scrub": (
+                self.scrubber.state() if self.scrubber is not None else None
+            ),
+        }
+
+    def readiness(self) -> dict:
+        """Is the service able to take traffic *right now*?  Returns
+        ``{"ready": bool, "reasons": [...]}`` — the load-balancer
+        answer, derived from :meth:`health` without re-deriving its
+        snapshot."""
+        reasons: list[str] = []
+        if self._closed:
+            reasons.append("closed")
+        elif self._draining:
+            reasons.append("draining")
+        if self._breaker.state == "open":
+            reasons.append("store breaker open")
+        if self.store is not None:
+            replica_status = getattr(self.store, "replica_status", None)
+            if replica_status is not None and not any(
+                r["up"] for r in replica_status()
+            ):
+                reasons.append("no store replica up")
+        return {"ready": not reasons, "reasons": reasons}
+
+    async def drain(self, poll_seconds: float = 0.005) -> None:
+        """Stop admitting new requests and wait for every in-flight
+        request — executing *or* queued for admission — to finish under
+        its own deadline.  Idempotent; :meth:`aclose` calls it."""
+        self._draining = True
+        while self._admission.active or self._admission.waiting:
+            await asyncio.sleep(poll_seconds)
+        counters.count("drains")
+
     async def aclose(self) -> None:
-        """Stop admitting, drain running evaluations, release pools."""
+        """Graceful shutdown: stop admitting, let in-flight requests
+        finish under their deadlines, then release the pools and seal
+        what the service owns."""
         if self._closed:
             return
+        await self.drain()
         self._closed = True
         # shutdown(wait=True) blocks until running evaluations finish;
         # their done-callbacks then settle the fan-out futures on the
@@ -531,7 +657,11 @@ class QueryService:
             self.pipeline.close()
 
     def close(self) -> None:
-        """Synchronous teardown (for non-async callers and tests)."""
+        """Synchronous teardown (for non-async callers and tests).
+        Idempotent; skips the cooperative drain — running evaluations
+        are still waited for by the executor shutdown."""
+        if self._closed:
+            return
         self._closed = True
         self._executor.shutdown(wait=True)
         self._coalesce.reject_all(ServiceClosedError("service closed"))

@@ -41,6 +41,7 @@ import math
 import mmap
 import os
 import struct
+from errno import EIO, ENOSPC
 from pathlib import Path
 from typing import Iterator
 
@@ -265,22 +266,38 @@ class Segment:
         payload: bytes,
         kind: int = KIND_INVARIANT,
         bbox: tuple | None = None,
+        sync: bool = False,
     ) -> int:
         """Append one record; returns its file offset.
+
+        With ``sync`` the record is flushed *and fsynced* before the
+        append is acknowledged (the ``sync="always"`` durability
+        policy); an fsync failure — including an injected
+        ``store_fsync_lost`` — drops the unacknowledged record by
+        truncating back to the pre-append length, so a raised append
+        never leaves a half-durable record behind.
 
         A drawn ``store_torn_append`` fault writes only a prefix of the
         record and raises — modelling a crash mid-append.  The segment
         is then poisoned (no further appends); reopening the file runs
-        tail truncation and recovers every record before this one.
+        tail truncation and recovers every record before this one.  A
+        drawn ``store_disk_full`` fault raises ``ENOSPC`` exactly as a
+        full filesystem would, exercising the same rollback path.
         """
         if self.readonly or self.sealed:
-            raise StoreError(f"segment {self.path} is not writable")
+            raise StoreError(
+                f"segment {self.path} is not writable",
+                op="append",
+                path=str(self.path),
+            )
         if self._poisoned:
             raise StoreError(
-                f"segment {self.path} tore an append; reopen to recover"
+                f"segment {self.path} tore an append; reopen to recover",
+                op="append",
+                path=str(self.path),
             )
         if len(key) != 32:
-            raise StoreError("record keys must be 32 raw bytes")
+            raise StoreError("record keys must be 32 raw bytes", op="append")
         box = _NAN_BBOX if bbox is None else tuple(float(v) for v in bbox)
         record = b"".join(
             (
@@ -302,20 +319,41 @@ class Segment:
             self._poisoned = True
             raise StoreError(
                 f"injected torn append in {self.path.name} "
-                f"({torn}/{len(record)} bytes written)"
+                f"({torn}/{len(record)} bytes written)",
+                op="append",
+                path=str(self.path),
             )
         try:
+            if faults.draw("store_disk_full", key.hex()) is not None:
+                raise OSError(ENOSPC, "injected disk full")
             self._file.write(record)
+            if sync:
+                self._file.flush()
+                if faults.draw("store_fsync_lost", key.hex()) is not None:
+                    raise OSError(EIO, "injected lost fsync")
+                os.fsync(self._file.fileno())
         except OSError as exc:
-            try:
-                self._file.seek(offset)
-                self._file.truncate(offset)
-            except OSError:
-                self._poisoned = True
-            raise StoreError(f"append to {self.path} failed: {exc}") from exc
+            self._rollback_to(offset)
+            raise StoreError(
+                f"append to {self.path} failed: {exc}",
+                op="append",
+                path=str(self.path),
+                errno=exc.errno,
+            ) from exc
         self.data_end = offset + len(record)
         self._note(key, _Entry(offset, kind, tuple(box)))
         return offset
+
+    def _rollback_to(self, offset: int) -> None:
+        """Drop everything past *offset* (a failed, unacknowledged
+        append).  When even the truncate fails the segment is poisoned:
+        its tail is untrusted until a reopen re-scans it."""
+        try:
+            self._file.seek(offset)
+            self._file.truncate(offset)
+            self._file.flush()
+        except OSError:
+            self._poisoned = True
 
     def flush(self, sync: bool = False) -> None:
         self._file.flush()
@@ -397,6 +435,103 @@ class Segment:
             yield key, entry
             offset = end
 
+    # -- integrity verification (the scrubber's read side) -------------------
+
+    def verify_records(
+        self, offset: int | None = None, limit: int | None = None
+    ) -> tuple[list[dict], int | None, int]:
+        """Verify up to *limit* record envelopes and payload checksums
+        starting at *offset* (default: the first record).
+
+        Returns ``(defects, next_offset, verified)``: the defects found
+        (dicts with ``type``/``offset``/``key``), the offset to resume
+        from (None when the walk reached ``data_end``), and how many
+        records verified clean.  A payload checksum mismatch is
+        recoverable (``type="payload"``; the walk continues at the next
+        envelope); a torn or garbled envelope is not (``type="envelope"``;
+        the walk stops — nothing after it can be trusted).
+        """
+        pos = _FILE_HEADER.size if offset is None else offset
+        defects: list[dict] = []
+        verified = 0
+        size = self.data_end
+        self._ensure_mapped(size)
+        while pos < size and (limit is None or verified + len(defects) < limit):
+            if pos + _REC_FIXED > size:
+                defects.append(
+                    {"type": "envelope", "offset": pos, "key": None}
+                )
+                return defects, None, verified
+            magic, plen, kind, _flags, _pad = _REC_HEADER.unpack_from(
+                self._mm, pos
+            )
+            end = pos + _REC_FIXED + plen + _pad8(plen)
+            if magic != _REC_MAGIC or kind not in _KINDS or end > size:
+                defects.append(
+                    {"type": "envelope", "offset": pos, "key": None}
+                )
+                return defects, None, verified
+            base = pos + _REC_HEADER.size
+            key = bytes(self._mm[base : base + 32])
+            sha = bytes(self._mm[base + 32 : base + 64])
+            payload = self._mm[pos + _REC_FIXED : pos + _REC_FIXED + plen]
+            if hashlib.sha256(payload).digest() != sha:
+                defects.append(
+                    {"type": "payload", "offset": pos, "key": key.hex()}
+                )
+            else:
+                verified += 1
+            pos = end
+        return defects, (pos if pos < size else None), verified
+
+    def verify_footer(self) -> bool:
+        """Re-verify the sealed footer + trailer checksums against the
+        bytes on disk (at-rest corruption detection).  True for an
+        unsealed segment — it has no footer to rot."""
+        if not self.sealed:
+            return True
+        size = os.fstat(self._file.fileno()).st_size
+        if size < _FILE_HEADER.size + _TRAILER_SIZE:
+            return False
+        self._ensure_mapped(size)
+        t0 = size - _TRAILER_SIZE
+        magic, data_end, footer_len = _TRAILER.unpack_from(self._mm, t0)
+        sha = bytes(self._mm[t0 + _TRAILER.size : t0 + _TRAILER_SIZE])
+        if (
+            magic != _TRL_MAGIC
+            or hashlib.sha256(self._mm[t0 : t0 + _TRAILER.size]).digest()
+            != sha
+            or data_end + footer_len + _TRAILER_SIZE != size
+        ):
+            return False
+        body = memoryview(self._mm)[data_end : data_end + footer_len]
+        if len(body) < 44 or bytes(body[:8]) != _IDX_MAGIC:
+            return False
+        return hashlib.sha256(body[:-32]).digest() == bytes(body[-32:])
+
+    def corrupt_payload_byte(self, entry: _Entry, mask: int = 0x01) -> None:
+        """Flip one byte of *entry*'s payload **on disk** — persistent
+        at-rest corruption, as a failing sector would leave it.  The
+        ``store_read_bitflip`` fault point and the corruption tests
+        share this path so injected rot is bit-identical to real rot."""
+        offset = entry.offset
+        self._ensure_mapped(offset + _REC_FIXED)
+        _magic, plen, _kind, _f, _p = _REC_HEADER.unpack_from(
+            self._mm, offset
+        )
+        if plen == 0:
+            return  # a tombstone has no payload byte to rot
+        pos = offset + _REC_FIXED + plen // 2
+        with open(self.path, "r+b") as f:
+            f.seek(pos)
+            byte = f.read(1)
+            f.seek(pos)
+            f.write(bytes((byte[0] ^ (mask or 0x01),)))
+            f.flush()
+        # The page cache makes the flip visible through the existing
+        # mapping, but drop it anyway so no view caches clean bytes.
+        self._drop_map()
+
     def live_items(self) -> Iterator[tuple[bytes, _Entry]]:
         """Newest entry per key (tombstones included, shadowed versions
         skipped)."""
@@ -473,21 +608,70 @@ class Segment:
 
     # -- sealing ------------------------------------------------------------
 
-    def seal(self) -> None:
-        """Persist the footer + trailer and flip read-only in place."""
+    def seal(self, sync: bool = True) -> None:
+        """Persist the footer + trailer and flip read-only in place.
+
+        Ordering is what makes the seal crash-safe: the data region is
+        fsynced *before* the footer is written, and the footer is
+        flushed *before* the trailer that makes it discoverable — so a
+        crash at any point leaves either a valid sealed file or a
+        trailer-less one that the recovery scan heals without losing a
+        record.  ``sync=False`` (the ``sync="never"`` store policy)
+        skips the fsyncs but keeps the write ordering.
+        """
         if self.readonly or self.sealed:
             return
         if self._poisoned:
             raise StoreError(
-                f"segment {self.path} tore an append; reopen to recover"
+                f"segment {self.path} tore an append; reopen to recover",
+                op="seal",
+                path=str(self.path),
             )
+        # (1) The data region must be durable before anything points
+        # at it.  An fsync failure here means the records themselves
+        # are of unknown durability: leave the segment unsealed (the
+        # recovery scan trusts only what it can checksum).
+        try:
+            self._file.flush()
+            if sync:
+                if faults.draw("store_fsync_lost", self.path.name) is not None:
+                    raise OSError(EIO, "injected lost fsync")
+                os.fsync(self._file.fileno())
+        except OSError as exc:
+            raise StoreError(
+                f"seal of {self.path} could not sync its data: {exc}",
+                op="fsync",
+                path=str(self.path),
+                errno=exc.errno,
+            ) from exc
         footer = self._build_footer()
-        self._file.seek(self.data_end)
-        self._file.write(footer)
-        trailer = _TRAILER.pack(_TRL_MAGIC, self.data_end, len(footer))
-        self._file.write(trailer + hashlib.sha256(trailer).digest())
-        self._file.flush()
-        os.fsync(self._file.fileno())
+        try:
+            # (2) Footer bytes, flushed before the trailer exists.
+            self._file.seek(self.data_end)
+            self._file.write(footer)
+            self._file.flush()
+            if faults.draw("store_seal_crash", self.path.name) is not None:
+                self._poisoned = True
+                raise StoreError(
+                    f"injected crash sealing {self.path.name} (footer "
+                    "written, trailer missing)",
+                    op="seal",
+                    path=str(self.path),
+                )
+            # (3) The trailer commits the seal.
+            trailer = _TRAILER.pack(_TRL_MAGIC, self.data_end, len(footer))
+            self._file.write(trailer + hashlib.sha256(trailer).digest())
+            self._file.flush()
+            if sync:
+                os.fsync(self._file.fileno())
+        except OSError as exc:
+            self._poisoned = True
+            raise StoreError(
+                f"seal of {self.path} failed: {exc}",
+                op="seal",
+                path=str(self.path),
+                errno=exc.errno,
+            ) from exc
         size = self.data_end + len(footer) + _TRAILER_SIZE
         self._ensure_mapped(size)
         self._load_footer(size)

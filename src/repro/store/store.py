@@ -31,10 +31,12 @@ registered with :mod:`repro.instrument`, so store traffic shows up in
 from __future__ import annotations
 
 import hashlib
+import os
 import threading
 from pathlib import Path
 from typing import TYPE_CHECKING, Iterable, Iterator, Sequence
 
+from .. import faults
 from ..errors import InstanceError, StoreError
 from ..instrument import add_counter_source
 from . import codec
@@ -50,9 +52,28 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from ..invariant import TopologicalInvariant
     from ..regions import SpatialInstance
 
-__all__ = ["SegmentStore"]
+__all__ = ["SegmentStore", "SYNC_POLICIES"]
 
 _DEFAULT_SEGMENT_BYTES = 64 << 20
+
+#: The durability contract, weakest to strongest.
+#:
+#: ``"never"``
+#:     No fsyncs anywhere.  Crash-consistent (the envelope discipline
+#:     still bounds loss to the unflushed tail) but an OS crash can
+#:     lose acknowledged appends.  For scratch and bench corpora.
+#: ``"seal"``
+#:     The default.  Appends are buffered; sealing a segment fsyncs the
+#:     data region before the footer and the footer before the trailer,
+#:     so every *sealed* segment is durable and a crash loses at most
+#:     the active segment's unflushed tail.
+#: ``"always"``
+#:     Every append is fsynced before it is acknowledged; an fsync
+#:     failure drops the unacknowledged record and fails the put
+#:     structurally.  Group-commit callers should batch through
+#:     ``bulk_load`` (one record per fsync is the price of the
+#:     guarantee).
+SYNC_POLICIES = ("never", "seal", "always")
 
 # -- store.* counters ---------------------------------------------------------
 
@@ -122,14 +143,29 @@ class SegmentStore:
         root: str | Path,
         max_segment_bytes: int = _DEFAULT_SEGMENT_BYTES,
         sync_appends: bool = False,
+        sync: str | None = None,
     ):
+        if sync is None:
+            sync = "always" if sync_appends else "seal"
+        if sync not in SYNC_POLICIES:
+            raise StoreError(
+                f"unknown sync policy {sync!r}; expected one of "
+                f"{SYNC_POLICIES}"
+            )
         self.root = Path(root)
         self.root.mkdir(parents=True, exist_ok=True)
         self.max_segment_bytes = max(1 << 12, int(max_segment_bytes))
-        self.sync_appends = sync_appends
+        self.sync = sync
+        self.sync_appends = sync == "always"
         self._lock = threading.RLock()
         self._sealed: list[Segment] = []
         self._active: Segment | None = None
+        self._closed = False
+        # Lazy canonical-hash → keys secondary index (newest class per
+        # key), built on first keys_for_class() and maintained by
+        # subsequent writes.
+        self._class_index: dict[str, set[str]] | None = None
+        self._key_class: dict[str, str] = {}
         self._open_all()
 
     # -- lifecycle ----------------------------------------------------------
@@ -155,7 +191,13 @@ class SegmentStore:
                 if writable.truncated_bytes:
                     _count("truncated_bytes", writable.truncated_bytes)
                 _count("recovered_segments")
-                writable.seal()
+                try:
+                    writable.seal(sync=self.sync != "never")
+                except StoreError:
+                    # A failed seal (full disk, injected seal crash)
+                    # costs the footer, never the records: the
+                    # read-only reopen below scans and indexes them.
+                    _count("seal_failures")
                 writable.close()
                 seg = Segment(path, readonly=True)
             self._sealed.append(seg)
@@ -171,17 +213,37 @@ class SegmentStore:
 
     def close(self, seal: bool = True) -> None:
         """Close every segment; by default the active one is sealed
-        first so the next open skips the recovery scan."""
+        first so the next open skips the recovery scan.  Idempotent —
+        a second close is a no-op — and never raises on the seal: at
+        close time every record is already on disk, so a footer that
+        cannot be persisted is a recovery scan at the next open, not
+        an error here."""
         with self._lock:
+            if self._closed:
+                return
+            self._closed = True
             if self._active is not None:
                 if seal and not self._active._poisoned:
                     if len(self._active):
-                        self._active.seal()
+                        try:
+                            self._active.seal(sync=self.sync != "never")
+                        except StoreError:
+                            _count("seal_failures")
                 self._active.close()
                 self._active = None
             for seg in self._sealed:
                 seg.close()
             self._sealed.clear()
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def _check_open(self, op: str) -> None:
+        if self._closed:
+            raise StoreError(
+                f"store at {self.root} is closed", op=op, path=str(self.root)
+            )
 
     def __enter__(self) -> "SegmentStore":
         return self
@@ -195,17 +257,136 @@ class SegmentStore:
                 self._active.flush(sync=sync)
 
     def _roll_if_full(self) -> None:
-        if self._active.data_end < self.max_segment_bytes:
+        if self._active is None or (
+            self._active.data_end < self.max_segment_bytes
+        ):
             return
-        self._active.seal()
-        self._active.close()
-        sealed = Segment(self._active.path, readonly=True)
-        self._sealed.append(sealed)
-        number = self._next_number()
-        self._active = Segment(self.root / f"seg-{number:05d}.seg")
+        self._roll_active()
+
+    def _roll_active(self) -> None:
+        """Seal (best-effort) and retire the active segment, then open
+        a fresh one.  Never raises: whatever state the old segment is
+        in — cleanly sealed, seal-crashed, torn by a failed append —
+        the store comes out readable, with every verifiable record
+        still served."""
+        active = self._active
+        if active is None:
+            return
+        path = active.path
+        sealed_ok = False
+        if not active._poisoned and len(active):
+            try:
+                active.seal(sync=self.sync != "never")
+                sealed_ok = True
+            except StoreError:
+                _count("seal_failures")
+        active.close()
+        self._active = None
+        if sealed_ok:
+            self._sealed.append(Segment(path, readonly=True))
+        else:
+            self._adopt_unsealed(path)
+        try:
+            number = self._next_number()
+            self._active = Segment(self.root / f"seg-{number:05d}.seg")
+        except (StoreError, OSError):
+            # Could not even write a fresh 32-byte header (disk truly
+            # full).  Reads keep working; the next successful append
+            # path retries the open.
+            _count("active_open_failures")
         _count("segments_rolled")
 
+    def _fsync_dir(self) -> None:
+        """fsync the store directory so renames/creates are durable.
+        Best-effort: not every filesystem supports opening a directory
+        for sync (and the data fsyncs already happened)."""
+        try:
+            fd = os.open(self.root, os.O_RDONLY)
+        except OSError:  # pragma: no cover - platform-dependent
+            return
+        try:
+            os.fsync(fd)
+        except OSError:  # pragma: no cover - platform-dependent
+            pass
+        finally:
+            os.close(fd)
+
+    def _adopt_unsealed(self, path: Path) -> None:
+        """Heal a torn or unsealed segment file in place and adopt it
+        read-only; an empty file is unlinked, an unreadable one is left
+        on disk for post-mortem but dropped from the serving set."""
+        if not path.exists():
+            return
+        try:
+            writable = Segment(path, readonly=False)
+        except (StoreError, OSError):
+            _count("unreadable_segments")
+            return
+        if writable.truncated_bytes:
+            _count("truncated_bytes", writable.truncated_bytes)
+        if writable.recovered:
+            _count("recovered_segments")
+        if not len(writable):
+            writable.close()
+            path.unlink(missing_ok=True)
+            return
+        try:
+            writable.seal(sync=self.sync != "never")
+        except StoreError:
+            _count("seal_failures")
+        writable.close()
+        try:
+            self._sealed.append(Segment(path, readonly=True))
+        except (StoreError, OSError):
+            _count("unreadable_segments")
+
     # -- writes -------------------------------------------------------------
+
+    def _append(
+        self,
+        raw: bytes,
+        payload: bytes,
+        kind: int,
+        bbox: tuple | None = None,
+    ) -> None:
+        """One appended record under the durability contract (caller
+        holds the lock).
+
+        An append that fails with an OS-level error (``ENOSPC``,
+        ``EIO``, a lost fsync) raises the structured
+        :class:`~repro.errors.StoreError` to the caller — the record
+        was *not* stored — and retires the active segment: its intact
+        prefix is healed and kept readable, and a fresh active segment
+        is opened so subsequent puts can succeed (disk space
+        permitting).  A torn append (crash model) leaves the segment
+        poisoned instead — recovery is a reopen, matching the process
+        restart it models.
+        """
+        self._check_open("append")
+        if self._active is None:
+            # A previous failure could not open a fresh segment; try
+            # again now rather than failing every future put.
+            try:
+                number = self._next_number()
+                self._active = Segment(self.root / f"seg-{number:05d}.seg")
+            except (StoreError, OSError) as exc:
+                raise StoreError(
+                    f"store at {self.root} has no writable segment: {exc}",
+                    op="append",
+                    path=str(self.root),
+                ) from exc
+        try:
+            self._active.append(
+                raw, payload, kind, bbox, sync=self.sync == "always"
+            )
+        except StoreError as exc:
+            _count("append_errors")
+            if exc.errno is not None:
+                # An OS-level failure, not a modelled crash: retire the
+                # segment so the store stays serviceable.
+                self._roll_active()
+            raise
+        self._roll_if_full()
 
     def put(
         self,
@@ -227,13 +408,31 @@ class SegmentStore:
         if bbox is None and instance is not None:
             bbox = _safe_float_bbox(instance)
         with self._lock:
-            self._active.append(raw, payload, KIND_INVARIANT, bbox)
-            if self.sync_appends:
-                self._active.flush(sync=True)
-            self._roll_if_full()
+            self._append(raw, payload, KIND_INVARIANT, bbox)
+            self._index_class(raw, payload, canonical_hash)
         _count("puts")
         _count("put_bytes", len(payload))
         return len(payload)
+
+    def put_raw(
+        self,
+        raw: bytes,
+        payload: bytes,
+        kind: int = KIND_INVARIANT,
+        bbox: tuple | None = None,
+    ) -> None:
+        """Append a pre-encoded record verbatim under a raw 32-byte
+        key — the replication and read-repair path, where the copy must
+        stay bit-identical to its source record."""
+        if len(raw) != 32:
+            raise StoreError("raw record keys must be 32 bytes", op="append")
+        with self._lock:
+            self._append(raw, payload, kind, bbox)
+            if kind == KIND_INVARIANT:
+                self._index_class(raw, payload, None)
+            elif kind == KIND_TOMBSTONE:
+                self._unindex_class(raw)
+        _count("raw_puts")
 
     def put_complex(self, key: str | bytes, arrays: "ComplexArrays") -> bool:
         """Store the cell complex for *key* (derived namespace key).
@@ -244,10 +443,7 @@ class SegmentStore:
             _count("complex_fallbacks")
             return False
         with self._lock:
-            self._active.append(_cx_key(raw), payload, KIND_COMPLEX)
-            if self.sync_appends:
-                self._active.flush(sync=True)
-            self._roll_if_full()
+            self._append(_cx_key(raw), payload, KIND_COMPLEX)
         _count("complex_puts")
         return True
 
@@ -256,10 +452,10 @@ class SegmentStore:
         miss, compaction drops the shadowed records."""
         raw = _raw_key(key)
         with self._lock:
-            self._active.append(raw, b"", KIND_TOMBSTONE)
+            self._append(raw, b"", KIND_TOMBSTONE)
             if self._find(_cx_key(raw)) is not None:
-                self._active.append(_cx_key(raw), b"", KIND_TOMBSTONE)
-            self._roll_if_full()
+                self._append(_cx_key(raw), b"", KIND_TOMBSTONE)
+            self._unindex_class(raw)
         _count("tombstones")
 
     # -- reads --------------------------------------------------------------
@@ -277,19 +473,57 @@ class SegmentStore:
                 return seg, entry
         return None
 
+    def _payload_of(self, seg: Segment, entry, raw: bytes):
+        """The checksum-verified payload for one found entry.
+
+        A drawn ``store_read_bitflip`` fault first flips a payload byte
+        *on disk* — persistent at-rest corruption — so the verified
+        read that follows fails exactly the way real rot does, and
+        keeps failing until a repair rewrites the record."""
+        if faults.draw("store_read_bitflip", raw.hex()) is not None:
+            seg.corrupt_payload_byte(entry)
+        try:
+            return seg.payload(entry)
+        except StoreError:
+            _count("read_errors")
+            raise
+
     def get_record(self, key: str | bytes) -> codec.StoredRecord | None:
         """The newest stored record for *key*, decoded zero-copy over
-        the segment mmap, or None (missing or tombstoned)."""
+        the segment mmap, or None (missing or tombstoned).  Raises a
+        structured :class:`~repro.errors.StoreError` when the stored
+        bytes fail their checksum — never a silently wrong record."""
         raw = _raw_key(key)
         with self._lock:
+            self._check_open("read")
             found = self._find(raw)
             if found is None or found[1].kind == KIND_TOMBSTONE:
                 _count("misses")
                 return None
             seg, entry = found
-            payload = seg.payload(entry)
+            payload = self._payload_of(seg, entry, raw)
         _count("hits")
         return codec.decode_record(payload)
+
+    def get_raw(
+        self, key: str | bytes
+    ) -> tuple[int, bytes, tuple] | None:
+        """The newest raw record for *key* as ``(kind, payload bytes,
+        bbox)`` — tombstones included, so a mirror can distinguish "the
+        key was deleted" from "this replica missed the write".  None
+        when the store never saw the key.  The payload checksum is
+        verified; corrupt bytes raise rather than replicate."""
+        raw = _raw_key(key)
+        with self._lock:
+            self._check_open("read")
+            found = self._find(raw)
+            if found is None:
+                return None
+            seg, entry = found
+            if entry.kind == KIND_TOMBSTONE:
+                return (KIND_TOMBSTONE, b"", entry.bbox)
+            payload = self._payload_of(seg, entry, raw)
+            return (entry.kind, bytes(payload), entry.bbox)
 
     def get(self, key: str | bytes) -> "TopologicalInvariant | None":
         """The newest invariant for *key*, or None."""
@@ -310,11 +544,12 @@ class SegmentStore:
         """The stored cell complex for *key*, or None."""
         raw = _cx_key(_raw_key(key))
         with self._lock:
+            self._check_open("read")
             found = self._find(raw)
             if found is None or found[1].kind == KIND_TOMBSTONE:
                 return None
             seg, entry = found
-            payload = seg.payload(entry)
+            payload = self._payload_of(seg, entry, raw)
         _count("complex_hits")
         return codec.decode_complex(payload)
 
@@ -341,6 +576,141 @@ class SegmentStore:
 
     def __len__(self) -> int:
         return sum(1 for _ in self.keys())
+
+    def raw_keys(self) -> Iterator[tuple[bytes, int]]:
+        """``(raw key, kind)`` of the newest record per key across
+        *every* namespace — invariants, complexes, and tombstones.  The
+        replication/repair work list: a mirror diffs this against a
+        peer to find records the peer missed."""
+        seen: set[bytes] = set()
+        with self._lock:
+            segments = [self._active, *reversed(self._sealed)]
+            for seg in segments:
+                if seg is None:
+                    continue
+                for raw, entry in seg.live_items():
+                    if raw in seen:
+                        continue
+                    seen.add(raw)
+                    yield raw, entry.kind
+
+    # -- canonical-hash → keys secondary index ------------------------------
+
+    def _index_class(
+        self, raw: bytes, payload: bytes, canonical_hash: str | None
+    ) -> None:
+        """Fold one put into the class index (caller holds the lock).
+        A no-op until the index has been built — before that, the lazy
+        build sees the record on disk anyway."""
+        if self._class_index is None:
+            return
+        if canonical_hash is None:
+            try:
+                canonical_hash = codec.decode_record(payload).canonical_hash
+            except StoreError:
+                canonical_hash = None
+        key = raw.hex()
+        self._unindex_class(raw)
+        if canonical_hash is not None:
+            self._key_class[key] = canonical_hash
+            self._class_index.setdefault(canonical_hash, set()).add(key)
+
+    def _unindex_class(self, raw: bytes) -> None:
+        if self._class_index is None:
+            return
+        key = raw.hex()
+        old = self._key_class.pop(key, None)
+        if old is not None:
+            members = self._class_index.get(old)
+            if members is not None:
+                members.discard(key)
+                if not members:
+                    del self._class_index[old]
+
+    def _build_class_index(self) -> None:
+        """Scan live invariant records' headers once (caller holds the
+        lock).  Records without a recorded canonical hash, or whose
+        payload cannot be read, are skipped and counted — the scrubber
+        is the place that deals with the latter."""
+        index: dict[str, set[str]] = {}
+        key_class: dict[str, str] = {}
+        seen: set[bytes] = set()
+        segments = [self._active, *reversed(self._sealed)]
+        for seg in segments:
+            if seg is None:
+                continue
+            for raw, entry in seg.live_items():
+                if raw in seen:
+                    continue
+                seen.add(raw)
+                if entry.kind != KIND_INVARIANT:
+                    continue
+                try:
+                    record = codec.decode_record(seg.payload(entry))
+                except StoreError:
+                    _count("class_index_skipped")
+                    continue
+                ch = record.canonical_hash
+                if ch is None:
+                    _count("class_index_unhashed")
+                    continue
+                key = raw.hex()
+                key_class[key] = ch
+                index.setdefault(ch, set()).add(key)
+        self._class_index = index
+        self._key_class = key_class
+
+    def keys_for_class(self, class_hash: str) -> list[str]:
+        """Hex keys of every live instance whose stored canonical hash
+        equals *class_hash* — equivalence-class lookup without touching
+        the pipeline.  The index is built in memory from record headers
+        on first use and maintained by subsequent puts and deletes."""
+        with self._lock:
+            self._check_open("read")
+            if self._class_index is None:
+                self._build_class_index()
+            _count("class_lookups")
+            return sorted(self._class_index.get(class_hash, ()))
+
+    # -- scrub support ------------------------------------------------------
+
+    def sealed_segments(self) -> list[Segment]:
+        """A snapshot of the sealed segment set (the scrubber's work
+        list; the active segment is still being written and is covered
+        by its next seal)."""
+        with self._lock:
+            return list(self._sealed)
+
+    def quarantine_segment(self, seg: Segment) -> Path | None:
+        """Move a sealed segment's file into ``root/quarantine/`` and
+        drop it from the serving set: its records no longer resolve
+        (repair re-copies them from a replica or recompute), and the
+        corrupt bytes are kept for post-mortem rather than re-served.
+        Returns the quarantined path, or None if *seg* is not one of
+        this store's sealed segments."""
+        with self._lock:
+            if seg not in self._sealed:
+                return None
+            qdir = self.root / "quarantine"
+            qdir.mkdir(parents=True, exist_ok=True)
+            dest = qdir / seg.path.name
+            seg.close()
+            try:
+                os.replace(seg.path, dest)
+            except OSError as exc:
+                raise StoreError(
+                    f"could not quarantine {seg.path.name}: {exc}",
+                    op="quarantine",
+                    path=str(seg.path),
+                    errno=exc.errno,
+                ) from exc
+            self._sealed = [s for s in self._sealed if s is not seg]
+            # Keys served by that segment changed out from under the
+            # lazy class index; rebuild on next use.
+            self._class_index = None
+            self._key_class = {}
+        _count("segments_quarantined")
+        return dest
 
     @property
     def nbytes(self) -> int:
@@ -478,13 +848,13 @@ class SegmentStore:
         next compaction once nothing is left to shadow).
         """
         with self._lock:
+            self._check_open("compact")
             if self._active is not None and len(self._active):
-                self._active.seal()
-                self._active.close()
-                self._sealed.append(
-                    Segment(self._active.path, readonly=True)
-                )
-                self._active = None
+                self._roll_active()
+                if self._active is not None:
+                    self._active.close()
+                    self._active.path.unlink(missing_ok=True)
+                    self._active = None
             elif self._active is not None:
                 self._active.close()
                 self._active.path.unlink(missing_ok=True)
@@ -504,25 +874,55 @@ class SegmentStore:
             tmp = self.root / f"compact-{number:05d}.tmp"
             tmp.unlink(missing_ok=True)
             out = Segment(tmp)
-            live = dropped = 0
-            for raw in sorted(newest):
-                seg, entry = newest[raw]
-                if entry.kind == KIND_TOMBSTONE:
-                    if raw in put_keys:
-                        out.append(raw, b"", KIND_TOMBSTONE)
-                    dropped += 1
-                    continue
-                out.append(
-                    raw,
-                    bytes(seg.payload(entry)),
-                    entry.kind,
-                    None if entry.bbox[0] != entry.bbox[0] else entry.bbox,
+            live = dropped = skipped_corrupt = 0
+            try:
+                for raw in sorted(newest):
+                    seg, entry = newest[raw]
+                    if entry.kind == KIND_TOMBSTONE:
+                        if raw in put_keys:
+                            out.append(raw, b"", KIND_TOMBSTONE)
+                        dropped += 1
+                        continue
+                    try:
+                        payload = bytes(seg.payload(entry))
+                    except StoreError:
+                        # A record that fails its checksum must not
+                        # abort the compaction (or ride along as rot):
+                        # it is unreadable either way — drop it, count
+                        # it, and let the scrubber's repair path bring
+                        # the key back from a replica.
+                        _count("compaction_skipped_corrupt")
+                        skipped_corrupt += 1
+                        dropped += 1
+                        continue
+                    out.append(
+                        raw,
+                        payload,
+                        entry.kind,
+                        None
+                        if entry.bbox[0] != entry.bbox[0]
+                        else entry.bbox,
+                    )
+                    live += 1
+                out.seal(sync=self.sync != "never")
+                out.close()
+            except BaseException:
+                # Leave the store exactly as it was: inputs untouched,
+                # the half-written output removed, a fresh active
+                # segment reopened.
+                out.close()
+                tmp.unlink(missing_ok=True)
+                self._active = Segment(
+                    self.root / f"seg-{self._next_number():05d}.seg"
                 )
-                live += 1
-            out.seal()
-            out.close()
+                raise
             final = self.root / f"seg-{number:05d}.seg"
             tmp.rename(final)
+            # The rename must be durable before the inputs disappear —
+            # otherwise a crash here could leave neither the old nor
+            # the new file set discoverable.
+            if self.sync != "never":
+                self._fsync_dir()
             for seg in inputs:
                 seg.close()
                 seg.path.unlink(missing_ok=True)
@@ -531,6 +931,10 @@ class SegmentStore:
                 self.root / f"seg-{number + 1:05d}.seg"
             )
             after = self._sealed[0].nbytes
+            if skipped_corrupt:
+                # Dropped keys may still sit in the class index.
+                self._class_index = None
+                self._key_class = {}
         _count("compactions")
         _count("compaction_reclaimed_bytes", max(0, before - after))
         return {

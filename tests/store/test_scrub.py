@@ -1,0 +1,197 @@
+"""The online scrubber: at-rest corruption in every region of a sealed
+segment (payload, envelope, footer) is found, quarantined, and repaired
+— from a replica when one exists, by recompute when the scrubber has a
+pipeline, and as a structured miss when neither."""
+
+import random
+
+import pytest
+
+from repro import (
+    Rect,
+    SpatialInstance,
+    canonical_hash,
+    instance_key,
+    invariant,
+)
+from repro.errors import StoreError
+from repro.instrument import counter_delta, counter_snapshot
+from repro.pipeline import InvariantPipeline
+from repro.store import MirroredStore, Scrubber, SegmentStore
+
+
+def _corpus(n, seed=0):
+    rng = random.Random(seed)
+    out = {}
+    while len(out) < n:
+        x, y = rng.randrange(0, 400), rng.randrange(0, 400)
+        w, h = rng.randrange(2, 6), rng.randrange(2, 6)
+        inst = SpatialInstance({"A": Rect(x, y, x + w, y + h)})
+        out[instance_key(inst)] = (inst, invariant(inst))
+    return out
+
+
+def _sealed_mirror(tmp_path, corpus):
+    mirror = MirroredStore(
+        [tmp_path / "rep0", tmp_path / "rep1"], max_segment_bytes=1 << 12
+    )
+    for key, (inst, t) in corpus.items():
+        mirror.put(key, t, instance=inst, canonical_hash=canonical_hash(t))
+    assert mirror.replicas[0].sealed_segments(), "corpus too small"
+    return mirror
+
+
+def _flip(path, offset, mask=0x01):
+    with open(path, "r+b") as f:
+        f.seek(offset)
+        byte = f.read(1)
+        f.seek(offset)
+        f.write(bytes((byte[0] ^ mask,)))
+
+
+class TestCorruptionRegions:
+    def test_payload_flip_is_found_quarantined_and_repaired(self, tmp_path):
+        corpus = _corpus(20, seed=1)
+        with _sealed_mirror(tmp_path, corpus) as mirror:
+            seg = mirror.replicas[0].sealed_segments()[0]
+            raw, entry = next(
+                (r, e) for r, e in seg.live_items() if e.kind == 1
+            )
+            seg.corrupt_payload_byte(entry)
+            base = counter_snapshot()
+            report = Scrubber(mirror, records_per_step=16).run_until_clean()
+            delta = counter_delta(base, counter_snapshot())
+            assert report.clean
+            assert delta.get("scrub.defects_found", 0) >= 1
+            assert delta.get("scrub.segments_quarantined", 0) >= 1
+            assert delta.get("scrub.keys_repaired", 0) >= 1
+            assert (tmp_path / "rep0" / "quarantine").exists()
+            for key, (_, t) in corpus.items():
+                assert canonical_hash(mirror.get(key)) == canonical_hash(t)
+                # Both replicas answer on their own again.
+                for rep in mirror.replicas:
+                    assert canonical_hash(rep.get(key)) == canonical_hash(t)
+
+    def test_envelope_flip_is_found_and_repaired(self, tmp_path):
+        corpus = _corpus(20, seed=2)
+        with _sealed_mirror(tmp_path, corpus) as mirror:
+            seg = mirror.replicas[0].sealed_segments()[0]
+            raw, entry = next(iter(seg.live_items()))
+            # Flip inside the record header (the payload-length field):
+            # the envelope no longer parses.
+            _flip(seg.path, entry.offset + 4, mask=0x40)
+            seg._drop_map()
+            report = Scrubber(mirror, records_per_step=16).run_until_clean()
+            assert report.clean
+            for key, (_, t) in corpus.items():
+                assert canonical_hash(mirror.get(key)) == canonical_hash(t)
+
+    def test_footer_flip_is_found_and_repaired(self, tmp_path):
+        corpus = _corpus(20, seed=3)
+        with _sealed_mirror(tmp_path, corpus) as mirror:
+            seg = mirror.replicas[0].sealed_segments()[0]
+            # Flip the last byte of the file: the trailer sha dies.
+            _flip(seg.path, seg.path.stat().st_size - 1)
+            seg._drop_map()
+            assert not seg.verify_footer()
+            base = counter_snapshot()
+            report = Scrubber(mirror, records_per_step=16).run_until_clean()
+            delta = counter_delta(base, counter_snapshot())
+            assert report.clean
+            assert delta.get("scrub.footer_defects", 0) >= 1
+            for key, (_, t) in corpus.items():
+                assert canonical_hash(mirror.get(key)) == canonical_hash(t)
+
+
+class TestRepairFallbacks:
+    def test_recompute_when_no_replica_holds_the_key(self, tmp_path):
+        corpus = _corpus(20, seed=4)
+        geometries = {key: inst for key, (inst, _) in corpus.items()}
+        store = SegmentStore(tmp_path, max_segment_bytes=1 << 12)
+        for key, (inst, t) in corpus.items():
+            store.put(key, t, instance=inst)
+        assert store.sealed_segments(), "corpus too small"
+        seg = store.sealed_segments()[0]
+        lost_keys = {raw.hex() for raw, e in seg.live_items() if e.kind == 1}
+        raw, entry = next(
+            (r, e) for r, e in seg.live_items() if e.kind == 1
+        )
+        seg.corrupt_payload_byte(entry)
+        base = counter_snapshot()
+        with InvariantPipeline() as pipeline:
+            scrubber = Scrubber(
+                store,
+                records_per_step=16,
+                pipeline=pipeline,
+                geometry_source=geometries.get,
+            )
+            report = scrubber.run_until_clean()
+        delta = counter_delta(base, counter_snapshot())
+        assert report.clean
+        assert delta.get("scrub.keys_recomputed", 0) == len(lost_keys)
+        for key, (_, t) in corpus.items():
+            assert canonical_hash(store.get(key)) == canonical_hash(t)
+        store.close()
+
+    def test_without_fallbacks_keys_become_structured_misses(self, tmp_path):
+        corpus = _corpus(20, seed=5)
+        store = SegmentStore(tmp_path, max_segment_bytes=1 << 12)
+        for key, (inst, t) in corpus.items():
+            store.put(key, t, instance=inst)
+        seg = store.sealed_segments()[0]
+        lost = {raw.hex() for raw, e in seg.live_items() if e.kind == 1}
+        raw, entry = next(
+            (r, e) for r, e in seg.live_items() if e.kind == 1
+        )
+        seg.corrupt_payload_byte(entry)
+        base = counter_snapshot()
+        report = Scrubber(store, records_per_step=16).run_until_clean()
+        delta = counter_delta(base, counter_snapshot())
+        assert report.clean
+        assert delta.get("scrub.keys_unrepairable", 0) == len(lost)
+        # The lost keys miss — never raise, never answer wrong — and
+        # every other key is intact.
+        for key, (_, t) in corpus.items():
+            got = store.get(key)
+            if key in lost:
+                assert got is None
+            else:
+                assert canonical_hash(got) == canonical_hash(t)
+        store.close()
+
+
+class TestIncrementalWalk:
+    def test_step_budget_and_state(self, tmp_path):
+        corpus = _corpus(20, seed=6)
+        with _sealed_mirror(tmp_path, corpus) as mirror:
+            scrubber = Scrubber(mirror, records_per_step=3)
+            assert scrubber.state()["passes_completed"] == 0
+            steps = 0
+            while scrubber.step() is None:
+                steps += 1
+                assert scrubber.state()["in_progress"]
+                assert steps < 1000, "scrub pass did not terminate"
+            assert steps > 1, "budget of 3 should need several steps"
+            state = scrubber.state()
+            assert state["passes_completed"] == 1
+            assert not state["in_progress"]
+            assert state["last_pass_clean"] is True
+            assert scrubber.last_report.records_verified > 0
+
+    def test_clean_store_scrubs_clean(self, tmp_path):
+        corpus = _corpus(12, seed=7)
+        with _sealed_mirror(tmp_path, corpus) as mirror:
+            report = Scrubber(mirror).run()
+            assert report.clean
+            assert report.quarantined == 0
+            assert report.records_verified > 0
+
+    def test_convergence_bound_is_enforced(self, tmp_path):
+        corpus = _corpus(12, seed=8)
+        store = SegmentStore(tmp_path, max_segment_bytes=1 << 12)
+        for key, (inst, t) in corpus.items():
+            store.put(key, t, instance=inst)
+        scrubber = Scrubber(store, records_per_step=16)
+        # A healthy store converges in one pass.
+        assert scrubber.run_until_clean(max_passes=1).clean
+        store.close()
