@@ -24,6 +24,18 @@ separate pass replays the pipeline-backed endpoints across all three
 pipeline backends (serial/threads/processes) and must also be
 bit-identical.
 
+A second pass — the **shard sweep** — drives a distinct-instance
+invariant workload (the shape that serializes on the single-pipeline
+service, ROADMAP open item 1) through the one-pipeline baseline and
+through :class:`repro.ShardedQueryService` at 1/2/4 shards.  Cold rows
+(first touch of every instance) are recorded ungated; warm rows gate
+the PR: ≥2x closed-loop distinct-instance throughput at 4 shards over
+the single-pipeline baseline, and an open-loop offered load of
+1.25x the baseline's measured capacity — which sheds on the baseline —
+held at 4 shards with zero sheds and p99 under a threshold.  Gate knobs
+are env-overridable (``REPRO_BENCH_SHARD_SPEEDUP_MIN``,
+``REPRO_BENCH_SHARD_P99_MS``) for slower CI hardware.
+
 Run as a pytest module (``pytest benchmarks/bench_service.py``) or as
 a script::
 
@@ -31,14 +43,15 @@ a script::
     PYTHONPATH=src python benchmarks/bench_service.py --smoke  # CI smoke
 
 Both modes write ``BENCH_service.json`` at the repo root.  Smoke mode
-asserts a >0 coalescing hit-rate on the duplicate-heavy workload and
-zero wrong answers everywhere (the full sweep asserts the same, over
-more traffic).
+asserts a >0 coalescing hit-rate on the duplicate-heavy workload, the
+shard-sweep gates, and zero wrong answers everywhere (the full sweep
+asserts the same, over more traffic).
 """
 
 import argparse
 import asyncio
 import json
+import os
 import resource
 import time
 from collections import Counter, deque
@@ -50,6 +63,7 @@ from repro import (
     Rect,
     ReproError,
     RetryPolicy,
+    ShardedQueryService,
     SpatialInstance,
     canonical_hash,
     invariant,
@@ -322,6 +336,238 @@ def run_backend_check():
     return rows
 
 
+# -- shard sweep --------------------------------------------------------------
+
+SHARD_SPEEDUP_MIN = float(
+    os.environ.get("REPRO_BENCH_SHARD_SPEEDUP_MIN", "2.0")
+)
+SHARD_P99_MS = float(os.environ.get("REPRO_BENCH_SHARD_P99_MS", "50.0"))
+SHARD_RATE_FACTOR = float(
+    os.environ.get("REPRO_BENCH_SHARD_RATE_FACTOR", "2.0")
+)
+
+_DISTINCT_SHAPES = [
+    lambda x: {"A": Rect(x, 0, x + 4, 4), "B": Rect(x + 2, 2, x + 6, 6)},
+    lambda x: {"A": Rect(x, 0, x + 1, 1), "B": Rect(x + 3, 3, x + 4, 4)},
+    lambda x: {"A": Rect(x, 0, x + 8, 8), "B": Rect(x + 2, 2, x + 5, 5)},
+]
+
+
+def make_distinct_corpus(n):
+    """*n* instances with pairwise-distinct ``instance_key``s — the
+    distinct-instance load that serializes on a single pipeline."""
+    return {
+        f"d{i:03d}": SpatialInstance(_DISTINCT_SHAPES[i % 3](i * 16))
+        for i in range(n)
+    }
+
+
+def make_sharded(n_shards, **kw):
+    kw.setdefault("max_inflight", 4)
+    kw.setdefault("max_queue", 64)
+    return ShardedQueryService(n_shards=n_shards, **kw)
+
+
+def _distinct_jobs(corpus, expected):
+    return [("invariant", (name,), expected[name]) for name in corpus]
+
+
+def run_shard_closed(factory, corpus, expected, clients, rounds, **label):
+    """One cold pass (sequential first touch, recorded ungated) then a
+    warm closed loop of *rounds* passes over the distinct corpus."""
+    cold, warm = Recorder(), Recorder()
+
+    async def main():
+        async with factory() as svc:
+            for name, inst in corpus.items():
+                svc.register(name, inst)
+            jobs = _distinct_jobs(corpus, expected)
+            before = counter_snapshot()
+            t0 = time.perf_counter()
+            for job in jobs:
+                await cold.request(svc, job)
+            cold_elapsed = time.perf_counter() - t0
+            cold_delta = counter_delta(before, counter_snapshot())
+            queue = deque(jobs * rounds)
+
+            async def client():
+                while True:
+                    try:
+                        job = queue.popleft()
+                    except IndexError:
+                        return
+                    await warm.request(svc, job)
+
+            before = counter_snapshot()
+            t0 = time.perf_counter()
+            await asyncio.gather(*[client() for _ in range(clients)])
+            warm_elapsed = time.perf_counter() - t0
+            warm_delta = counter_delta(before, counter_snapshot())
+        return (
+            cold.row("closed", cold_elapsed, cold_delta, phase="cold", **label),
+            warm.row(
+                "closed",
+                warm_elapsed,
+                warm_delta,
+                phase="warm",
+                clients=clients,
+                **label,
+            ),
+        )
+
+    return asyncio.run(main())
+
+
+def run_shard_open(factory, corpus, expected, rate, n_requests, **label):
+    """Warm open loop at *rate* req/s with tick-batched pacing: each
+    5 ms tick issues however many arrivals the wall clock says are due,
+    so the offered schedule self-corrects when the loop lags instead of
+    silently under-offering (coordinated omission)."""
+    rec = Recorder()
+    tick = 0.005
+
+    async def main():
+        async with factory() as svc:
+            for name, inst in corpus.items():
+                svc.register(name, inst)
+            jobs = _distinct_jobs(corpus, expected)
+            for job in jobs:  # prime: the open loop measures warm serving
+                await rec.request(svc, job)
+            rec.latencies.clear()
+            rec.statuses.clear()
+            schedule = [jobs[i % len(jobs)] for i in range(n_requests)]
+            tasks = []
+            issued = 0
+            before = counter_snapshot()
+            t0 = time.perf_counter()
+            while issued < n_requests:
+                due = min(
+                    n_requests, int((time.perf_counter() - t0) * rate) + 1
+                )
+                while issued < due:
+                    tasks.append(
+                        asyncio.ensure_future(
+                            rec.request(svc, schedule[issued], timeout=10.0)
+                        )
+                    )
+                    issued += 1
+                await asyncio.sleep(tick)
+            await asyncio.gather(*tasks)
+            elapsed = time.perf_counter() - t0
+            delta = counter_delta(before, counter_snapshot())
+        return rec.row(
+            "open", elapsed, delta, phase="warm", offered_rps=rate, **label
+        )
+
+    return asyncio.run(main())
+
+
+def run_shard_sweep(smoke=False):
+    """The sharding benchmark: single-pipeline baseline vs 1/2/4-shard
+    :class:`ShardedQueryService` on the distinct-instance workload.
+    Returns ``(rows, gates)``; the caller asserts ``gates['passed']``."""
+    n = 24 if smoke else 48
+    clients = 4 if smoke else 8
+    rounds = 25 if smoke else 100
+    corpus = make_distinct_corpus(n)
+    expected = {
+        name: canonical_hash(invariant(inst))
+        for name, inst in corpus.items()
+    }
+
+    rows = []
+    warm_tp = {}
+    configs = [("unsharded", lambda: make_service())] + [
+        (f"sharded-{s}", lambda s=s: make_sharded(s)) for s in (1, 2, 4)
+    ]
+    for config, factory in configs:
+        cold_row, warm_row = run_shard_closed(
+            factory, corpus, expected, clients, rounds, config=config
+        )
+        rows.extend([cold_row, warm_row])
+        warm_tp[config] = warm_row["throughput_rps"]
+
+    # Open loop past the baseline's measured closed-loop capacity.  The
+    # corpus must be wider than max_inflight + max_queue (4 + 64): once
+    # the backlog holds more *distinct* leaders than admission can seat,
+    # the single pipeline must shed — duplicates would merely coalesce.
+    # The sharded service holds the same schedule without shedding.
+    open_corpus = make_distinct_corpus(96 if smoke else 160)
+    open_expected = {
+        name: canonical_hash(invariant(inst))
+        for name, inst in open_corpus.items()
+    }
+    rate = round(SHARD_RATE_FACTOR * warm_tp["unsharded"])
+    n_requests = min(20_000, max(500, int(rate * (0.4 if smoke else 1.0))))
+    baseline_open = run_shard_open(
+        lambda: make_service(),
+        open_corpus,
+        open_expected,
+        rate,
+        n_requests,
+        config="unsharded",
+    )
+    sharded_open = run_shard_open(
+        lambda: make_sharded(4),
+        open_corpus,
+        open_expected,
+        rate,
+        n_requests,
+        config="sharded-4",
+    )
+    rows.extend([baseline_open, sharded_open])
+
+    speedup = (
+        warm_tp["sharded-4"] / warm_tp["unsharded"]
+        if warm_tp["unsharded"]
+        else 0.0
+    )
+    wrong = sum(r["wrong_answers"] for r in rows)
+    gates = {
+        "closed_loop_speedup_4shard_vs_baseline": speedup,
+        "speedup_min_required": SHARD_SPEEDUP_MIN,
+        "offered_rps": rate,
+        "baseline_open_shed": baseline_open["statuses"].get("shed", 0),
+        "sharded_open_shed": sharded_open["statuses"].get("shed", 0),
+        "sharded_open_p99_ms": sharded_open["p99_ms"],
+        "p99_threshold_ms": SHARD_P99_MS,
+        "wrong_answers": wrong,
+    }
+    gates["passed"] = (
+        speedup >= SHARD_SPEEDUP_MIN
+        and gates["baseline_open_shed"] > 0
+        and gates["sharded_open_shed"] == 0
+        and gates["sharded_open_p99_ms"] <= SHARD_P99_MS
+        and wrong == 0
+    )
+    return rows, gates
+
+
+def _print_shard_rows(rows, gates):
+    print(
+        f"{'config':>11} {'mode':>7} {'phase':>5} {'req':>6} {'ok':>6} "
+        f"{'shed':>5} {'p50':>8} {'p99':>8} {'rps':>8} {'wrong':>6}"
+    )
+    for row in rows:
+        print(
+            f"{row['config']:>11} {row['mode']:>7} {row['phase']:>5} "
+            f"{row['requests']:>6} {row['statuses'].get('ok', 0):>6} "
+            f"{row['statuses'].get('shed', 0):>5} "
+            f"{row['p50_ms']:>7.3f}m {row['p99_ms']:>7.3f}m "
+            f"{row['throughput_rps']:>8.0f} {row['wrong_answers']:>6}"
+        )
+    print(
+        f"shard gates: 4-shard/baseline warm speedup "
+        f"{gates['closed_loop_speedup_4shard_vs_baseline']:.1f}x "
+        f"(need >= {gates['speedup_min_required']:.1f}x); open loop at "
+        f"{gates['offered_rps']} rps sheds {gates['baseline_open_shed']} "
+        f"on the baseline, {gates['sharded_open_shed']} at 4 shards "
+        f"(p99 {gates['sharded_open_p99_ms']:.2f} ms <= "
+        f"{gates['p99_threshold_ms']:.0f} ms) -> "
+        f"{'PASS' if gates['passed'] else 'FAIL'}"
+    )
+
+
 def _print_rows(rows):
     print(
         f"{'mode':>7} {'load':>12} {'req':>5} {'ok':>5} {'shed':>5} "
@@ -369,6 +615,27 @@ def test_burst_coalesces():
     assert row["coalesce_hit_rate"] > 0.9
 
 
+def test_sharded_distinct_load_bit_identical():
+    """A small sharded closed loop over the distinct-instance corpus:
+    zero wrong answers, cold and warm."""
+    corpus = make_distinct_corpus(12)
+    expected = {
+        name: canonical_hash(invariant(inst))
+        for name, inst in corpus.items()
+    }
+    cold_row, warm_row = run_shard_closed(
+        lambda: make_sharded(2),
+        corpus,
+        expected,
+        clients=4,
+        rounds=4,
+        config="sharded-2",
+    )
+    for row in (cold_row, warm_row):
+        assert row["wrong_answers"] == 0, row
+        assert row["statuses"].get("ok", 0) == row["requests"], row
+
+
 # -- CLI ----------------------------------------------------------------------
 
 
@@ -403,6 +670,7 @@ def main(argv=None):
             run_open_loop(jobs, rate=r) for r in (100, 400)
         ] + [run_burst(burst_job, 64)]
     backend_rows = run_backend_check()
+    shard_rows, shard_gates = run_shard_sweep(smoke=args.smoke)
 
     rows = closed_rows + open_rows
     _print_rows(rows)
@@ -411,6 +679,7 @@ def main(argv=None):
             f"backend {row['backend']}: {row['requests']} requests, "
             f"{row['wrong_answers']} wrong"
         )
+    _print_shard_rows(shard_rows, shard_gates)
 
     payload = {
         "benchmark": "service_load",
@@ -420,22 +689,31 @@ def main(argv=None):
         "closed_loop_rows": closed_rows,
         "open_loop_rows": open_rows,
         "backend_rows": backend_rows,
+        "shard_sweep": {
+            "workload": "distinct-instance invariant lookups (the load "
+            "that serializes on one pipeline)",
+            "rows": shard_rows,
+            "gates": shard_gates,
+        },
     }
     args.out.write_text(json.dumps(payload, indent=2) + "\n")
 
-    wrong = sum(r["wrong_answers"] for r in rows) + sum(
-        r["wrong_answers"] for r in backend_rows
+    wrong = (
+        sum(r["wrong_answers"] for r in rows)
+        + sum(r["wrong_answers"] for r in backend_rows)
+        + sum(r["wrong_answers"] for r in shard_rows)
     )
     assert wrong == 0, f"{wrong} wrong answers served"
     duplicate_heavy = max(rows, key=lambda r: r["coalesce_hit_rate"])
     assert duplicate_heavy["coalesce_hit_rate"] > 0, (
         "no coalescing on the duplicate-heavy workload"
     )
+    assert shard_gates["passed"], f"shard sweep gates failed: {shard_gates}"
     best = duplicate_heavy["coalesce_hit_rate"]
     print(
-        f"zero wrong answers across {len(rows)} load rows and "
-        f"{len(backend_rows)} backends; peak coalescing {best:.0%} "
-        f"-> {args.out}"
+        f"zero wrong answers across {len(rows)} load rows, "
+        f"{len(backend_rows)} backends, and {len(shard_rows)} shard-sweep "
+        f"rows; peak coalescing {best:.0%} -> {args.out}"
     )
     return 0
 

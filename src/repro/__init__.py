@@ -52,6 +52,7 @@ from .errors import (
     SchemaError,
     ServiceClosedError,
     ServiceError,
+    ShardDownError,
     StoreError,
     StoreUnavailableError,
     UnknownInstanceError,
@@ -94,7 +95,7 @@ from .regions import (
     Region,
     SpatialInstance,
 )
-from .service import QueryAnswer, QueryService
+from .service import QueryAnswer, QueryService, ShardedQueryService
 from .store import MirroredStore, Scrubber, SegmentStore
 from .tracing import Trace, Tracer
 
@@ -137,6 +138,8 @@ __all__ = [
     "SegmentStore",
     "ServiceClosedError",
     "ServiceError",
+    "ShardDownError",
+    "ShardedQueryService",
     "StoreError",
     "StoreUnavailableError",
     "SimplePolygon",

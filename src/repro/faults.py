@@ -63,10 +63,21 @@ Injection points
     fall back to the recovery scan: no record is lost, the footer is
     rebuilt at the next successful seal.
 
+``shard_worker_crash``
+    A shard worker process dies hard (``os._exit``) upon receiving a
+    request batch, before evaluating any of it.  The router must
+    respawn the worker, replay its registrations, and retry or
+    structurally fail the batch — never answer wrong.
+``shard_pipe_drop``
+    The parent's end of a shard socket is closed at batch-flush time
+    (modelling a torn pipe / socket reset).  Same obligations as a
+    crash; the worker is reaped and respawned.
+
 All four new points live in :data:`STORE_POINTS` beside
 ``store_torn_append`` for the same reason it does: seeded plans drawn
 from the default :data:`POINTS` set must stay bit-identical across
-releases.  Plans over :data:`STORE_POINTS` gained new draws in the
+releases.  The two shard points live in :data:`SHARD_POINTS`, same
+deal.  Plans over :data:`STORE_POINTS` gained new draws in the
 release that introduced these points and are versioned by that fact.
 
 The worker-side points are drawn by the *parent* at submit time — the
@@ -103,6 +114,7 @@ __all__ = [
     "draw",
     "execute_inline",
     "execute_in_worker",
+    "SHARD_POINTS",
 ]
 
 WORKER_POINTS = ("worker_crash", "worker_hang", "invariant_raises")
@@ -117,7 +129,17 @@ STORE_POINTS = (
     "store_disk_full",
     "store_seal_crash",
 )
-_ALL_POINTS = POINTS + STORE_POINTS
+# Shard-serving points, kept out of POINTS for the same schedule-
+# stability reason.  ``shard_worker_crash`` ships with a batch message
+# and kills the shard worker process before it evaluates
+# (``os._exit(13)``, the same hard death the pool uses);
+# ``shard_pipe_drop`` severs the parent side of the shard socket at
+# flush time, so the in-flight batch surfaces as a connection loss.
+# Both are drawn by the *parent* at batch-flush time against the first
+# item's instance key, so seeded schedules stay deterministic across
+# the process boundary.
+SHARD_POINTS = ("shard_worker_crash", "shard_pipe_drop")
+_ALL_POINTS = POINTS + STORE_POINTS + SHARD_POINTS
 
 
 class InjectedFailure(RuntimeError):

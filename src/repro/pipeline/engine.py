@@ -284,6 +284,7 @@ class InvariantPipeline:
         instances: Sequence[SpatialInstance],
         on_error: str = "raise",
         trace: "bool | tracing.Tracer | None" = None,
+        keys: "Sequence[str] | None" = None,
     ) -> list[TopologicalInvariant] | BatchResult:
         """Invariants of *instances*, in order.
 
@@ -317,6 +318,13 @@ class InvariantPipeline:
         are captured in the worker and re-parented under the submitting
         task's span.  Tracing never changes results (the differential
         suite in ``tests/test_tracing.py`` holds the pipeline to that).
+
+        *keys* optionally supplies the instances' content keys
+        (aligned with *instances*), skipping re-derivation when the
+        caller already holds them — the shard workers route by key, so
+        every batch arrives pre-keyed.  The keys are trusted; passing
+        a key that is not ``instance_key(inst)`` corrupts the
+        content-addressed cache.
         """
         if on_error not in ON_ERROR_MODES:
             raise PipelineError(
@@ -337,7 +345,7 @@ class InvariantPipeline:
         try:
             if tracer is not None:
                 tracing.install(tracer)
-            return self._compute_batch_inner(instances, on_error)
+            return self._compute_batch_inner(instances, on_error, keys)
         finally:
             if tracer is not None:
                 tracing.uninstall(tracer)
@@ -349,8 +357,16 @@ class InvariantPipeline:
         self,
         instances: Sequence[SpatialInstance],
         on_error: str,
+        precomputed_keys: "Sequence[str] | None" = None,
     ) -> list[TopologicalInvariant] | BatchResult:
         instances = list(instances)
+        if precomputed_keys is not None:
+            precomputed_keys = list(precomputed_keys)
+            if len(precomputed_keys) != len(instances):
+                raise PipelineError(
+                    f"keys length {len(precomputed_keys)} does not match "
+                    f"{len(instances)} instances"
+                )
         self.stats.count("instances_seen", len(instances))
         # Kernel counters (filter hits / exact fallbacks / planarize
         # pruning) are monotone module globals; the batch records its
@@ -367,7 +383,11 @@ class InvariantPipeline:
                 instances=len(instances),
             ):
                 with tracing.span("pipeline.resolve"):
-                    keys = [instance_key(inst) for inst in instances]
+                    keys = (
+                        precomputed_keys
+                        if precomputed_keys is not None
+                        else [instance_key(inst) for inst in instances]
+                    )
                     resolved: dict[str, TopologicalInvariant] = {}
                     misses: dict[str, SpatialInstance] = {}
                     for key, inst in zip(keys, instances):

@@ -46,6 +46,17 @@ class AdmissionController:
     def waiting(self) -> int:
         return len(self._waiters)
 
+    def snapshot(self) -> dict:
+        """Pressure snapshot for the health endpoint: current load
+        next to configured capacity, so a poller can compute headroom
+        without knowing the service's construction arguments."""
+        return {
+            "inflight": self.active,
+            "queued": len(self._waiters),
+            "max_inflight": self.max_inflight,
+            "max_queue": self.max_queue,
+        }
+
     def admit(self, endpoint: str | None = None) -> asyncio.Future | None:
         """Decide admission now.
 

@@ -14,6 +14,31 @@ one failure domain — the segment store behind a service:
 * ``half_open`` — exactly one probe is in flight; its success closes
   the breaker, its failure re-opens it and re-arms the timer.
 
+Outcome attribution — the half-open race
+----------------------------------------
+
+Reads overlap the breaker's state transitions: a request admitted
+while *closed* can still be in flight when later failures trip the
+breaker and the reset window elapses.  If such a *stale* read settles
+while the breaker is half-open, naive ``record_success`` /
+``record_failure`` corrupt the probe accounting: a stale success
+closes the breaker without any probe having touched the store, and a
+stale failure re-opens it *and clears the probe flag*, so a second
+concurrent caller is admitted as a "probe" while the real probe is
+still in flight — two probes at once, exactly what half-open exists to
+prevent.
+
+The fix is permit-based attribution: :meth:`acquire` returns a permit
+naming what the caller is (``"ok"`` — a normal admitted read,
+``"probe"`` — *the* half-open probe, ``None`` — refused), and
+:meth:`settle` resolves the outcome *of that permit*.  Only the probe
+permit's settle can resolve the half-open state; stale permits settle
+without touching it.  The legacy ``allow`` / ``record_success`` /
+``record_failure`` methods remain as single-caller shims over the same
+core (``record_*`` attributes outcomes by current state, which is only
+sound when reads never overlap transitions — fine for the
+single-threaded tests that use them).
+
 The clock is injectable so tests (and seeded chaos runs) can drive the
 open→half-open transition deterministically instead of sleeping.
 Thread-safe; the service calls it from the event loop but the store
@@ -24,7 +49,7 @@ from __future__ import annotations
 
 import threading
 import time
-from typing import Callable
+from typing import Callable, Optional
 
 __all__ = ["CircuitBreaker"]
 
@@ -61,27 +86,83 @@ class CircuitBreaker:
         with self._lock:
             return self._failures
 
-    def allow(self) -> bool:
-        """May a request proceed right now?  In ``open`` state this
-        flips to ``half_open`` (returning True exactly once — the
-        probe) when ``reset_after`` has elapsed."""
+    # -- permit API ----------------------------------------------------------
+
+    def acquire(self) -> Optional[str]:
+        """Admission decision: ``"ok"`` (normal read), ``"probe"`` (the
+        single half-open probe), or None (refused).  Pass the returned
+        permit to :meth:`settle` with the read's outcome."""
         with self._lock:
             if self._state == "closed":
-                return True
+                return "ok"
             if self._state == "open":
                 if self._clock() - self._opened_at >= self.reset_after:
                     self._state = "half_open"
                     self._probing = True
-                    return True
-                return False
+                    return "probe"
+                return None
             # half_open: one probe at a time.
             if self._probing:
-                return False
+                return None
             self._probing = True
-            return True
+            return "probe"
+
+    def settle(self, permit: str, ok: bool) -> bool:
+        """Record the outcome of an acquired *permit*.  Returns True
+        when this settle tripped (or re-tripped) the breaker open.
+
+        A ``"probe"`` permit resolves the half-open state: success
+        closes, failure re-opens and re-arms the timer.  An ``"ok"``
+        permit only counts toward the closed-state failure streak —
+        if the breaker has moved on since the permit was issued (it is
+        *stale*), its outcome is ignored entirely.
+        """
+        if permit not in ("ok", "probe"):
+            raise ValueError(f"unknown breaker permit {permit!r}")
+        with self._lock:
+            if permit == "probe":
+                if self._state != "half_open" or not self._probing:
+                    # The probe outlived the state it was issued for
+                    # (e.g. a reset() in between); nothing to resolve.
+                    return False
+                self._probing = False
+                if ok:
+                    self._state = "closed"
+                    self._failures = 0
+                    return False
+                self._state = "open"
+                self._opened_at = self._clock()
+                return True
+            # permit == "ok": only meaningful while still closed.
+            if self._state != "closed":
+                return False
+            if ok:
+                self._failures = 0
+                return False
+            self._failures += 1
+            if self._failures >= self.threshold:
+                self._state = "open"
+                self._opened_at = self._clock()
+                return True
+            return False
+
+    # -- legacy single-caller API (kept for tests and simple users) ---------
+
+    def allow(self) -> bool:
+        """May a request proceed right now?  In ``open`` state this
+        flips to ``half_open`` (returning True exactly once — the
+        probe) when ``reset_after`` has elapsed.
+
+        Legacy shim over :meth:`acquire`: the permit is discarded, so
+        outcome attribution falls back to current-state guessing in
+        ``record_*``.  Callers whose reads can overlap breaker
+        transitions must use :meth:`acquire`/:meth:`settle` instead.
+        """
+        return self.acquire() is not None
 
     def record_success(self) -> None:
-        """A permitted request succeeded."""
+        """A permitted request succeeded (legacy attribution: treated
+        as the probe when half-open, a normal success otherwise)."""
         with self._lock:
             self._failures = 0
             self._probing = False
@@ -89,11 +170,10 @@ class CircuitBreaker:
 
     def record_failure(self) -> bool:
         """A permitted request failed; returns True when this failure
-        tripped (or re-tripped) the breaker open."""
+        tripped (or re-tripped) the breaker open (legacy attribution:
+        treated as the probe when half-open)."""
         with self._lock:
             if self._state == "half_open":
-                # The probe failed: straight back to open, timer
-                # re-armed.
                 self._state = "open"
                 self._probing = False
                 self._opened_at = self._clock()

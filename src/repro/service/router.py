@@ -1,0 +1,216 @@
+"""Routing and batching for the sharded query service.
+
+Two loop-local, deterministic pieces:
+
+* :class:`HashRing` — consistent hashing from ``instance_key`` digests
+  to shard ids.  Each shard owns ``vnodes`` pseudo-random points on a
+  2^64 ring (SHA-256 of ``"shard:{id}:{vnode}"``); a key routes to the
+  first point clockwise of its own hash.  Routing is a pure function
+  of (key, shard count): the same key always lands on the same shard,
+  and growing the ring from N to N+1 shards remaps only the keys whose
+  arc the new shard's points capture — in expectation 1/(N+1) of them,
+  which is the property test's bound.  Nothing here knows about
+  processes; the ring is just arithmetic.
+
+* :class:`Batcher` — per-shard request batching with two modes.  With
+  ``window == 0`` (the serving default) it *conflates*: an idle shard
+  gets work immediately (batch of one — no added latency), and while a
+  batch is in flight new arrivals accumulate so the next dispatch
+  carries all of them in one message — one ``compute_batch`` call
+  instead of N serialized ``compute``\\ s, exactly when the shard is
+  the bottleneck.  With ``window > 0`` it *collects*: the first
+  arrival arms a timer and the batch flushes when the window elapses
+  or ``max_batch`` items accumulate, whichever is first.  The timer is
+  injectable (``schedule=``) so tests drive flushes with a stepped
+  fake clock instead of sleeping.
+
+The batcher never talks to sockets; it calls the ``flush`` callback
+with ``(shard_id, items)`` and the owner does the I/O.  All methods
+must be called from one thread (the event loop); like the coalesce
+table and admission controller, determinism under ``call_soon``
+ordering is the point.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from bisect import bisect_right
+from typing import Callable, Sequence
+
+__all__ = ["HashRing", "Batcher"]
+
+
+def _ring_hash(data: bytes) -> int:
+    """A stable 64-bit ring position (first 8 bytes of SHA-256)."""
+    return int.from_bytes(hashlib.sha256(data).digest()[:8], "big")
+
+
+class HashRing:
+    """Consistent hashing of instance keys onto ``n_shards`` shards."""
+
+    def __init__(self, n_shards: int, vnodes: int = 64):
+        if n_shards < 1:
+            raise ValueError("n_shards must be >= 1")
+        if vnodes < 1:
+            raise ValueError("vnodes must be >= 1")
+        self.n_shards = int(n_shards)
+        self.vnodes = int(vnodes)
+        points: list[tuple[int, int]] = []
+        for shard in range(self.n_shards):
+            for v in range(self.vnodes):
+                pos = _ring_hash(f"shard:{shard}:{v}".encode())
+                points.append((pos, shard))
+        points.sort()
+        self._positions = [pos for pos, _ in points]
+        self._owners = [shard for _, shard in points]
+
+    def shard_for(self, key: str) -> int:
+        """The shard owning *key* (any string; instance keys here)."""
+        pos = _ring_hash(key.encode())
+        i = bisect_right(self._positions, pos)
+        if i == len(self._positions):
+            i = 0
+        return self._owners[i]
+
+    def assignment(self, keys: Sequence[str]) -> dict[str, int]:
+        return {key: self.shard_for(key) for key in keys}
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"HashRing(n_shards={self.n_shards}, vnodes={self.vnodes})"
+
+
+class Batcher:
+    """Per-shard batching: conflation by default, windowed on request.
+
+    Parameters
+    ----------
+    flush:
+        ``flush(shard_id, items)`` — called synchronously when a batch
+        dispatches.  The owner ships the items and later reports the
+        batch finished via :meth:`batch_done`.
+    window:
+        Seconds to collect before flushing.  ``0`` selects conflation
+        mode: flush immediately while the shard is idle, accumulate
+        while a batch is outstanding.
+    max_batch:
+        Cap on items per dispatched batch; also the early-flush
+        trigger in windowed mode.
+    schedule:
+        ``schedule(delay_seconds, callback) -> handle`` with a
+        ``handle.cancel()``; defaults to the running loop's
+        ``call_later``.  Injectable for deterministic tests.
+    """
+
+    def __init__(
+        self,
+        flush: Callable[[int, list], None],
+        window: float = 0.0,
+        max_batch: int = 32,
+        schedule: Callable | None = None,
+    ):
+        if window < 0:
+            raise ValueError("window must be >= 0")
+        if max_batch < 1:
+            raise ValueError("max_batch must be >= 1")
+        self._flush = flush
+        self.window = float(window)
+        self.max_batch = int(max_batch)
+        self._schedule = schedule
+        self._pending: dict[int, list] = {}
+        self._inflight: dict[int, int] = {}
+        self._timers: dict[int, object] = {}
+
+    # -- introspection -------------------------------------------------------
+
+    def pending(self, shard: int) -> int:
+        return len(self._pending.get(shard, ()))
+
+    def inflight(self, shard: int) -> int:
+        return self._inflight.get(shard, 0)
+
+    # -- the batching discipline --------------------------------------------
+
+    def add(self, shard: int, item) -> None:
+        """Enqueue *item* for *shard* and maybe dispatch."""
+        self._pending.setdefault(shard, []).append(item)
+        if len(self._pending[shard]) >= self.max_batch:
+            self._cancel_timer(shard)
+            self._dispatch(shard)
+            return
+        if self.window > 0:
+            if shard not in self._timers:
+                self._timers[shard] = self._call_later(
+                    self.window, shard
+                )
+            return
+        # Conflation mode: ship now iff the shard has no batch in
+        # flight; otherwise the arrival rides the next dispatch.
+        if not self._inflight.get(shard, 0):
+            self._dispatch(shard)
+
+    def batch_done(self, shard: int) -> None:
+        """A dispatched batch finished (result, error, or connection
+        loss); dispatch whatever accumulated meanwhile."""
+        n = self._inflight.get(shard, 0)
+        if n > 0:
+            self._inflight[shard] = n - 1
+        if self._pending.get(shard) and not self._inflight.get(shard, 0) \
+                and self.window == 0:
+            self._dispatch(shard)
+
+    def flush_now(self, shard: int | None = None) -> None:
+        """Force-dispatch pending items (close/retry paths)."""
+        shards = [shard] if shard is not None else list(self._pending)
+        for s in shards:
+            self._cancel_timer(s)
+            if self._pending.get(s):
+                self._dispatch(s)
+
+    def drain(self, shard: int | None = None) -> dict[int, list]:
+        """Remove and return pending items without flushing — all
+        shards, or just *shard* (the owner rejects them: shutdown, or
+        a shard going permanently down)."""
+        if shard is not None:
+            self._cancel_timer(shard)
+            items = self._pending.pop(shard, [])
+            return {shard: items} if items else {}
+        for s in list(self._timers):
+            self._cancel_timer(s)
+        pending, self._pending = self._pending, {}
+        return {s: items for s, items in pending.items() if items}
+
+    # -- internals -----------------------------------------------------------
+
+    def _dispatch(self, shard: int) -> None:
+        items = self._pending.get(shard)
+        if not items:
+            return
+        batch = items[: self.max_batch]
+        rest = items[self.max_batch :]
+        if rest:
+            self._pending[shard] = rest
+            if self.window > 0 and shard not in self._timers:
+                self._timers[shard] = self._call_later(self.window, shard)
+        else:
+            del self._pending[shard]
+        self._inflight[shard] = self._inflight.get(shard, 0) + 1
+        self._flush(shard, batch)
+
+    def _on_timer(self, shard: int) -> None:
+        self._timers.pop(shard, None)
+        self._dispatch(shard)
+
+    def _call_later(self, delay: float, shard: int):
+        if self._schedule is not None:
+            return self._schedule(delay, lambda: self._on_timer(shard))
+        import asyncio
+
+        loop = asyncio.get_running_loop()
+        return loop.call_later(delay, self._on_timer, shard)
+
+    def _cancel_timer(self, shard: int) -> None:
+        timer = self._timers.pop(shard, None)
+        if timer is not None:
+            cancel = getattr(timer, "cancel", None)
+            if cancel is not None:
+                cancel()

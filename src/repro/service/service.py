@@ -216,8 +216,10 @@ class QueryService:
                 name=name,
             )
         counters.count("store_registers")
-        self._instances[name] = (instance, key)
-        return key
+        # Through register() so subclasses observe store-backed
+        # registrations too (the sharded service ships geometry to the
+        # owning shard from there).
+        return self.register(name, instance)
 
     def _store_read(self, endpoint: str, fn, *args):
         """One store read through the circuit breaker.
@@ -226,8 +228,12 @@ class QueryService:
         the request fails fast with a structured 503 — and a corrupt
         or failing store degrades the service to "unavailable for
         store-backed requests", never to wrong answers or pile-ups of
-        slow failures."""
-        if not self._breaker.allow():
+        slow failures.  The breaker's permit API attributes this
+        read's outcome to the admission decision it got — a read that
+        straddles a trip/reset transition can neither close the
+        breaker nor steal the half-open probe slot."""
+        permit = self._breaker.acquire()
+        if permit is None:
             counters.count("breaker_short_circuits")
             raise StoreUnavailableError(
                 "store reads are circuit-broken after repeated "
@@ -235,16 +241,16 @@ class QueryService:
                 endpoint=endpoint,
                 breaker_state=self._breaker.state,
             )
-        if self._breaker.state == "half_open":
+        if permit == "probe":
             counters.count("breaker_probes")
         try:
             result = fn(*args)
         except StoreError:
             counters.count("store_read_errors")
-            if self._breaker.record_failure():
+            if self._breaker.settle(permit, ok=False):
                 counters.count("breaker_opens")
             raise
-        self._breaker.record_success()
+        self._breaker.settle(permit, ok=True)
         return result
 
     def forget(self, name: str) -> None:
@@ -266,6 +272,16 @@ class QueryService:
             ) from None
 
     # -- endpoints -----------------------------------------------------------
+    #
+    # Each endpoint builds a *request spec* — a plain dict of the
+    # evaluation's ingredients — plus the coalesce key, and hands both
+    # to ``_serve``.  The base service turns the spec into a local
+    # closure (``_local_fn``) run on its executor; the sharded
+    # subclass overrides ``_launch_compute`` and ships the same spec
+    # to a worker process instead.  Specs are picklable by
+    # construction (strings, ints, parsed sentence ASTs, and the
+    # instance itself, which the sharded path strips — workers already
+    # hold the geometry from registration).
 
     async def ask_cells(
         self,
@@ -279,18 +295,15 @@ class QueryService:
         inst, key = self._resolve("cells", name)
         sentence = parse(formula) if isinstance(formula, str) else formula
         ckey = ("cells", key, engine, refinement, sentence)
-
-        def fn(deadline: Deadline) -> bool:
-            deadline.check("cells")
-            return evaluate_cells(
-                sentence,
-                inst,
-                refinement=refinement,
-                engine=engine,
-                timeout=deadline.remaining(),
-            )
-
-        return await self._serve("cells", ckey, fn, timeout)
+        spec = {
+            "kind": "cells",
+            "key": key,
+            "inst": inst,
+            "formula": sentence,
+            "refinement": refinement,
+            "engine": engine,
+        }
+        return await self._serve("cells", ckey, spec, timeout)
 
     async def ask_rect(
         self,
@@ -303,12 +316,14 @@ class QueryService:
         inst, key = self._resolve("rect", name)
         sentence = parse(formula) if isinstance(formula, str) else formula
         ckey = ("rect", key, engine, sentence)
-
-        def fn(deadline: Deadline) -> bool:
-            deadline.check("rect")
-            return evaluate_rect(sentence, inst, engine=engine)
-
-        return await self._serve("rect", ckey, fn, timeout)
+        spec = {
+            "kind": "rect",
+            "key": key,
+            "inst": inst,
+            "formula": sentence,
+            "engine": engine,
+        }
+        return await self._serve("rect", ckey, spec, timeout)
 
     async def ask_real(
         self,
@@ -320,12 +335,14 @@ class QueryService:
         """Evaluate an FO(R, <, Region') sentence against *name*."""
         inst, key = self._resolve("real", name)
         ckey = ("real", key, engine, formula)
-
-        def fn(deadline: Deadline) -> bool:
-            deadline.check("real")
-            return evaluate_real(formula, inst, engine=engine)
-
-        return await self._serve("real", ckey, fn, timeout)
+        spec = {
+            "kind": "real",
+            "key": key,
+            "inst": inst,
+            "formula": formula,
+            "engine": engine,
+        }
+        return await self._serve("real", ckey, spec, timeout)
 
     async def ask_point(
         self,
@@ -337,12 +354,14 @@ class QueryService:
         """Evaluate an FO(P, <x, <y, Region') sentence against *name*."""
         inst, key = self._resolve("point", name)
         ckey = ("point", key, engine, formula)
-
-        def fn(deadline: Deadline) -> bool:
-            deadline.check("point")
-            return evaluate_point(formula, inst, engine=engine)
-
-        return await self._serve("point", ckey, fn, timeout)
+        spec = {
+            "kind": "point",
+            "key": key,
+            "inst": inst,
+            "formula": formula,
+            "engine": engine,
+        }
+        return await self._serve("point", ckey, spec, timeout)
 
     async def equivalent(
         self, name_a: str, name_b: str, timeout: float | None = None
@@ -352,17 +371,14 @@ class QueryService:
         inst_a, key_a = self._resolve("equivalent", name_a)
         inst_b, key_b = self._resolve("equivalent", name_b)
         ckey = ("equivalent", frozenset((key_a, key_b)))
-
-        def fn(deadline: Deadline) -> bool:
-            deadline.check("equivalent")
-            if key_a == key_b:
-                return True
-            with self._pipeline_lock:
-                inv_a, inv_b = self.pipeline.compute_batch([inst_a, inst_b])
-            deadline.check("equivalent")
-            return are_isomorphic(inv_a, inv_b)
-
-        return await self._serve("equivalent", ckey, fn, timeout)
+        spec = {
+            "kind": "equivalent",
+            "key": key_a,
+            "inst": inst_a,
+            "key_b": key_b,
+            "inst_b": inst_b,
+        }
+        return await self._serve("equivalent", ckey, spec, timeout)
 
     async def invariant_of(
         self, name: str, timeout: float | None = None
@@ -370,21 +386,94 @@ class QueryService:
         """The stored instance's topological invariant ``T_I``."""
         inst, key = self._resolve("invariant", name)
         ckey = ("invariant", key)
-
-        def fn(deadline: Deadline):
-            deadline.check("invariant")
-            with self._pipeline_lock:
-                return self.pipeline.compute(inst)
-
-        return await self._serve("invariant", ckey, fn, timeout)
+        spec = {"kind": "invariant", "key": key, "inst": inst}
+        return await self._serve("invariant", ckey, spec, timeout)
 
     # -- the serving core ----------------------------------------------------
+
+    def _local_fn(self, spec: dict) -> Callable[[Deadline], object]:
+        """The in-process evaluation closure for a request spec."""
+        kind = spec["kind"]
+        if kind == "cells":
+
+            def fn(deadline: Deadline) -> bool:
+                deadline.check("cells")
+                return evaluate_cells(
+                    spec["formula"],
+                    spec["inst"],
+                    refinement=spec["refinement"],
+                    engine=spec["engine"],
+                    timeout=deadline.remaining(),
+                )
+
+        elif kind == "rect":
+
+            def fn(deadline: Deadline) -> bool:
+                deadline.check("rect")
+                return evaluate_rect(
+                    spec["formula"], spec["inst"], engine=spec["engine"]
+                )
+
+        elif kind == "real":
+
+            def fn(deadline: Deadline) -> bool:
+                deadline.check("real")
+                return evaluate_real(
+                    spec["formula"], spec["inst"], engine=spec["engine"]
+                )
+
+        elif kind == "point":
+
+            def fn(deadline: Deadline) -> bool:
+                deadline.check("point")
+                return evaluate_point(
+                    spec["formula"], spec["inst"], engine=spec["engine"]
+                )
+
+        elif kind == "equivalent":
+
+            def fn(deadline: Deadline) -> bool:
+                deadline.check("equivalent")
+                if spec["key"] == spec["key_b"]:
+                    return True
+                with self._pipeline_lock:
+                    inv_a, inv_b = self.pipeline.compute_batch(
+                        [spec["inst"], spec["inst_b"]]
+                    )
+                deadline.check("equivalent")
+                return are_isomorphic(inv_a, inv_b)
+
+        elif kind == "invariant":
+
+            def fn(deadline: Deadline):
+                deadline.check("invariant")
+                with self._pipeline_lock:
+                    return self.pipeline.compute(spec["inst"])
+
+        else:  # pragma: no cover - endpoint methods enumerate kinds
+            raise ValueError(f"unknown request spec kind {kind!r}")
+        return fn
+
+    def _launch_compute(self, spec, deadline: Deadline) -> asyncio.Future:
+        """Start the evaluation for *spec* and return its future.
+
+        The base service runs the spec's local closure on the
+        service-owned executor; :class:`ShardedQueryService` overrides
+        this to ship the spec to a shard worker.  *spec* may also be a
+        raw ``fn(deadline)`` callable (tests drive ``_serve``
+        directly with one) — it bypasses spec translation.
+        """
+        fn = spec if callable(spec) else self._local_fn(spec)
+        loop = asyncio.get_running_loop()
+        return loop.run_in_executor(
+            self._executor, self._run_traced, fn, deadline
+        )
 
     async def _serve(
         self,
         endpoint: str,
         ckey: Hashable,
-        fn: Callable[[Deadline], object],
+        spec,
         timeout: float | None,
     ) -> QueryAnswer:
         """Admission → coalescing → compute → fan-out, under a deadline.
@@ -449,10 +538,14 @@ class QueryService:
                 self._coalesce.reject(ckey, exc)
                 raise
 
-            loop = asyncio.get_running_loop()
-            compute = loop.run_in_executor(
-                self._executor, self._run_traced, fn, deadline
-            )
+            try:
+                compute = self._launch_compute(spec, deadline)
+            except BaseException as exc:
+                # Launch refused (e.g. a permanently-down shard): the
+                # slot and the fan-out entry must not leak.
+                self._admission.release()
+                self._coalesce.reject(ckey, exc)
+                raise
 
             def _settle(f: asyncio.Future) -> None:
                 # Runs on the event loop when the evaluation finishes —
@@ -596,10 +689,7 @@ class QueryService:
                 if self._breaker.state != "closed"
                 else "ok"
             ),
-            "admission": {
-                "inflight": self._admission.active,
-                "queued": self._admission.waiting,
-            },
+            "admission": self._admission.snapshot(),
             "breaker": self._breaker.snapshot(),
             "store": store_status,
             "scrub": (

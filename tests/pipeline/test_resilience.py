@@ -474,12 +474,14 @@ class TestDeadline:
         d.check("anything")  # no raise
 
     def test_expiry_with_injected_clock(self):
-        now = [0.0]
-        d = Deadline(5.0, clock=lambda: now[0])
+        from tests.helpers import FakeClock
+
+        clock = FakeClock()
+        d = Deadline(5.0, clock=clock)
         assert d.remaining() == pytest.approx(5.0)
-        now[0] = 4.9
+        clock.now = 4.9
         d.check("enumeration")
-        now[0] = 5.0
+        clock.now = 5.0
         assert d.expired()
         with pytest.raises(repro_errors.TimeoutError) as exc_info:
             d.check("enumeration")

@@ -21,18 +21,11 @@ from repro.errors import ServiceClosedError, StoreError
 from repro.faults import Fault, FaultPlan, inject
 from repro.instrument import counter_delta, counter_snapshot
 from repro.service import CircuitBreaker
+from tests.helpers import FakeClock
 
 
 def _inst(x=0):
     return SpatialInstance({"A": Rect(x, 0, x + 4, 4)})
-
-
-class FakeClock:
-    def __init__(self):
-        self.now = 0.0
-
-    def __call__(self):
-        return self.now
 
 
 class TestCircuitBreaker:
@@ -86,6 +79,92 @@ class TestCircuitBreaker:
             CircuitBreaker(threshold=0)
         with pytest.raises(ValueError):
             CircuitBreaker(reset_after=-1)
+
+
+class TestBreakerProbeRace:
+    """Regression: outcome attribution when reads overlap breaker
+    transitions.  Store reads run on executor threads, so a read
+    admitted while the breaker was *closed* can settle while it is
+    *half-open*; with state-guessing attribution (the legacy
+    ``record_*`` path) such a stale settle used to steal or corrupt
+    the probe slot.  The permit API pins each outcome to the admission
+    decision that produced it — these are the deterministic
+    interleavings of the production race."""
+
+    def _tripped(self, threshold=1, reset_after=5.0):
+        clock = FakeClock()
+        breaker = CircuitBreaker(
+            threshold=threshold, reset_after=reset_after, clock=clock
+        )
+        return breaker, clock
+
+    def test_half_open_admits_exactly_one_probe(self):
+        breaker, clock = self._tripped()
+        assert breaker.settle("ok", ok=False)  # trips open
+        clock.now = 5.0
+        assert breaker.acquire() == "probe"
+        assert breaker.state == "half_open"
+        # The second concurrent read arriving while half-open: refused.
+        assert breaker.acquire() is None
+
+    def test_stale_failure_does_not_free_a_second_probe(self):
+        breaker, clock = self._tripped()
+        stale = breaker.acquire()  # admitted while closed
+        assert stale == "ok"
+        assert breaker.settle("ok", ok=False)  # another read trips it
+        clock.now = 5.0
+        assert breaker.acquire() == "probe"  # the real probe, in flight
+        # The stale read now fails.  Legacy record_failure() here
+        # re-opened the breaker *and cleared the probe flag*, so the
+        # next caller was admitted as a second concurrent probe.
+        assert not breaker.settle(stale, ok=False)
+        assert breaker.state == "half_open"
+        assert breaker.acquire() is None  # still exactly one probe
+
+    def test_stale_success_does_not_close_the_breaker(self):
+        breaker, clock = self._tripped()
+        stale = breaker.acquire()
+        assert breaker.settle("ok", ok=False)
+        clock.now = 5.0
+        probe = breaker.acquire()
+        assert probe == "probe"
+        # The stale read succeeds while the probe is still in flight.
+        # Legacy record_success() closed the breaker here — recovery
+        # declared by a read that predates the failure streak.
+        breaker.settle(stale, ok=True)
+        assert breaker.state == "half_open"
+        # Only the probe's own outcome resolves half-open.
+        breaker.settle(probe, ok=True)
+        assert breaker.state == "closed"
+
+    def test_probe_failure_reopens_and_rearms(self):
+        breaker, clock = self._tripped()
+        assert breaker.settle("ok", ok=False)
+        clock.now = 5.0
+        probe = breaker.acquire()
+        assert breaker.settle(probe, ok=False)  # probe failed: re-trip
+        assert breaker.state == "open"
+        assert breaker.acquire() is None
+        clock.now = 9.9
+        assert breaker.acquire() is None  # timer re-armed at failure
+        clock.now = 10.0
+        assert breaker.acquire() == "probe"
+
+    def test_stale_outcomes_while_open_are_ignored(self):
+        breaker, clock = self._tripped(threshold=2)
+        stale = breaker.acquire()
+        breaker.settle("ok", ok=False)
+        assert breaker.settle("ok", ok=False)  # second failure trips
+        # Stale success while open must not reset the open state or
+        # the failure streak it will resume from.
+        assert not breaker.settle(stale, ok=False)
+        assert breaker.state == "open"
+        assert breaker.snapshot()["consecutive_failures"] == 2
+
+    def test_unknown_permit_rejected(self):
+        breaker, _ = self._tripped()
+        with pytest.raises(ValueError):
+            breaker.settle("half", ok=True)
 
 
 class TestBreakerAroundStoreReads:
@@ -155,7 +234,12 @@ class TestHealthAndReadiness:
         service = QueryService(store=mirror, scrubber=scrubber)
         health = service.health()
         assert health["status"] == "ok"
-        assert health["admission"] == {"inflight": 0, "queued": 0}
+        assert health["admission"] == {
+            "inflight": 0,
+            "queued": 0,
+            "max_inflight": 4,
+            "max_queue": 32,
+        }
         assert health["breaker"]["state"] == "closed"
         assert health["store"]["attached"]
         assert health["store"]["replicas_up"] == 2

@@ -1,0 +1,225 @@
+"""Property tests for the sharding router: consistent hashing and the
+batching window.
+
+Three families, per the PR's satellite spec:
+
+* **Stability** — routing is a pure function: the same ``instance_key``
+  always lands on the same shard, across ring rebuilds.
+* **Consistency bound** — growing the ring N→N+1 shards remaps only
+  the keys the new shard captures: ≈1/(N+1) in expectation, asserted
+  with generous slack (vnode placement is hash-random), and *never* a
+  key that moves between two pre-existing shards.
+* **Batching determinism** — with an injected manual timer, K
+  concurrent distinct invariant lookups on one shard become exactly
+  one ``compute_batch`` call when the window fires, while coalescing
+  still collapses duplicate lookups to one compute before the batcher
+  ever sees them.
+"""
+
+import asyncio
+import hashlib
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import Rect, ShardedQueryService, SpatialInstance
+from repro.service import Batcher, HashRing
+from tests.helpers import ManualTimer
+
+
+def _keys(n: int, salt: str = "") -> list[str]:
+    return [
+        hashlib.sha256(f"{salt}key-{i}".encode()).hexdigest()
+        for i in range(n)
+    ]
+
+
+class TestRingStability:
+    @given(
+        n_shards=st.integers(min_value=1, max_value=9),
+        seed=st.integers(min_value=0, max_value=2**32 - 1),
+    )
+    @settings(max_examples=40)
+    def test_same_key_same_shard_across_rebuilds(self, n_shards, seed):
+        key = hashlib.sha256(str(seed).encode()).hexdigest()
+        ring = HashRing(n_shards)
+        again = HashRing(n_shards)
+        assert ring.shard_for(key) == again.shard_for(key)
+        assert 0 <= ring.shard_for(key) < n_shards
+
+    def test_every_shard_owns_keys(self):
+        # With vnodes=64 and a few hundred keys, no shard should be
+        # starved — a smoke check that the ring spreads load.
+        ring = HashRing(4)
+        owners = {ring.shard_for(k) for k in _keys(400)}
+        assert owners == {0, 1, 2, 3}
+
+
+class TestConsistentHashingBound:
+    @given(n_shards=st.integers(min_value=1, max_value=8))
+    @settings(max_examples=8, deadline=None)
+    def test_growing_the_ring_remaps_few_keys_and_only_to_the_new_shard(
+        self, n_shards
+    ):
+        keys = _keys(1000)
+        before = HashRing(n_shards).assignment(keys)
+        after = HashRing(n_shards + 1).assignment(keys)
+        moved = [k for k in keys if before[k] != after[k]]
+        # Every moved key moved *to* the new shard — consistent
+        # hashing's defining property.  A modulo router fails this
+        # immediately (keys reshuffle among the old shards).
+        assert all(after[k] == n_shards for k in moved)
+        # And the moved fraction is ≈ 1/(N+1): allow 2.5x slack for
+        # vnode placement variance at small N.
+        expected = 1.0 / (n_shards + 1)
+        assert len(moved) / len(keys) <= 2.5 * expected
+
+
+class _FlushRecorder:
+    def __init__(self):
+        self.flushes: list[tuple[int, list]] = []
+
+    def __call__(self, shard, items):
+        self.flushes.append((shard, list(items)))
+
+
+class TestBatcherWindow:
+    @given(k=st.integers(min_value=1, max_value=20))
+    @settings(max_examples=25, deadline=None)
+    def test_windowed_mode_collects_k_items_into_one_flush(self, k):
+        timer = ManualTimer()
+        recorder = _FlushRecorder()
+        batcher = Batcher(
+            recorder, window=0.005, max_batch=64, schedule=timer.schedule
+        )
+        for i in range(k):
+            batcher.add(0, f"item-{i}")
+        # Nothing dispatches until the window elapses.
+        assert recorder.flushes == []
+        timer.advance(0.005)
+        assert len(recorder.flushes) == 1
+        shard, items = recorder.flushes[0]
+        assert shard == 0 and len(items) == k
+
+    def test_windowed_mode_flushes_early_at_max_batch(self):
+        timer = ManualTimer()
+        recorder = _FlushRecorder()
+        batcher = Batcher(
+            recorder, window=0.005, max_batch=3, schedule=timer.schedule
+        )
+        for i in range(7):
+            batcher.add(0, i)
+        # 3 + 3 flushed at the cap; 1 still waiting on the window.
+        assert [len(items) for _, items in recorder.flushes] == [3, 3]
+        timer.advance(0.005)
+        assert [len(items) for _, items in recorder.flushes] == [3, 3, 1]
+
+    def test_conflation_mode_batches_while_busy(self):
+        recorder = _FlushRecorder()
+        batcher = Batcher(recorder, window=0.0, max_batch=64)
+        batcher.add(0, "a")  # idle shard: dispatched immediately
+        assert [len(i) for _, i in recorder.flushes] == [1]
+        batcher.add(0, "b")  # in-flight: accumulate
+        batcher.add(0, "c")
+        assert [len(i) for _, i in recorder.flushes] == [1]
+        batcher.batch_done(0)  # completion dispatches the backlog
+        assert [len(i) for _, i in recorder.flushes] == [1, 2]
+
+    def test_shards_batch_independently(self):
+        timer = ManualTimer()
+        recorder = _FlushRecorder()
+        batcher = Batcher(
+            recorder, window=0.005, max_batch=64, schedule=timer.schedule
+        )
+        batcher.add(0, "a")
+        batcher.add(1, "b")
+        timer.advance(0.005)
+        assert sorted(s for s, _ in recorder.flushes) == [0, 1]
+
+
+class TestBatchingEndToEnd:
+    """The satellite's headline property, on the real service: K
+    concurrent *distinct* invariant lookups landing on one shard turn
+    into exactly one ``compute_batch`` call (observable as one shipped
+    batch carrying K items), while duplicate lookups coalesce upstream
+    and never reach the batcher."""
+
+    def _corpus(self, n):
+        return {
+            f"inst-{x}": SpatialInstance({"A": Rect(x, 0, x + 3, 3)})
+            for x in range(n)
+        }
+
+    def test_k_distinct_lookups_one_compute_batch(self):
+        from repro.service import counters
+
+        timer = ManualTimer()
+
+        async def scenario():
+            service = ShardedQueryService(
+                n_shards=1,
+                window=0.005,
+                max_batch=64,
+                max_inflight=16,
+                schedule=timer.schedule,
+            )
+            corpus = self._corpus(5)
+            for name, inst in corpus.items():
+                service.register(name, inst)
+            before = (counters.shard_batches, counters.shard_batch_items)
+            tasks = [
+                asyncio.create_task(service.invariant_of(name))
+                for name in corpus
+            ]
+            # Let every request reach the batcher; the manual timer
+            # means nothing can flush behind the test's back.
+            for _ in range(10):
+                await asyncio.sleep(0)
+            assert counters.shard_batches == before[0]
+            timer.advance(0.005)
+            answers = await asyncio.gather(*tasks)
+            batches = counters.shard_batches - before[0]
+            items = counters.shard_batch_items - before[1]
+            assert batches == 1
+            assert items == len(corpus)
+            assert all(a.value is not None for a in answers)
+            await service.aclose()
+
+        asyncio.run(scenario())
+
+    def test_duplicates_coalesce_before_the_batcher(self):
+        from repro.service import counters
+
+        timer = ManualTimer()
+
+        async def scenario():
+            service = ShardedQueryService(
+                n_shards=1,
+                window=0.005,
+                max_batch=64,
+                max_inflight=16,
+                schedule=timer.schedule,
+            )
+            corpus = self._corpus(2)
+            for name, inst in corpus.items():
+                service.register(name, inst)
+            before_items = counters.shard_batch_items
+            before_coalesced = counters.coalesced
+            # 4 requests per name, 2 names: 8 requests, 2 distinct.
+            tasks = [
+                asyncio.create_task(service.invariant_of(name))
+                for name in corpus
+                for _ in range(4)
+            ]
+            for _ in range(10):
+                await asyncio.sleep(0)
+            timer.advance(0.005)
+            answers = await asyncio.gather(*tasks)
+            # Only the 2 distinct leaders reached the batcher; the 6
+            # duplicates were coalesced upstream.
+            assert counters.shard_batch_items - before_items == 2
+            assert counters.coalesced - before_coalesced == 6
+            assert len({id(a.value) for a in answers}) <= 2
+            await service.aclose()
+
+        asyncio.run(scenario())

@@ -8,6 +8,8 @@ isolation, and the counter-reset clamp in :func:`counter_delta`.
 import pytest
 
 from repro.errors import TimeoutError
+from tests.helpers import FakeClock
+
 from repro.instrument import (
     Deadline,
     add_collector,
@@ -21,14 +23,6 @@ from repro.instrument import (
 )
 
 
-class FakeClock:
-    def __init__(self, t: float = 0.0):
-        self.t = t
-
-    def __call__(self) -> float:
-        return self.t
-
-
 class TestDeadline:
     def test_unbounded_deadline_never_expires(self):
         d = Deadline(None)
@@ -40,9 +34,9 @@ class TestDeadline:
         clock = FakeClock()
         d = Deadline(2.0, clock=clock)
         assert d.remaining() == pytest.approx(2.0)
-        clock.t = 1.5
+        clock.now = 1.5
         assert d.remaining() == pytest.approx(0.5)
-        clock.t = 7.0
+        clock.now = 7.0
         assert d.remaining() == 0.0
         assert d.expired()
         with pytest.raises(TimeoutError):
